@@ -1,0 +1,120 @@
+// Ablation: the keep-alive cadence db against min(Tis, Tip).
+//
+// §4.1 argues db < min(Tis, Tip) prevents every demotion, and picks the
+// empirical 20 ms. This bench sweeps db on the Nexus 4 — the handset with
+// the tightest budget (Tip ~40 ms) — and on the Nexus 5 (Tis = 50 ms binds)
+// to show where the design breaks: as soon as db crosses the binding
+// timeout, overhead jumps by an order of magnitude.
+//
+// It also exercises the AutoTuner (the paper's "training" future work):
+// inferred timeouts -> safe (dpre, db), including on a hypothetical
+// aggressive firmware where the paper's default of 20 ms would fail.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/auto_tuner.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace acute;
+
+namespace {
+
+struct CadenceResult {
+  double internal_overhead_ms;  // median du - dn (SDIO wake shows here)
+  double external_inflation_ms;  // median dn - emulated (PSM shows here)
+};
+
+CadenceResult measure_cadence(const phone::PhoneProfile& profile, int db_ms,
+                              std::uint64_t seed) {
+  constexpr double kEmulatedMs = 85.0;
+  testbed::TestbedConfig config;
+  config.profile = profile;
+  config.emulated_rtt = sim::Duration::from_ms(kEmulatedMs);
+  config.seed = seed;
+  testbed::Testbed testbed(config);
+  testbed.settle(sim::Duration::millis(800));
+
+  tools::MeasurementTool::Config mt;
+  mt.probe_count = 60;
+  mt.timeout = sim::Duration::seconds(1);
+  mt.target = testbed::Testbed::kServerId;
+  core::AcuteMon::Options options;
+  options.background_interval = sim::Duration::millis(db_ms);
+  options.warmup_lead = sim::Duration::millis(std::min(db_ms, 20));
+  core::AcuteMon monitor(testbed.phone(), mt, options);
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  const auto samples = testbed.layer_samples(monitor.result());
+  CadenceResult result;
+  result.internal_overhead_ms =
+      stats::Summary(
+          core::extract(samples, &core::LayerSample::total_overhead))
+          .median();
+  result.external_inflation_ms =
+      stats::Summary(core::extract(samples, &core::LayerSample::dn_ms))
+          .median() -
+      kEmulatedMs - 1.3;  // fabric adds ~1.3 ms
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  benchx::heading(
+      "Ablation — keep-alive cadence db vs the binding timeout min(Tis,Tip)");
+  benchx::note(
+      "85 ms path. internal = median(du - dn): SDIO wake-ups (Tis = 50 ms"
+      "\nbinds on the Nexus 5); external = median(dn - emulated): PSM"
+      "\nbuffering (Tip ~40 ms binds on the Nexus 4).");
+
+  stats::Table table({"db", "N4 internal", "N4 external (PSM)",
+                      "N5 internal (SDIO)", "N5 external"});
+  for (const int db_ms : {5, 10, 20, 30, 45, 60, 120}) {
+    const auto n4 = measure_cadence(phone::PhoneProfile::nexus4(), db_ms, 7);
+    const auto n5 = measure_cadence(phone::PhoneProfile::nexus5(), db_ms, 8);
+    table.add_row({std::to_string(db_ms) + "ms",
+                   stats::Table::cell(n4.internal_overhead_ms) + " ms",
+                   stats::Table::cell(n4.external_inflation_ms) + " ms",
+                   stats::Table::cell(n5.internal_overhead_ms) + " ms",
+                   stats::Table::cell(n5.external_inflation_ms) + " ms"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  benchx::note(
+      "\nExpected: both columns flat and small while db < binding timeout;"
+      "\nthe Nexus 4's external column blows up once db > Tip (~40ms) and"
+      "\nthe Nexus 5's internal column once db > Tis (50ms). The paper's"
+      "\nempirical db = 20ms is safe on every Table 1 handset.");
+
+  benchx::heading("AutoTuner — derived (dpre, db) from inferred timeouts");
+  stats::Table tuned_table(
+      {"handset", "inferred Tis", "inferred Tip", "dpre", "db", "feasible"});
+  for (const auto& profile : phone::PhoneProfile::all()) {
+    const auto inference = testbed::Experiment::infer_timeouts(profile);
+    const auto tuned = core::AutoTuner::tune(inference.bus_sleep_timeout,
+                                             inference.psm_timeout);
+    tuned_table.add_row(
+        {profile.name,
+         stats::Table::cell(inference.bus_sleep_timeout.to_ms(), 0) + "ms",
+         stats::Table::cell(inference.psm_timeout.to_ms(), 0) + "ms",
+         stats::Table::cell(tuned.warmup_lead.to_ms(), 0) + "ms",
+         stats::Table::cell(tuned.background_interval.to_ms(), 0) + "ms",
+         tuned.feasible ? "yes" : "no"});
+  }
+  // A hypothetical firmware more aggressive than anything in Table 1.
+  const auto aggressive = core::AutoTuner::tune(sim::Duration::millis(18),
+                                                sim::Duration::millis(15));
+  tuned_table.add_row({"(hypothetical Tip=15ms)", "18ms", "15ms",
+                       stats::Table::cell(aggressive.warmup_lead.to_ms(), 1) +
+                           "ms",
+                       stats::Table::cell(
+                           aggressive.background_interval.to_ms(), 1) + "ms",
+                       aggressive.feasible ? "yes" : "no"});
+  std::printf("%s", tuned_table.to_string().c_str());
+  benchx::note(
+      "\nThe tuner keeps the paper's 20ms default wherever it is already"
+      "\nsafe and derives a tighter cadence when the timeouts demand it.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension (§4.1): AcuteMon's warm-up + keep-alive scheme ported to
+// cellular RRC. Naive probing after idle pays the RRC promotion (~2 s on
+// 3G, ~260 ms on LTE) plus the FACH latency; the warmed measurement sees
+// the stable CELL_DCH RTT.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "cellular/cellular_probe.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+using namespace acute;
+
+namespace {
+
+void run(const char* label, const cellular::RrcConfig& rrc) {
+  cellular::CellularProbeSession::Spec naive;
+  naive.rrc = rrc;
+  naive.probes = 30;
+  naive.keep_awake = false;
+  // Probes far apart: the radio demotes to IDLE between them.
+  naive.probe_interval = rrc.dch_inactivity + rrc.fach_inactivity +
+                         sim::Duration::seconds(2);
+  const auto naive_rtts = cellular::CellularProbeSession::run(naive);
+
+  cellular::CellularProbeSession::Spec warmed = naive;
+  warmed.keep_awake = true;
+  warmed.keepalive_interval = rrc.dch_inactivity / 2;
+  const auto warmed_rtts = cellular::CellularProbeSession::run(warmed);
+
+  const stats::Summary naive_summary(naive_rtts);
+  const stats::Summary warmed_summary(warmed_rtts);
+  stats::Table table({"mode", "median RTT", "mean RTT", "max RTT"});
+  table.add_row({"naive (idle between probes)",
+                 stats::Table::cell(naive_summary.median()) + " ms",
+                 naive_summary.mean_ci_string() + " ms",
+                 stats::Table::cell(naive_summary.max()) + " ms"});
+  table.add_row({"warm-up + keep-alive",
+                 stats::Table::cell(warmed_summary.median()) + " ms",
+                 warmed_summary.mean_ci_string() + " ms",
+                 stats::Table::cell(warmed_summary.max()) + " ms"});
+  std::printf("\n%s (core RTT 50 ms)\n%s", label, table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  benchx::heading(
+      "Extension — RRC state-transition inflation and its mitigation");
+  run("3G / UMTS (IDLE->DCH ~2s, FACH latency ~120ms)",
+      cellular::RrcConfig::umts_3g());
+  run("LTE (IDLE->CONNECTED ~260ms)", cellular::RrcConfig::lte());
+  benchx::note(
+      "\nShape check: naive cellular RTTs are inflated by the promotion"
+      "\ndelay (orders of magnitude on 3G); the warmed measurement reports"
+      "\nthe stable CELL_DCH RTT — the same puncture as WiFi, per §4.1.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate itself:
+// event-queue throughput, channel contention, and a full end-to-end probe
+// round trip through the testbed. These bound the cost of the reproduction
+// experiments (all tables re-run in seconds).
+#include <benchmark/benchmark.h>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/experiment.hpp"
+
+using namespace acute;
+using sim::Duration;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Rng rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.push(sim::TimePoint::from_nanos(t + rng.uniform_int(0, 1000)),
+                 [] {});
+      ++t;
+    }
+    while (!queue.empty()) {
+      auto fired = queue.pop();
+      benchmark::DoNotOptimize(fired.when);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 1000) sim.schedule_in(Duration::micros(10), tick);
+    };
+    sim.schedule_in(Duration::micros(10), tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorTimerChain);
+
+void BM_RngTruncatedNormal(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.truncated_normal(10.0, 1.0, 8.0, 13.0));
+  }
+}
+BENCHMARK(BM_RngTruncatedNormal);
+
+void BM_FullProbeRoundTrip(benchmark::State& state) {
+  // One complete AcuteMon probe (SYN/SYN-ACK through phone stack, channel,
+  // AP, switch, netem server and back), amortized.
+  for (auto _ : state) {
+    testbed::Experiment::AcuteMonSpec spec;
+    spec.probes = 20;
+    spec.emulated_rtt = Duration::millis(10);
+    const auto result = testbed::Experiment::acutemon(spec);
+    benchmark::DoNotOptimize(result.samples.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_FullProbeRoundTrip);
+
+void BM_CongestedChannelSecond(benchmark::State& state) {
+  // One simulated second of a saturated 802.11g channel (10 UDP flows).
+  for (auto _ : state) {
+    testbed::TestbedConfig config;
+    config.congested_phy = true;
+    testbed::Testbed testbed(config);
+    testbed.settle(Duration::millis(100));
+    testbed.start_cross_traffic();
+    testbed.settle(Duration::seconds(1));
+    benchmark::DoNotOptimize(testbed.cross_traffic_throughput_mbps());
+  }
+}
+BENCHMARK(BM_CongestedChannelSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

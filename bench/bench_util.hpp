@@ -1,0 +1,29 @@
+// Shared helpers for the paper-reproduction bench binaries: each bench
+// prints the paper's reported numbers next to the values this reproduction
+// measures, so the shape claims can be eyeballed (and EXPERIMENTS.md filled).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace acute::benchx {
+
+inline void heading(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+/// "mean ±ci" with fixed precision.
+inline std::string mean_ci(const std::vector<double>& sample,
+                           int precision = 2) {
+  return stats::Summary(sample).mean_ci_string(precision);
+}
+
+}  // namespace acute::benchx

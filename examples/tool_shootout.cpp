@@ -1,0 +1,68 @@
+// Tool shoot-out (the Fig. 8 scenario as a library consumer would run it):
+// measure one path with all four tools, with and without WLAN congestion,
+// and print the CDFs side by side.
+//
+// Usage: ./build/examples/tool_shootout [emulated_rtt_ms] [probes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "testbed/experiment.hpp"
+
+using namespace acute;
+
+namespace {
+
+void run_scenario(bool congested, int rtt_ms, int probes) {
+  std::printf("\n--- %s (emulated RTT %d ms, %d probes/tool) ---\n",
+              congested ? "congested WLAN (10 x 2.5 Mbit/s UDP)"
+                        : "idle WLAN",
+              rtt_ms, probes);
+
+  stats::Table table(
+      {"tool", "median", "p90", "mean", "loss", "median inflation"});
+  for (const auto kind :
+       {testbed::ToolKind::acutemon, testbed::ToolKind::httping,
+        testbed::ToolKind::icmp_ping, testbed::ToolKind::java_ping}) {
+    testbed::Experiment::ToolSpec spec;
+    spec.kind = kind;
+    spec.emulated_rtt = sim::Duration::millis(rtt_ms);
+    spec.probes = probes;
+    spec.cross_traffic = congested;
+    const auto result = testbed::Experiment::tool(spec);
+
+    const auto rtts = result.run.reported_rtts_ms();
+    const stats::Cdf cdf(rtts);
+    const stats::Summary summary(rtts);
+    table.add_row({to_string(kind),
+                   stats::Table::cell(cdf.quantile(0.5)),
+                   stats::Table::cell(cdf.quantile(0.9)),
+                   summary.mean_ci_string(),
+                   std::to_string(result.run.loss_count()),
+                   stats::Table::cell(cdf.quantile(0.5) - rtt_ms) + " ms"});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rtt_ms = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int probes = argc > 2 ? std::atoi(argv[2]) : 100;
+  if (rtt_ms <= 0 || probes <= 0) {
+    std::fprintf(stderr, "usage: %s [emulated_rtt_ms>0] [probes>0]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::printf("Tool shoot-out on a simulated Nexus 5 (Fig. 8 scenario)\n");
+  run_scenario(false, rtt_ms, probes);
+  run_scenario(true, rtt_ms, probes);
+  std::printf(
+      "\nReading: AcuteMon's median sits ~10 ms left of every other tool —\n"
+      "the others pay the SDIO wake-up (and, on short-Tip handsets, PSM\n"
+      "buffering) on every probe.\n");
+  return 0;
+}

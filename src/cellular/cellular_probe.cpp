@@ -1,0 +1,89 @@
+#include "cellular/cellular_probe.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/contracts.hpp"
+#include "sim/timer.hpp"
+
+namespace acute::cellular {
+
+using sim::Duration;
+using sim::expects;
+using sim::TimePoint;
+
+CellularPath::CellularPath(sim::Simulator& sim, sim::Rng rng, RrcMachine& rrc,
+                           Config config)
+    : sim_(&sim), rng_(std::move(rng)), rrc_(&rrc), config_(config) {}
+
+void CellularPath::probe(std::uint32_t bytes,
+                         std::function<void(Duration)> done) {
+  expects(static_cast<bool>(done), "CellularPath::probe requires a callback");
+  const TimePoint sent = sim_->now();
+  const Duration promotion = rrc_->request_transmit(bytes);
+  // Uplink pays the state latency at send time; we sample the downlink
+  // latency after the core RTT elapses, when the state may have changed.
+  const Duration uplink = rrc_->state_latency();
+  const Duration core =
+      config_.core_rtt +
+      rng_.uniform_duration(-config_.core_jitter, config_.core_jitter);
+  sim_->schedule_in(promotion + uplink + core,
+                    [this, sent, done = std::move(done)] {
+                      rrc_->on_receive();
+                      const Duration downlink = rrc_->state_latency();
+                      sim_->schedule_in(downlink, [this, sent,
+                                                   done = std::move(done)] {
+                        done(sim_->now() - sent);
+                      });
+                    });
+}
+
+std::vector<double> CellularProbeSession::run(const Spec& spec) {
+  expects(spec.probes > 0, "CellularProbeSession requires probes > 0");
+  sim::Simulator sim;
+  sim::Rng rng(spec.seed);
+  RrcMachine rrc(sim, rng.fork("rrc"), spec.rrc);
+  CellularPath path(sim, rng.fork("path"), rrc, spec.path);
+
+  std::vector<double> rtts;
+
+  // Keep-alive thread (the AcuteMon cellular analogue): tiny packets below
+  // the FACH threshold would not hold DCH, so keep-alives are sized above
+  // it; they ride an established DCH for free once promoted.
+  sim::PeriodicTimer keepalive(sim, spec.keepalive_interval,
+                               [&](std::uint64_t) {
+                                 (void)rrc.request_transmit(
+                                     spec.probe_bytes);
+                               });
+  if (spec.keep_awake) {
+    // Warm-up: promote now; probing starts once DCH is stable.
+    (void)rrc.request_transmit(spec.probe_bytes);
+    keepalive.start(spec.keepalive_interval);
+  }
+  const Duration warmup_lead =
+      spec.keep_awake ? spec.rrc.idle_to_dch + sim::Duration::millis(500)
+                      : Duration{};
+
+  // Sequential probes separated by probe_interval.
+  std::function<void(int)> launch = [&](int index) {
+    if (index >= spec.probes) return;
+    path.probe(spec.probe_bytes, [&, index](Duration rtt) {
+      rtts.push_back(rtt.to_ms());
+      sim.schedule_in(spec.probe_interval,
+                      [&launch, index] { launch(index + 1); });
+    });
+  };
+  sim.schedule_in(warmup_lead, [&launch] { launch(0); });
+
+  const TimePoint deadline =
+      sim.now() + spec.probe_interval * (spec.probes + 4) +
+      sim::Duration::seconds(30);
+  while (rtts.size() < static_cast<std::size_t>(spec.probes) &&
+         sim.now() < deadline) {
+    sim.run_for(sim::Duration::millis(100));
+  }
+  keepalive.stop();
+  return rtts;
+}
+
+}  // namespace acute::cellular

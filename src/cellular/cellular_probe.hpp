@@ -1,0 +1,65 @@
+// Cellular RTT probing over the RRC machine: the naive approach pays the
+// promotion delay (seconds!) and FACH latency on the first probes of a
+// burst; the AcuteMon-style approach (warm-up + keep-alives, §4.1's
+// cellular extension) measures from a stable CELL_DCH state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cellular/rrc.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::cellular {
+
+/// A point-to-point cellular path: RRC-gated radio + fixed core-network RTT.
+class CellularPath {
+ public:
+  struct Config {
+    sim::Duration core_rtt = sim::Duration::millis(50);
+    sim::Duration core_jitter = sim::Duration::millis(3);
+  };
+
+  CellularPath(sim::Simulator& sim, sim::Rng rng, RrcMachine& rrc,
+               Config config);
+
+  CellularPath(const CellularPath&) = delete;
+  CellularPath& operator=(const CellularPath&) = delete;
+
+  /// Sends one `bytes`-sized probe now; `on_response(rtt)` fires when the
+  /// echo returns. The RTT includes any RRC promotion, the per-direction
+  /// state latency, and the core-network RTT.
+  void probe(std::uint32_t bytes, std::function<void(sim::Duration)> done);
+
+ private:
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  RrcMachine* rrc_;
+  Config config_;
+};
+
+/// Experiment harness mirroring the paper's WiFi methodology on cellular.
+class CellularProbeSession {
+ public:
+  struct Spec {
+    RrcConfig rrc = RrcConfig::umts_3g();
+    CellularPath::Config path;
+    int probes = 30;
+    /// Gap between consecutive probes.
+    sim::Duration probe_interval = sim::Duration::seconds(8);
+    /// AcuteMon-style mitigation: warm up before each probe and keep the
+    /// radio in CELL_DCH with periodic keep-alives.
+    bool keep_awake = false;
+    /// Keep-alive cadence; must be below the DCH inactivity timer.
+    sim::Duration keepalive_interval = sim::Duration::seconds(2);
+    std::uint32_t probe_bytes = 400;  // above the FACH threshold
+    std::uint64_t seed = 42;
+  };
+
+  /// Runs the session to completion; returns per-probe RTTs (ms).
+  [[nodiscard]] static std::vector<double> run(const Spec& spec);
+};
+
+}  // namespace acute::cellular

@@ -1,0 +1,61 @@
+#include "core/auto_tuner.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace acute::core {
+
+using sim::Duration;
+
+TunedParameters AutoTuner::tune(Duration inferred_tis,
+                                Duration inferred_tip) {
+  return tune(inferred_tis, inferred_tip, Config{});
+}
+
+TunedParameters AutoTuner::tune(Duration inferred_tis, Duration inferred_tip,
+                                const Config& config) {
+  sim::expects(inferred_tis > Duration{} && inferred_tip > Duration{},
+               "AutoTuner::tune requires positive timeouts");
+
+  TunedParameters tuned;
+  tuned.binding_timeout = std::min(inferred_tis, inferred_tip);
+
+  // Subtract the quantization slack: the device may demote up to one
+  // watchdog tick *before* the nominal timeout.
+  const Duration budget = tuned.binding_timeout - config.timer_slack;
+
+  if (budget <= config.min_interval) {
+    // No cadence can safely hold the device awake (pathological firmware).
+    tuned.feasible = false;
+    tuned.warmup_lead = config.preferred;
+    tuned.background_interval = config.min_interval;
+    return tuned;
+  }
+
+  // Keep the paper's empirical 20 ms whenever it already fits; otherwise
+  // take half the budget (comfortably inside, still sparse).
+  const Duration candidate =
+      config.preferred < budget ? config.preferred : budget / 2;
+  tuned.background_interval = std::max(candidate, config.min_interval);
+
+  // dpre must also exceed the worst-case bus promotion delay.
+  tuned.warmup_lead = std::max(tuned.background_interval,
+                               config.max_promotion + Duration::millis(2));
+  if (tuned.warmup_lead >= budget) {
+    // A long promotion against a short timeout: start probing right after
+    // the promotion completes — the first keep-alive covers the gap.
+    tuned.warmup_lead = std::max(budget - Duration::millis(1),
+                                 config.min_interval);
+  }
+  return tuned;
+}
+
+AcuteMon::Options AutoTuner::apply(const TunedParameters& tuned,
+                                   AcuteMon::Options options) {
+  options.warmup_lead = tuned.warmup_lead;
+  options.background_interval = tuned.background_interval;
+  return options;
+}
+
+}  // namespace acute::core

@@ -1,0 +1,55 @@
+// Automatic parameter tuning — the paper's stated future work (§4.1):
+// "dpre and db were assigned with empirical values... they could be
+// inappropriate for some smartphone models, because both Tis and Tip are
+// tunable. A simple solution is training the program to obtain suitable
+// values."
+//
+// Given the timeouts the TimeoutProber infers, derive AcuteMon parameters
+// that provably keep both demotion timers from firing:
+//     Tprom < dpre < min(Tis, Tip)   and   db < min(Tis, Tip),
+// with a safety margin for timer quantization (one 10 ms watchdog tick).
+#pragma once
+
+#include "core/acutemon.hpp"
+#include "sim/time.hpp"
+
+namespace acute::core {
+
+struct TunedParameters {
+  sim::Duration warmup_lead;         // dpre
+  sim::Duration background_interval;  // db
+  /// The binding constraint min(Tis, Tip) the tuning worked from.
+  sim::Duration binding_timeout;
+  /// False when no safe setting exists (min timeout <= promotion delay).
+  bool feasible = true;
+};
+
+class AutoTuner {
+ public:
+  struct Config {
+    /// Quantization slack subtracted from the inferred timeouts (one
+    /// driver-watchdog tick on both machines).
+    sim::Duration timer_slack = sim::Duration::millis(10);
+    /// Upper bound on the bus promotion delay (Tprom); dpre must exceed it.
+    sim::Duration max_promotion = sim::Duration::millis(14);
+    /// Never send keep-alives faster than this (battery/airtime guard).
+    sim::Duration min_interval = sim::Duration::millis(4);
+    /// The paper's empirical default; used whenever it is already safe.
+    sim::Duration preferred = sim::Duration::millis(20);
+  };
+
+  /// Derives (dpre, db) from inferred timeouts.
+  [[nodiscard]] static TunedParameters tune(sim::Duration inferred_tis,
+                                            sim::Duration inferred_tip,
+                                            const Config& config);
+  /// Same, with default Config.
+  [[nodiscard]] static TunedParameters tune(sim::Duration inferred_tis,
+                                            sim::Duration inferred_tip);
+
+  /// Applies tuned parameters to an AcuteMon options struct.
+  [[nodiscard]] static AcuteMon::Options apply(
+      const TunedParameters& tuned,
+      AcuteMon::Options options = AcuteMon::Options{});
+};
+
+}  // namespace acute::core

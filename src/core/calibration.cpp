@@ -1,0 +1,34 @@
+#include "core/calibration.hpp"
+
+#include "sim/contracts.hpp"
+#include "stats/summary.hpp"
+
+namespace acute::core {
+
+CalibrationResult OverheadCalibrator::learn(
+    const std::vector<LayerSample>& samples) {
+  sim::expects(!samples.empty(),
+               "OverheadCalibrator::learn requires at least one sample");
+  const std::vector<double> overheads =
+      extract(samples, &LayerSample::total_overhead);
+  const stats::Summary summary(overheads);
+  CalibrationResult result;
+  result.median_overhead_ms = summary.median();
+  result.p25_overhead_ms = summary.percentile(25.0);
+  result.p75_overhead_ms = summary.percentile(75.0);
+  result.sample_count = samples.size();
+  return result;
+}
+
+std::vector<double> OverheadCalibrator::correct(
+    const CalibrationResult& calibration,
+    const std::vector<double>& user_rtts_ms) {
+  std::vector<double> corrected;
+  corrected.reserve(user_rtts_ms.size());
+  for (const double rtt : user_rtts_ms) {
+    corrected.push_back(calibration.apply(rtt));
+  }
+  return corrected;
+}
+
+}  // namespace acute::core

@@ -1,0 +1,49 @@
+// Overhead calibration (§4.2.2): "the delay overheads for AcuteMon are
+// independent of nRTTs, and the values of the overheads are much more
+// stable. Therefore, the true value can be obtained by performing
+// calibration."
+//
+// The calibrator learns a phone's residual overhead Δd = du - dn from one
+// AcuteMon run with multi-layer instrumentation (testbed) and then corrects
+// user-level RTTs measured anywhere. The median is used because it is
+// robust to the occasional scheduling outlier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/layer_sample.hpp"
+
+namespace acute::core {
+
+struct CalibrationResult {
+  double median_overhead_ms = 0;
+  double p25_overhead_ms = 0;
+  double p75_overhead_ms = 0;
+  std::size_t sample_count = 0;
+
+  /// Corrects a user-level RTT to an estimate of the network-level RTT.
+  [[nodiscard]] double apply(double user_rtt_ms) const {
+    return user_rtt_ms - median_overhead_ms;
+  }
+  /// Dispersion of the learned overhead (IQR); small values mean the
+  /// correction is trustworthy.
+  [[nodiscard]] double iqr_ms() const {
+    return p75_overhead_ms - p25_overhead_ms;
+  }
+};
+
+class OverheadCalibrator {
+ public:
+  /// Learns the overhead from instrumented samples (du - dn per probe).
+  /// Requires at least one sample.
+  [[nodiscard]] static CalibrationResult learn(
+      const std::vector<LayerSample>& samples);
+
+  /// Applies a calibration to a batch of user-level RTTs.
+  [[nodiscard]] static std::vector<double> correct(
+      const CalibrationResult& calibration,
+      const std::vector<double>& user_rtts_ms);
+};
+
+}  // namespace acute::core

@@ -1,0 +1,50 @@
+#include "core/layer_sample.hpp"
+
+namespace acute::core {
+
+std::optional<LayerSample> LayerSample::from_response(
+    const net::Packet& response, std::optional<double> reported_du_ms) {
+  const net::LayerStamps& rx = response.stamps;
+  if (response.request_stamps == nullptr) return std::nullopt;
+  const net::LayerStamps& tx = *response.request_stamps;
+
+  if (!tx.app_send || !tx.kernel_send || !tx.driver_xmit_entry ||
+      !tx.driver_txpkt || !tx.air || !rx.air || !rx.driver_isr ||
+      !rx.driver_rxf_enqueue || !rx.kernel_recv || !rx.app_recv) {
+    return std::nullopt;
+  }
+
+  LayerSample sample;
+  sample.probe_id = response.probe_id;
+  sample.du_ms = reported_du_ms.has_value()
+                     ? *reported_du_ms
+                     : (*rx.app_recv - *tx.app_send).to_ms();
+  sample.dk_ms = (*rx.kernel_recv - *tx.kernel_send).to_ms();
+  sample.dv_ms = (*rx.driver_rxf_enqueue - *tx.driver_xmit_entry).to_ms();
+  sample.dn_ms = (*rx.air - *tx.air).to_ms();
+  sample.dvsend_ms = (*tx.driver_txpkt - *tx.driver_xmit_entry).to_ms();
+  sample.dvrecv_ms = (*rx.driver_rxf_enqueue - *rx.driver_isr).to_ms();
+  return sample;
+}
+
+std::vector<double> extract(const std::vector<LayerSample>& samples,
+                            double (LayerSample::*field)() const) {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const LayerSample& sample : samples) {
+    values.push_back((sample.*field)());
+  }
+  return values;
+}
+
+std::vector<double> extract(const std::vector<LayerSample>& samples,
+                            double LayerSample::*field) {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const LayerSample& sample : samples) {
+    values.push_back(sample.*field);
+  }
+  return values;
+}
+
+}  // namespace acute::core

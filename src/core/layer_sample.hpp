@@ -1,0 +1,58 @@
+// Multi-layer RTT decomposition (§2.1, Fig. 1).
+//
+// From a fully-stamped response packet (which carries its request's stamps,
+// our stand-in for the paper's modified-driver logs + tcpdump + sniffers),
+// derive the RTT at every vantage point and the overhead decomposition:
+//
+//   du      user-level RTT        t_u^i - t_u^o
+//   dk      kernel-level RTT      t_k^i - t_k^o
+//   dv      driver-level RTT      t_v^i - t_v^o
+//   dn      network-level RTT     t_n^i - t_n^o
+//   dvsend  driver send latency   txpkt - start_xmit   (SDIO wake shows here)
+//   dvrecv  driver recv latency   rxf_enqueue - isr    (and here)
+//
+//   Δdu-k = du - dk, Δdk-v = dk - dv, Δdv-n = dv - dn, Δdk-n = dk - dn.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace acute::core {
+
+struct LayerSample {
+  std::uint64_t probe_id = 0;
+  double du_ms = 0;
+  double dk_ms = 0;
+  double dv_ms = 0;
+  double dn_ms = 0;
+  double dvsend_ms = 0;
+  double dvrecv_ms = 0;
+
+  [[nodiscard]] double du_k() const { return du_ms - dk_ms; }
+  [[nodiscard]] double dk_v() const { return dk_ms - dv_ms; }
+  [[nodiscard]] double dv_n() const { return dv_ms - dn_ms; }
+  [[nodiscard]] double dk_n() const { return dk_ms - dn_ms; }
+  /// Total delay overhead Δd = du - dn (Eq. 1).
+  [[nodiscard]] double total_overhead() const { return du_ms - dn_ms; }
+
+  /// Builds the decomposition from a response delivered to the app.
+  /// Returns nullopt if any stamp is missing (e.g. a synthetic packet).
+  /// If `reported_du_ms` is given it overrides the stamp-derived du — the
+  /// user-level RTT is whatever the tool *reports* (quantization included).
+  [[nodiscard]] static std::optional<LayerSample> from_response(
+      const net::Packet& response,
+      std::optional<double> reported_du_ms = std::nullopt);
+};
+
+/// Extracts a derived quantity across samples (for Summary/BoxPlot/Cdf).
+[[nodiscard]] std::vector<double> extract(
+    const std::vector<LayerSample>& samples,
+    double (LayerSample::*field)() const);
+
+/// Extracts a raw field across samples, e.g. extract(s, &LayerSample::du_ms).
+[[nodiscard]] std::vector<double> extract(
+    const std::vector<LayerSample>& samples, double LayerSample::*field);
+
+}  // namespace acute::core

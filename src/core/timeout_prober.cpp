@@ -1,0 +1,90 @@
+#include "core/timeout_prober.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contracts.hpp"
+#include "stats/summary.hpp"
+#include "wifi/constants.hpp"
+
+namespace acute::core {
+
+using sim::Duration;
+using sim::expects;
+
+namespace {
+
+double median_of(const std::vector<double>& values) {
+  expects(!values.empty(), "TimeoutProber: probe function returned no data");
+  return stats::Summary(values).median();
+}
+
+}  // namespace
+
+Duration TimeoutProber::infer_psm_timeout(const RttProbeFn& measure,
+                                          const Config& config) {
+  expects(static_cast<bool>(measure), "TimeoutProber requires a measure fn");
+  expects(config.min < config.max, "TimeoutProber config: min < max");
+
+  // inflated(r): the response of a probe over an r-long path returns after
+  // the station dozed, i.e. r > Tip.
+  const auto inflated = [&](Duration rtt) {
+    const double median = median_of(measure(rtt, config.probes_per_point));
+    return median - rtt.to_ms() > config.psm_inflation_threshold_ms;
+  };
+
+  Duration lo = config.min;   // assumed not inflated
+  Duration hi = config.max;   // assumed inflated
+  if (inflated(lo)) return lo;
+  if (!inflated(hi)) return hi;
+  while (hi - lo > config.resolution) {
+    const Duration mid = lo + (hi - lo) / 2;
+    if (inflated(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo + (hi - lo) / 2;
+}
+
+Duration TimeoutProber::infer_bus_sleep_timeout(const GapProbeFn& measure,
+                                                const Config& config) {
+  expects(static_cast<bool>(measure), "TimeoutProber requires a measure fn");
+  expects(config.min < config.max, "TimeoutProber config: min < max");
+
+  // Baseline: a short gap that cannot let the bus sleep.
+  const double baseline =
+      median_of(measure(config.min, config.probes_per_point));
+  const auto inflated = [&](Duration gap) {
+    const double median = median_of(measure(gap, config.probes_per_point));
+    return median - baseline > config.bus_inflation_threshold_ms;
+  };
+
+  Duration lo = config.min;
+  Duration hi = config.max;
+  if (!inflated(hi)) return hi;
+  while (hi - lo > config.resolution) {
+    const Duration mid = lo + (hi - lo) / 2;
+    if (inflated(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo + (hi - lo) / 2;
+}
+
+int TimeoutProber::infer_actual_listen_interval(
+    const std::vector<double>& psm_delays_ms) {
+  expects(!psm_delays_ms.empty(),
+          "TimeoutProber: listen-interval inference needs observations");
+  // A dozing station wakes every (L+1) beacons, so PSM delays fall in
+  // (0, (L+1) * beacon_interval]. The 80th percentile is robust to the
+  // occasional missed TIM (which waits one extra cycle).
+  const double p80 = stats::Summary(psm_delays_ms).percentile(80.0);
+  const double beacons = p80 / wifi::beacon_interval().to_ms();
+  return std::max(0, static_cast<int>(std::ceil(beacons)) - 1);
+}
+
+}  // namespace acute::core

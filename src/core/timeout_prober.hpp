@@ -1,0 +1,68 @@
+// Black-box inference of a handset's energy-saving timeouts — the paper's
+// Table 4 methodology plus the "future work" it sketches in §4.1 ("a simple
+// solution is training the program to obtain suitable values").
+//
+// The prober never touches driver internals; it only issues measurements and
+// looks at reported RTTs:
+//  * PSM timeout Tip — the station dozes Tip after its last activity, so a
+//    probe whose response takes longer than Tip to come back gets buffered
+//    at the AP until a beacon (~ +51 ms on average). Binary-search the
+//    emulated path RTT for the onset of that inflation.
+//  * Bus-sleep timeout Tis — the bus sleeps Tis after the last transfer, so
+//    a probe sent after an idle gap > Tis pays the wake-up (promotion) delay
+//    in du (but not in dn). Binary-search the idle gap for the onset.
+//  * Actual listen interval L — PSM-buffered responses wait at most
+//    (L+1) beacon intervals; infer L from the maximum observed PSM delay.
+//
+// Measurement is injected as callbacks so the prober runs against the
+// simulation testbed, a mock, or (in a port) a real deployment.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace acute::core {
+
+class TimeoutProber {
+ public:
+  struct Config {
+    sim::Duration min = sim::Duration::millis(10);
+    sim::Duration max = sim::Duration::millis(600);
+    /// Stop when the bracket is narrower than this.
+    sim::Duration resolution = sim::Duration::millis(10);
+    int probes_per_point = 15;
+    /// Median inflation (ms) above which a point counts as PSM-"inflated".
+    /// Must exceed the worst-case *bus-wake* inflation (~25 ms on Broadcom
+    /// SDIO handsets) but stay below the PSM beacon wait (~50+ ms median),
+    /// so the two mechanisms cannot be confused.
+    double psm_inflation_threshold_ms = 35.0;
+    double bus_inflation_threshold_ms = 2.5;
+  };
+
+  /// Measures user-level RTTs over a path with the given emulated RTT,
+  /// spacing probes far apart so the phone idles in between.
+  using RttProbeFn = std::function<std::vector<double>(
+      sim::Duration emulated_rtt, int probe_count)>;
+
+  /// Sends a warm-up, waits `idle_gap`, sends one probe; repeated
+  /// `probe_count` times. Returns user-level RTTs over a short fixed path.
+  using GapProbeFn = std::function<std::vector<double>(
+      sim::Duration idle_gap, int probe_count)>;
+
+  /// Infers the PSM timeout Tip. Returns the bracket midpoint.
+  [[nodiscard]] static sim::Duration infer_psm_timeout(
+      const RttProbeFn& measure, const Config& config);
+
+  /// Infers the bus-sleep timeout Tis.
+  [[nodiscard]] static sim::Duration infer_bus_sleep_timeout(
+      const GapProbeFn& measure, const Config& config);
+
+  /// Infers the actual listen interval from PSM-delay observations
+  /// (delays of PSM-buffered responses beyond the base RTT, in ms).
+  [[nodiscard]] static int infer_actual_listen_interval(
+      const std::vector<double>& psm_delays_ms);
+};
+
+}  // namespace acute::core

@@ -1,0 +1,30 @@
+// Wired-network node interface.
+//
+// Wired devices (switch, servers, the AP's Ethernet port) receive packets
+// from Links. Wireless delivery happens through wifi::Radio instead, so a
+// device that bridges both (the AP) implements Node for its wired side and
+// owns a Radio for its wireless side.
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace acute::net {
+
+class Link;
+
+class Node {
+ public:
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  /// Delivery of `packet` arriving over `ingress` (never null for wired
+  /// delivery; implementations may use it to learn topology).
+  virtual void receive(Packet packet, Link* ingress) = 0;
+
+  /// The node's flat address.
+  [[nodiscard]] virtual NodeId id() const = 0;
+};
+
+}  // namespace acute::net

@@ -1,0 +1,92 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace acute::net {
+
+const char* to_string(PacketType type) {
+  switch (type) {
+    case PacketType::icmp_echo_request:
+      return "icmp_echo_request";
+    case PacketType::icmp_echo_reply:
+      return "icmp_echo_reply";
+    case PacketType::icmp_time_exceeded:
+      return "icmp_time_exceeded";
+    case PacketType::tcp_syn:
+      return "tcp_syn";
+    case PacketType::tcp_syn_ack:
+      return "tcp_syn_ack";
+    case PacketType::tcp_rst:
+      return "tcp_rst";
+    case PacketType::http_request:
+      return "http_request";
+    case PacketType::http_response:
+      return "http_response";
+    case PacketType::udp_data:
+      return "udp_data";
+    case PacketType::udp_warmup:
+      return "udp_warmup";
+    case PacketType::udp_background:
+      return "udp_background";
+    case PacketType::wifi_beacon:
+      return "wifi_beacon";
+    case PacketType::wifi_ps_poll:
+      return "wifi_ps_poll";
+    case PacketType::wifi_null:
+      return "wifi_null";
+  }
+  return "?";
+}
+
+const char* to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::icmp:
+      return "icmp";
+    case Protocol::tcp:
+      return "tcp";
+    case Protocol::udp:
+      return "udp";
+    case Protocol::wifi_mgmt:
+      return "wifi_mgmt";
+  }
+  return "?";
+}
+
+std::uint64_t Packet::allocate_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Packet Packet::make(PacketType type, Protocol protocol, NodeId src, NodeId dst,
+                    std::uint32_t size_bytes) {
+  Packet pkt;
+  pkt.id = allocate_id();
+  pkt.type = type;
+  pkt.protocol = protocol;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.size_bytes = size_bytes;
+  return pkt;
+}
+
+Packet Packet::make_response(const Packet& request, PacketType type,
+                             std::uint32_t size_bytes) {
+  Packet response = make(type, request.protocol, request.dst, request.src,
+                         size_bytes);
+  response.probe_id = request.probe_id;
+  response.flow_id = request.flow_id;
+  response.request_stamps =
+      std::make_shared<const LayerStamps>(request.stamps);
+  return response;
+}
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << to_string(type) << "#" << id << " " << src << "->" << dst << " "
+     << size_bytes << "B ttl=" << int(ttl);
+  if (probe_id != 0) os << " probe=" << probe_id;
+  return os.str();
+}
+
+}  // namespace acute::net

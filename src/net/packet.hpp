@@ -1,0 +1,135 @@
+// Packet model.
+//
+// One Packet type flows through every layer of the simulation. It carries the
+// per-layer timestamps of the paper's Fig. 1 (t_u, t_k, t_v, t_n on both
+// directions), which the testbed later folds into du / dk / dv / dn and the
+// overhead decomposition of §2.1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace acute::net {
+
+/// Flat node address (plays the role of both MAC and IP in the testbed).
+using NodeId = std::uint32_t;
+
+/// Broadcast address (beacons).
+inline constexpr NodeId kBroadcastId = 0xffff'ffff;
+
+enum class Protocol : std::uint8_t { icmp, tcp, udp, wifi_mgmt };
+
+enum class PacketType : std::uint8_t {
+  // ICMP
+  icmp_echo_request,
+  icmp_echo_reply,
+  icmp_time_exceeded,
+  // TCP control + data
+  tcp_syn,
+  tcp_syn_ack,
+  tcp_rst,
+  http_request,
+  http_response,
+  // UDP
+  udp_data,
+  udp_warmup,      // AcuteMon warm-up packet (TTL = 1)
+  udp_background,  // AcuteMon background packet (TTL = 1)
+  // 802.11 management / control
+  wifi_beacon,
+  wifi_ps_poll,
+  wifi_null,  // null data frame carrying the PM bit
+};
+
+[[nodiscard]] const char* to_string(PacketType type);
+[[nodiscard]] const char* to_string(Protocol protocol);
+
+/// Per-layer timestamps (Fig. 1 of the paper).
+///
+/// The send-path stamps are written as the packet descends the phone's stack;
+/// `air` is written by the wireless channel when the frame hits the medium;
+/// the receive-path stamps are written as the response ascends the stack.
+struct LayerStamps {
+  // Send path (phone egress).
+  std::optional<sim::TimePoint> app_send;           // t_u^o
+  std::optional<sim::TimePoint> kernel_send;        // t_k^o (bpf/tcpdump tap)
+  std::optional<sim::TimePoint> driver_xmit_entry;  // dhd_start_xmit entry
+  std::optional<sim::TimePoint> driver_txpkt;       // dhdsdio_txpkt entry
+  // Wireless hop (one per direction in the Fig. 2 testbed).
+  std::optional<sim::TimePoint> air;  // t_n: frame TX start on the medium
+  // Receive path (phone ingress).
+  std::optional<sim::TimePoint> driver_isr;          // dhdsdio_isr entry
+  std::optional<sim::TimePoint> driver_rxf_enqueue;  // dhd_rxf_enqueue
+  std::optional<sim::TimePoint> kernel_recv;         // t_k^i (bpf tap)
+  std::optional<sim::TimePoint> app_recv;            // t_u^i
+};
+
+/// 802.11-specific header bits used by the AP/STA power-save machinery.
+struct WifiHeader {
+  /// Power-management bit: true = the sender will doze after this frame.
+  bool power_mgmt = false;
+  /// More-data bit on AP->STA frames: more buffered frames follow.
+  bool more_data = false;
+  /// Traffic-indication map carried by beacons: STAs with buffered frames.
+  std::vector<NodeId> tim;
+  /// Beacons carry their target beacon transmission time (the 802.11
+  /// timestamp field); stations use it to synchronize their wake schedule.
+  std::optional<sim::TimePoint> tbtt;
+};
+
+struct Packet {
+  std::uint64_t id = 0;        // unique per packet
+  std::uint64_t probe_id = 0;  // correlates a probe with its response; 0=none
+  PacketType type = PacketType::udp_data;
+  Protocol protocol = Protocol::udp;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t size_bytes = 0;  // on-the-wire size incl. headers
+  std::uint8_t ttl = 64;
+  std::uint32_t flow_id = 0;  // demultiplexes concurrent apps on one phone
+
+  WifiHeader wifi;
+  LayerStamps stamps;
+
+  /// Simulation instrumentation: servers echo the request's stamps here so
+  /// the testbed can decompose RTTs per layer. This substitutes for the
+  /// paper's modified driver + tcpdump logs; measurement tools never read it.
+  std::shared_ptr<const LayerStamps> request_stamps;
+
+  /// Allocates a process-unique packet id.
+  [[nodiscard]] static std::uint64_t allocate_id();
+
+  /// Builds a packet with a fresh id.
+  [[nodiscard]] static Packet make(PacketType type, Protocol protocol,
+                                   NodeId src, NodeId dst,
+                                   std::uint32_t size_bytes);
+
+  /// Builds the response to `request`: src/dst swapped, probe_id and flow_id
+  /// preserved, request stamps attached for testbed correlation.
+  [[nodiscard]] static Packet make_response(const Packet& request,
+                                            PacketType type,
+                                            std::uint32_t size_bytes);
+
+  [[nodiscard]] bool is_wifi_control() const {
+    return protocol == Protocol::wifi_mgmt;
+  }
+  [[nodiscard]] bool is_broadcast() const { return dst == kBroadcastId; }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Canonical on-the-wire sizes used by the tools (bytes, L3 + payload).
+namespace packet_size {
+inline constexpr std::uint32_t icmp_echo = 84;      // 56B payload + headers
+inline constexpr std::uint32_t tcp_control = 60;    // SYN / SYN-ACK / RST
+inline constexpr std::uint32_t http_request = 160;  // small GET
+inline constexpr std::uint32_t http_response = 240;
+inline constexpr std::uint32_t udp_small = 46;  // AcuteMon warm-up/background
+inline constexpr std::uint32_t udp_iperf = 1498;  // iPerf default datagram
+}  // namespace packet_size
+
+}  // namespace acute::net

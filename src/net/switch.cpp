@@ -1,0 +1,38 @@
+#include "net/switch.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace acute::net {
+
+using sim::expects;
+
+void Switch::attach_port(Link& link) {
+  expects(std::find(ports_.begin(), ports_.end(), &link) == ports_.end(),
+          "Switch::attach_port: link already attached");
+  ports_.push_back(&link);
+}
+
+void Switch::receive(Packet packet, Link* ingress) {
+  expects(ingress != nullptr, "Switch requires wired ingress");
+  // Learn the sender's port.
+  table_[packet.src] = ingress;
+
+  if (!packet.is_broadcast()) {
+    const auto it = table_.find(packet.dst);
+    if (it != table_.end()) {
+      ++forwarded_count_;
+      it->second->send(id_, std::move(packet));
+      return;
+    }
+  }
+  // Unknown destination or broadcast: flood all ports except ingress.
+  ++flooded_count_;
+  for (Link* port : ports_) {
+    if (port == ingress) continue;
+    port->send(id_, packet);
+  }
+}
+
+}  // namespace acute::net

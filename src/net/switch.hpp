@@ -1,0 +1,41 @@
+// Learning Ethernet switch (the testbed's wired fabric, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace acute::net {
+
+class Switch : public Node {
+ public:
+  explicit Switch(NodeId id) : id_(id) {}
+
+  /// Registers a link as one of the switch ports. The link must have this
+  /// switch as one endpoint.
+  void attach_port(Link& link);
+
+  void receive(Packet packet, Link* ingress) override;
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+
+  /// Number of (address -> port) entries learned so far.
+  [[nodiscard]] std::size_t learned_count() const { return table_.size(); }
+
+  [[nodiscard]] std::uint64_t forwarded_count() const {
+    return forwarded_count_;
+  }
+  [[nodiscard]] std::uint64_t flooded_count() const { return flooded_count_; }
+
+ private:
+  NodeId id_;
+  std::vector<Link*> ports_;
+  std::unordered_map<NodeId, Link*> table_;
+  std::uint64_t forwarded_count_ = 0;
+  std::uint64_t flooded_count_ = 0;
+};
+
+}  // namespace acute::net

@@ -1,0 +1,54 @@
+// Kernel network stack model: syscall-to-driver on the way down and
+// netif_rx-to-socket on the way up, with a bpf/tcpdump tap at the driver
+// boundary — the t_k vantage point of Fig. 1 ("the kernel timestamps can be
+// recorded with bpf and libpcap").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "phone/driver.hpp"
+#include "phone/profile.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::phone {
+
+class KernelStack {
+ public:
+  KernelStack(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile,
+              WnicDriver& driver);
+
+  KernelStack(const KernelStack&) = delete;
+  KernelStack& operator=(const KernelStack&) = delete;
+
+  /// Downward: a packet entering the kernel from a socket write. The bpf
+  /// tap (kernel_send) is stamped just before the driver hand-off.
+  void transmit(net::Packet packet);
+
+  /// Upward delivery to the socket layer.
+  using RxFn = std::function<void(net::Packet)>;
+  void set_rx_handler(RxFn on_receive) { on_receive_ = std::move(on_receive); }
+
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+  [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
+  /// ICMP echo requests answered by the kernel (never reach user space).
+  [[nodiscard]] std::uint64_t icmp_echoes_served() const {
+    return icmp_echoes_served_;
+  }
+
+ private:
+  void on_driver_receive(net::Packet packet);
+
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  const PhoneProfile* profile_;
+  WnicDriver* driver_;
+  RxFn on_receive_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t icmp_echoes_served_ = 0;
+};
+
+}  // namespace acute::phone

@@ -1,0 +1,160 @@
+#include "phone/profile.hpp"
+
+#include <stdexcept>
+
+namespace acute::phone {
+
+using sim::Duration;
+
+const char* to_string(WnicVendor vendor) {
+  switch (vendor) {
+    case WnicVendor::broadcom_sdio:
+      return "Broadcom/SDIO (bcmdhd)";
+    case WnicVendor::qualcomm_smd:
+      return "Qualcomm/SMD (wcnss)";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared cost shapes; per-phone profiles scale or override them.
+
+PhoneProfile broadcom_base() {
+  PhoneProfile p;
+  p.vendor = WnicVendor::broadcom_sdio;
+  // Table 3 (Nexus 5): wake-up costs approach ~14 ms, means ~10-13 ms.
+  // (The receive wake sits between Table 3's dvrecv mean of 12.75 ms and
+  // the ~18 ms kernel-phy median Fig. 3 shows for the same condition.)
+  p.bus_wake_tx = {10.2, 1.0, 8.4, 13.4};
+  p.bus_wake_rx = {10.3, 0.9, 8.6, 12.6};
+  p.bus_clk_request = {0.50, 0.12, 0.20, 0.80};
+  // Table 3 disabled/10ms rows: dvsend ~0.23 ms, dvrecv ~1.6 ms.
+  p.driver_tx_base = {0.20, 0.10, 0.09, 0.82};
+  p.driver_rx_base = {1.55, 0.35, 0.30, 2.60};
+  p.driver_netif = {0.10, 0.03, 0.04, 0.20};
+  p.kernel_tx = {0.07, 0.02, 0.03, 0.15};
+  p.kernel_rx = {0.11, 0.03, 0.05, 0.22};
+  p.native_send = {0.05, 0.02, 0.02, 0.12};
+  p.native_recv = {0.06, 0.02, 0.02, 0.14};
+  p.dvm_send = {0.35, 0.12, 0.15, 0.90};
+  p.dvm_recv = {0.40, 0.15, 0.15, 1.10};
+  p.dvm_gc_pause = {4.0, 2.0, 1.0, 9.0};
+  return p;
+}
+
+PhoneProfile qualcomm_base() {
+  PhoneProfile p = broadcom_base();
+  p.vendor = WnicVendor::qualcomm_smd;
+  // Table 2 (Nexus 4): internal inflation ~5-6 ms at 1 s interval, i.e. the
+  // SMD wake is far cheaper than SDIO's, and its receive path (shared-memory
+  // doorbell) cheaper still.
+  p.bus_wake_tx = {4.6, 0.7, 3.2, 6.4};
+  p.bus_wake_rx = {1.2, 0.4, 0.5, 2.4};
+  p.bus_clk_request = {0.30, 0.10, 0.10, 0.60};
+  p.driver_tx_base = {0.18, 0.08, 0.08, 0.60};
+  p.driver_rx_base = {0.75, 0.20, 0.30, 1.40};
+  p.bus_transfer_mbps = 600.0;  // shared memory, not a serial bus
+  return p;
+}
+
+}  // namespace
+
+PhoneProfile PhoneProfile::nexus5() {
+  PhoneProfile p = broadcom_base();
+  p.name = "Google Nexus 5";
+  p.chipset = "BCM4339";
+  p.android_version = "4.4.2";
+  p.cpu_ghz = 2.26;
+  p.cpu_cores = 4;
+  p.ram_mb = 2048;
+  p.cpu_scale = 1.0;
+  p.psm_timeout = Duration::millis(205);  // Table 4
+  p.associated_listen_interval = 10;      // bcmdhd default
+  return p;
+}
+
+PhoneProfile PhoneProfile::nexus4() {
+  PhoneProfile p = qualcomm_base();
+  p.name = "Google Nexus 4";
+  p.chipset = "WCN3660";
+  p.android_version = "4.4.4";
+  p.cpu_ghz = 1.5;
+  p.cpu_cores = 4;
+  p.ram_mb = 2048;
+  p.cpu_scale = 1.3;
+  // Table 4 reports "~40 ms". With the 10 ms tick quantization the doze
+  // entry lands in [Tip-10, Tip]; 39.5 ms makes a 30 ms path race the doze
+  // entry on ~1 probe in 6, reproducing Table 2's partial external
+  // inflation (mean +11 ms with a wide CI) at that cell.
+  p.psm_timeout = Duration::from_ms(39.5);
+  p.associated_listen_interval = 1;      // wcnss default
+  p.ping_integer_ms_above_100 = true;
+  // adb-shell ping on this handset shows a slightly larger user-space cost
+  // (Table 2: du - dk ~ 0.7 ms at the 10 ms interval).
+  p.native_send = {0.10, 0.04, 0.04, 0.25};
+  p.native_recv = {0.35, 0.12, 0.10, 0.80};
+  return p;
+}
+
+PhoneProfile PhoneProfile::htc_one() {
+  PhoneProfile p = qualcomm_base();
+  p.name = "HTC One";
+  p.chipset = "WCN3680";
+  p.android_version = "4.2.2";
+  p.cpu_ghz = 1.7;
+  p.cpu_cores = 4;
+  p.ram_mb = 2048;
+  p.cpu_scale = 1.2;
+  p.psm_timeout = Duration::millis(400);  // Table 4
+  p.associated_listen_interval = 1;
+  return p;
+}
+
+PhoneProfile PhoneProfile::xperia_j() {
+  PhoneProfile p = broadcom_base();
+  p.name = "Sony Xperia J";
+  p.chipset = "BCM4330";
+  p.android_version = "4.0.4";
+  p.cpu_ghz = 1.0;
+  p.cpu_cores = 1;
+  p.ram_mb = 512;
+  p.cpu_scale = 2.5;
+  p.psm_timeout = Duration::millis(210);  // Table 4
+  p.associated_listen_interval = 10;
+  // Single slow core: the driver receive path is visibly heavier
+  // (Fig. 7 shows its kernel-phy whiskers reaching ~4 ms).
+  p.bus_wake_tx = {11.0, 1.2, 9.0, 14.0};
+  p.driver_rx_base = {2.10, 0.50, 0.70, 3.80};
+  p.driver_tx_base = {0.30, 0.14, 0.10, 1.00};
+  return p;
+}
+
+PhoneProfile PhoneProfile::galaxy_grand() {
+  PhoneProfile p = broadcom_base();
+  p.name = "Samsung Grand";
+  p.chipset = "BCM4329";
+  p.android_version = "4.1.2";
+  p.cpu_ghz = 1.2;
+  p.cpu_cores = 2;
+  p.ram_mb = 1024;
+  p.cpu_scale = 1.8;
+  p.psm_timeout = Duration::millis(45);  // Table 4
+  p.associated_listen_interval = 10;
+  p.driver_rx_base = {1.80, 0.40, 0.60, 3.20};
+  p.driver_tx_base = {0.25, 0.12, 0.10, 0.90};
+  return p;
+}
+
+std::vector<PhoneProfile> PhoneProfile::all() {
+  return {nexus5(), xperia_j(), galaxy_grand(), nexus4(), htc_one()};
+}
+
+PhoneProfile PhoneProfile::by_name(const std::string& name) {
+  for (PhoneProfile& profile : all()) {
+    if (profile.name == name) return profile;
+  }
+  throw std::invalid_argument("unknown phone profile: " + name);
+}
+
+}  // namespace acute::phone

@@ -1,0 +1,124 @@
+// Per-handset parameter sets (Table 1 of the paper) plus the latency
+// distributions that drive every phone-internal delay source. The magnitudes
+// are seeded from the paper's measurements: Table 3 for the Broadcom SDIO
+// wake costs, Table 2 for the Qualcomm SMD ones, Table 4 for the PSM
+// timeouts and listen intervals, and Fig. 7 for the per-CPU driver costs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace acute::phone {
+
+/// A truncated-normal latency distribution, parameterised in milliseconds.
+struct LatencyDist {
+  double mu_ms = 0;
+  double sigma_ms = 0;
+  double lo_ms = 0;
+  double hi_ms = 0;
+
+  [[nodiscard]] sim::Duration sample(sim::Rng& rng) const {
+    return rng.truncated_normal_ms(mu_ms, sigma_ms, lo_ms, hi_ms);
+  }
+  /// Sample with all parameters multiplied by `scale` (CPU speed factor).
+  [[nodiscard]] sim::Duration sample_scaled(sim::Rng& rng,
+                                            double scale) const {
+    return rng.truncated_normal_ms(mu_ms * scale, sigma_ms * scale,
+                                   lo_ms * scale, hi_ms * scale);
+  }
+  [[nodiscard]] sim::Duration mean() const {
+    return sim::Duration::from_ms(mu_ms);
+  }
+};
+
+/// WNIC host-interface flavour: Broadcom chipsets hang off the SDIO bus
+/// ("bcmdhd" driver); Qualcomm chipsets use the SMD shared-memory interface
+/// ("wcnss" driver). The paper shows both run the same idle-count sleep
+/// machine, with very different wake costs (§3.2.1).
+enum class WnicVendor { broadcom_sdio, qualcomm_smd };
+
+[[nodiscard]] const char* to_string(WnicVendor vendor);
+
+struct PhoneProfile {
+  // Identity (Table 1).
+  std::string name;
+  std::string chipset;
+  std::string android_version;
+  WnicVendor vendor = WnicVendor::broadcom_sdio;
+  double cpu_ghz = 2.26;
+  int cpu_cores = 4;
+  int ram_mb = 2048;
+  /// Multiplier applied to CPU-bound latencies (kernel, runtime, netif),
+  /// relative to the Nexus 5.
+  double cpu_scale = 1.0;
+
+  // Host-interface (SDIO/SMD) bus sleep machine (§3.2.1).
+  sim::Duration bus_watchdog = sim::Duration::millis(10);  // dhd_watchdog_ms
+  int bus_idletime_ticks = 5;                              // idletime
+  LatencyDist bus_wake_tx;      // promotion delay, send path
+  LatencyDist bus_wake_rx;      // wake on receive interrupt
+  LatencyDist bus_clk_request;  // backplane clock ramp when awake but idle
+  sim::Duration bus_clk_idle_threshold = sim::Duration::millis(50);
+  double bus_transfer_mbps = 400.0;
+
+  /// Unrelated system traffic (sync services, keep-alives): Poisson sends
+  /// with this mean interval. It occasionally leaves the bus awake when a
+  /// probe arrives after a long idle gap — the source of the small minima
+  /// in Table 3's "enabled / 1000 ms" rows. Zero disables it.
+  sim::Duration system_traffic_mean_interval = sim::Duration::from_ms(2500);
+  std::uint32_t system_traffic_bytes = 120;
+
+  // Driver stage costs (bus awake).
+  LatencyDist driver_tx_base;  // dhd_start_xmit -> dhdsdio_txpkt
+  LatencyDist driver_rx_base;  // dhdsdio_isr -> dhd_rxf_enqueue
+  LatencyDist driver_netif;    // rxf thread -> netif_rx_ni -> bpf tap
+  sim::Duration irq_latency = sim::Duration::micros(40);
+
+  // Kernel stack costs.
+  LatencyDist kernel_tx;
+  LatencyDist kernel_rx;
+
+  // Execution environments (§2.1: native C vs Dalvik).
+  LatencyDist native_send;
+  LatencyDist native_recv;
+  LatencyDist dvm_send;
+  LatencyDist dvm_recv;
+  double dvm_gc_prob = 0.02;
+  LatencyDist dvm_gc_pause;
+
+  // Adaptive PSM (Table 4).
+  sim::Duration psm_timeout = sim::Duration::millis(200);  // Tip
+  /// Firmware idle-count tick: doze entry quantizes to
+  /// [psm_timeout - psm_tick, psm_timeout].
+  sim::Duration psm_tick = sim::Duration::millis(10);
+  int associated_listen_interval = 10;
+  double beacon_miss_probability = 0.15;
+
+  // Tool quirks.
+  /// The stock ping binary reports whole milliseconds once the RTT exceeds
+  /// 100 ms (observed on the Nexus 4; explains the negative user-kernel
+  /// overheads in Fig. 3).
+  bool ping_integer_ms_above_100 = false;
+  /// ping output resolution below 100 ms.
+  double ping_resolution_ms = 0.1;
+
+  // The five handsets of Table 1.
+  [[nodiscard]] static PhoneProfile nexus5();
+  [[nodiscard]] static PhoneProfile nexus4();
+  [[nodiscard]] static PhoneProfile htc_one();
+  [[nodiscard]] static PhoneProfile xperia_j();
+  [[nodiscard]] static PhoneProfile galaxy_grand();
+  [[nodiscard]] static std::vector<PhoneProfile> all();
+  [[nodiscard]] static PhoneProfile by_name(const std::string& name);
+
+  /// Idle time after which the bus sleeps: watchdog * idletime (50 ms
+  /// by default, confirmed for the Nexus 5 in §3.2.1).
+  [[nodiscard]] sim::Duration bus_sleep_idle() const {
+    return bus_watchdog * bus_idletime_ticks;
+  }
+};
+
+}  // namespace acute::phone

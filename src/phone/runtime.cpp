@@ -1,0 +1,40 @@
+#include "phone/runtime.hpp"
+
+#include <utility>
+
+namespace acute::phone {
+
+using sim::Duration;
+
+const char* to_string(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::native_c:
+      return "native C";
+    case ExecMode::dalvik:
+      return "Dalvik";
+  }
+  return "?";
+}
+
+ExecEnv::ExecEnv(sim::Rng rng, const PhoneProfile& profile)
+    : rng_(std::move(rng)), profile_(&profile) {}
+
+Duration ExecEnv::send_overhead(ExecMode mode) {
+  const LatencyDist& dist = mode == ExecMode::native_c
+                                ? profile_->native_send
+                                : profile_->dvm_send;
+  return dist.sample_scaled(rng_, profile_->cpu_scale);
+}
+
+Duration ExecEnv::recv_overhead(ExecMode mode) {
+  const LatencyDist& dist = mode == ExecMode::native_c
+                                ? profile_->native_recv
+                                : profile_->dvm_recv;
+  Duration cost = dist.sample_scaled(rng_, profile_->cpu_scale);
+  if (mode == ExecMode::dalvik && rng_.bernoulli(profile_->dvm_gc_prob)) {
+    cost += profile_->dvm_gc_pause.sample(rng_);
+  }
+  return cost;
+}
+
+}  // namespace acute::phone

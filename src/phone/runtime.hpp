@@ -1,0 +1,37 @@
+// Execution-environment cost model: native C binaries vs the Dalvik VM.
+//
+// [23] showed that the user-kernel overhead of measurement apps running in
+// the DVM can be mitigated by executing a pre-compiled native C program;
+// AcuteMon's measurement thread is such a binary (§4.1), while Java-based
+// tools (MobiPerf's InetAddress method) pay DVM costs plus occasional GC
+// pauses.
+#pragma once
+
+#include "phone/profile.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace acute::phone {
+
+enum class ExecMode { native_c, dalvik };
+
+[[nodiscard]] const char* to_string(ExecMode mode);
+
+class ExecEnv {
+ public:
+  ExecEnv(sim::Rng rng, const PhoneProfile& profile);
+
+  /// Latency between the app taking its send timestamp and the packet
+  /// entering the kernel (syscall + runtime overhead).
+  [[nodiscard]] sim::Duration send_overhead(ExecMode mode);
+
+  /// Latency between socket readiness and the app taking its receive
+  /// timestamp (wakeup + runtime overhead; DVM adds rare GC pauses).
+  [[nodiscard]] sim::Duration recv_overhead(ExecMode mode);
+
+ private:
+  sim::Rng rng_;
+  const PhoneProfile* profile_;
+};
+
+}  // namespace acute::phone

@@ -1,0 +1,104 @@
+#include "phone/smartphone.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::phone {
+
+using net::Packet;
+using sim::Duration;
+using sim::expects;
+
+namespace {
+wifi::Station::Config station_config(const PhoneProfile& profile,
+                                     net::NodeId id, net::NodeId ap_id) {
+  wifi::Station::Config config;
+  config.id = id;
+  config.ap = ap_id;
+  config.psm_timeout = profile.psm_timeout;
+  config.psm_tick = profile.psm_tick;
+  config.associated_listen_interval = profile.associated_listen_interval;
+  config.actual_listen_interval = 0;  // Table 4: every handset uses 0
+  config.beacon_miss_probability = profile.beacon_miss_probability;
+  return config;
+}
+}  // namespace
+
+Smartphone::Smartphone(sim::Simulator& sim, wifi::Channel& channel,
+                       sim::Rng rng, PhoneProfile profile, net::NodeId id,
+                       net::NodeId ap_id)
+    : sim_(&sim),
+      profile_(std::move(profile)),
+      id_(id),
+      rng_(rng.fork("smartphone")),
+      station_(sim, channel, rng.fork("station"),
+               station_config(profile_, id, ap_id)),
+      bus_(sim, rng.fork("bus"), profile_),
+      driver_(sim, rng.fork("driver"), profile_, bus_, station_),
+      kernel_(sim, rng.fork("kernel"), profile_, driver_),
+      env_(rng.fork("env"), profile_),
+      ap_id_(ap_id) {
+  kernel_.set_rx_handler(
+      [this](Packet pkt) { on_kernel_receive(std::move(pkt)); });
+  if (profile_.system_traffic_mean_interval > Duration{}) {
+    schedule_system_traffic();
+  }
+}
+
+void Smartphone::schedule_system_traffic() {
+  // Sync services and keep-alives chatter at Poisson intervals. The
+  // packets die at the gateway (TTL = 1) but wake the bus and the radio on
+  // the way out — the source of Table 3's occasional already-awake probes.
+  const Duration next = Duration::from_seconds(rng_.exponential(
+      profile_.system_traffic_mean_interval.to_seconds()));
+  sim_->schedule_in(next, [this] {
+    if (system_traffic_enabled_) {
+      Packet chatter =
+          Packet::make(net::PacketType::udp_data, net::Protocol::udp, id_,
+                       ap_id_, profile_.system_traffic_bytes);
+      chatter.ttl = 1;
+      chatter.flow_id = 0;  // no app bound; any response is dropped
+      ++system_packets_;
+      send(std::move(chatter), ExecMode::dalvik);
+    }
+    schedule_system_traffic();
+  });
+}
+
+void Smartphone::register_flow(std::uint32_t flow_id, AppRxFn handler,
+                               ExecMode mode) {
+  expects(static_cast<bool>(handler),
+          "Smartphone::register_flow requires a handler");
+  flows_[flow_id] = FlowEntry{std::move(handler), mode};
+}
+
+void Smartphone::unregister_flow(std::uint32_t flow_id) {
+  flows_.erase(flow_id);
+}
+
+void Smartphone::send(Packet packet, ExecMode mode) {
+  packet.src = id_;
+  packet.stamps.app_send = sim_->now();  // t_u^o
+  const Duration overhead = env_.send_overhead(mode);
+  sim_->schedule_in(overhead, [this, pkt = std::move(packet)]() mutable {
+    kernel_.transmit(std::move(pkt));
+  });
+}
+
+void Smartphone::on_kernel_receive(Packet packet) {
+  const auto it = flows_.find(packet.flow_id);
+  if (it == flows_.end()) return;  // no app bound to this flow
+  const Duration overhead = env_.recv_overhead(it->second.mode);
+  const std::uint32_t flow_id = packet.flow_id;
+  sim_->schedule_in(overhead, [this, flow_id,
+                               pkt = std::move(packet)]() mutable {
+    pkt.stamps.app_recv = sim_->now();  // t_u^i
+    // Re-look-up: the app may have unregistered while the packet climbed.
+    const auto handler_it = flows_.find(flow_id);
+    if (handler_it == flows_.end()) return;
+    handler_it->second.handler(pkt);
+  });
+}
+
+}  // namespace acute::phone

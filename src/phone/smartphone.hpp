@@ -1,0 +1,91 @@
+// The composed handset: execution environment over kernel over WNIC driver
+// over SDIO/SMD bus over 802.11 station. Measurement apps talk to the
+// socket-like flow API; everything below reproduces the latency structure
+// the paper dissects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "phone/driver.hpp"
+#include "phone/kernel.hpp"
+#include "phone/profile.hpp"
+#include "phone/runtime.hpp"
+#include "phone/sdio_bus.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "wifi/channel.hpp"
+#include "wifi/station.hpp"
+
+namespace acute::phone {
+
+class Smartphone {
+ public:
+  /// Builds a phone with the given profile, attached to `channel` and
+  /// associated with the AP at `ap_id`.
+  Smartphone(sim::Simulator& sim, wifi::Channel& channel, sim::Rng rng,
+             PhoneProfile profile, net::NodeId id, net::NodeId ap_id);
+
+  Smartphone(const Smartphone&) = delete;
+  Smartphone& operator=(const Smartphone&) = delete;
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] const PhoneProfile& profile() const { return profile_; }
+
+  /// App-level receive callback, demultiplexed by the packet's flow id.
+  /// `mode` determines the runtime whose receive overhead the app pays.
+  using AppRxFn = std::function<void(const net::Packet&)>;
+  void register_flow(std::uint32_t flow_id, AppRxFn handler,
+                     ExecMode mode = ExecMode::native_c);
+  void unregister_flow(std::uint32_t flow_id);
+
+  /// Allocates a flow id no other app on this phone uses.
+  [[nodiscard]] std::uint32_t allocate_flow_id() { return next_flow_id_++; }
+
+  /// Sends a packet from an app. Stamps app_send (t_u^o) now; the packet
+  /// then descends runtime -> kernel -> driver -> bus -> station.
+  void send(net::Packet packet, ExecMode mode);
+
+  // Subsystem access (ablations, instrumentation, tests).
+  [[nodiscard]] wifi::Station& station() { return station_; }
+  [[nodiscard]] SdioBus& bus() { return bus_; }
+  [[nodiscard]] WnicDriver& driver() { return driver_; }
+  [[nodiscard]] KernelStack& kernel() { return kernel_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+  /// Packets emitted by the phone's own system services so far.
+  [[nodiscard]] std::uint64_t system_packets_sent() const {
+    return system_packets_;
+  }
+  /// Disables/enables the system background chatter (airplane-lab mode).
+  void set_system_traffic_enabled(bool enabled) {
+    system_traffic_enabled_ = enabled;
+  }
+
+ private:
+  void on_kernel_receive(net::Packet packet);
+  void schedule_system_traffic();
+
+  sim::Simulator* sim_;
+  PhoneProfile profile_;
+  net::NodeId id_;
+  sim::Rng rng_;
+  wifi::Station station_;
+  SdioBus bus_;
+  WnicDriver driver_;
+  KernelStack kernel_;
+  ExecEnv env_;
+  struct FlowEntry {
+    AppRxFn handler;
+    ExecMode mode = ExecMode::native_c;
+  };
+  std::unordered_map<std::uint32_t, FlowEntry> flows_;
+  std::uint32_t next_flow_id_ = 1;
+  net::NodeId ap_id_ = 0;
+  bool system_traffic_enabled_ = true;
+  std::uint64_t system_packets_ = 0;
+};
+
+}  // namespace acute::phone

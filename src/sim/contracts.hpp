@@ -1,0 +1,34 @@
+// Contract checking helpers (Core Guidelines I.6 / I.8).
+//
+// Public API boundaries validate their preconditions with expects(); internal
+// invariants use ensures(). Violations throw ContractViolation so tests can
+// assert on misuse instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace acute::sim {
+
+/// Thrown when a precondition or invariant of the library is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Precondition check: throws ContractViolation when `condition` is false.
+inline void expects(bool condition, const char* message) {
+  if (!condition) {
+    throw ContractViolation(std::string("precondition violated: ") + message);
+  }
+}
+
+/// Postcondition / invariant check.
+inline void ensures(bool condition, const char* message) {
+  if (!condition) {
+    throw ContractViolation(std::string("invariant violated: ") + message);
+  }
+}
+
+}  // namespace acute::sim

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::sim {
+
+EventHandle EventQueue::push(TimePoint when, EventFn fn) {
+  expects(static_cast<bool>(fn), "EventQueue::push requires a callable");
+  auto state = std::make_shared<detail::CancelState>();
+  state->live_counter = live_count_;
+  EventHandle handle{state};
+  heap_.push(Entry{when, next_seq_++, std::move(fn), std::move(state)});
+  ++*live_count_;
+  return handle;
+}
+
+void EventQueue::drop_cancelled_prefix() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  expects(!empty(), "EventQueue::next_time on empty queue");
+  drop_cancelled_prefix();
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  expects(!empty(), "EventQueue::pop on empty queue");
+  drop_cancelled_prefix();
+  const Entry& top = heap_.top();
+  // Fired events can no longer be cancelled; mark so handles report done.
+  top.state->cancelled = true;
+  Fired fired{top.when, std::move(top.fn)};
+  heap_.pop();
+  --*live_count_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  *live_count_ = 0;
+}
+
+}  // namespace acute::sim

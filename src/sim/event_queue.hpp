@@ -1,0 +1,110 @@
+// Priority queue of timestamped events with stable FIFO ordering for ties
+// and O(1) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace acute::sim {
+
+/// Callback type executed when an event fires.
+using EventFn = std::function<void()>;
+
+namespace detail {
+struct CancelState {
+  bool cancelled = false;
+  // Owned by the queue; weak here so a handle outliving the queue is safe.
+  std::weak_ptr<std::size_t> live_counter;
+};
+}  // namespace detail
+
+/// Handle returned by EventQueue::push; allows cancelling a pending event.
+///
+/// Cancellation is lazy: the queue entry stays in the heap but is skipped
+/// when popped. Handles are cheap to copy; a handle outliving the queue is
+/// harmless.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    auto s = state_.lock();
+    if (s == nullptr || s->cancelled) return;
+    s->cancelled = true;
+    if (auto counter = s->live_counter.lock()) {
+      --*counter;
+    }
+  }
+
+  /// True when the handle refers to an event that is still pending.
+  [[nodiscard]] bool pending() const {
+    auto s = state_.lock();
+    return s != nullptr && !s->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+  std::weak_ptr<detail::CancelState> state_;
+};
+
+/// Min-heap of events keyed by (time, insertion sequence).
+///
+/// Two events scheduled for the same instant fire in the order they were
+/// pushed, which keeps the simulation deterministic.
+class EventQueue {
+ public:
+  EventQueue() : live_count_(std::make_shared<std::size_t>(0)) {}
+
+  /// Inserts an event that fires at `when`. Returns a cancellation handle.
+  EventHandle push(TimePoint when, EventFn fn);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return *live_count_ == 0; }
+
+  /// Number of live events currently queued.
+  [[nodiscard]] std::size_t size() const { return *live_count_; }
+
+  /// Fire time of the earliest live event. Requires !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Fired {
+    TimePoint when;
+    EventFn fn;
+  };
+  [[nodiscard]] Fired pop();
+
+  /// Drops every queued event.
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    // Mutable so pop() can move the callback out of the heap's const top().
+    mutable EventFn fn;
+    std::shared_ptr<detail::CancelState> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_prefix() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::size_t> live_count_;
+};
+
+}  // namespace acute::sim

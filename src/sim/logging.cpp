@@ -1,0 +1,38 @@
+#include "sim/logging.hpp"
+
+#include <iostream>
+
+namespace acute::sim {
+
+namespace {
+LogLevel g_level = LogLevel::warn;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace:
+      return "TRACE";
+    case LogLevel::debug:
+      return "DEBUG";
+    case LogLevel::info:
+      return "INFO";
+    case LogLevel::warn:
+      return "WARN";
+    case LogLevel::off:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::write(LogLevel level, TimePoint when, std::string_view component,
+                const std::string& message) {
+  if (!enabled(level)) return;
+  std::clog << "[" << when.to_string() << "] " << to_string(level) << " "
+            << component << ": " << message << '\n';
+}
+
+}  // namespace acute::sim

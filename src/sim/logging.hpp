@@ -1,0 +1,65 @@
+// Minimal leveled logger for simulation tracing.
+//
+// Logging defaults to `warn`, so experiments run silently; tests and the
+// examples turn on `debug` to watch the driver / PSM state machines, which
+// mirrors the paper's technique of enabling bcmdhd debug messages (§3.2.1).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace acute::sim {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, off = 4 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Process-wide log configuration and sink.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Emits one line: "[<sim time>] <LEVEL> <component>: <message>".
+  static void write(LogLevel level, TimePoint when, std::string_view component,
+                    const std::string& message);
+
+  /// True when messages at `level` would be emitted.
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+/// Lightweight component logger carried by model objects.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void debug(TimePoint when, const Args&... args) const {
+    emit(LogLevel::debug, when, args...);
+  }
+  template <typename... Args>
+  void info(TimePoint when, const Args&... args) const {
+    emit(LogLevel::info, when, args...);
+  }
+  template <typename... Args>
+  void warn(TimePoint when, const Args&... args) const {
+    emit(LogLevel::warn, when, args...);
+  }
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  template <typename... Args>
+  void emit(LogLevel level, TimePoint when, const Args&... args) const {
+    if (!Log::enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << args);
+    Log::write(level, when, component_, os.str());
+  }
+
+  std::string component_;
+};
+
+}  // namespace acute::sim

@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::sim {
+
+EventHandle Simulator::schedule_at(TimePoint when, EventFn fn) {
+  expects(when >= now_, "Simulator::schedule_at time must not be in the past");
+  return queue_.push(when, std::move(fn));
+}
+
+EventHandle Simulator::schedule_in(Duration delay, EventFn fn) {
+  expects(!delay.is_negative(),
+          "Simulator::schedule_in delay must be non-negative");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::fire_next() {
+  auto fired = queue_.pop();
+  ensures(fired.when >= now_, "event queue returned an event from the past");
+  now_ = fired.when;
+  fired.fn();
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    fire_next();
+    if (++count > event_limit_) {
+      throw ContractViolation("Simulator::run exceeded the event limit");
+    }
+  }
+  return count;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  expects(deadline >= now_, "Simulator::run_until deadline is in the past");
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    fire_next();
+    if (++count > event_limit_) {
+      throw ContractViolation("Simulator::run_until exceeded the event limit");
+    }
+  }
+  now_ = deadline;
+  return count;
+}
+
+std::size_t Simulator::run_for(Duration span) {
+  return run_until(now_ + span);
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  fire_next();
+  return true;
+}
+
+}  // namespace acute::sim

@@ -1,0 +1,63 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded and fully deterministic: events fire in (time, insertion)
+// order, and all model code runs inside event callbacks. The "concurrent
+// threads" of the paper's AcuteMon (background-traffic thread, measurement
+// thread) are cooperating processes scheduled on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace acute::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (must not be in the past).
+  EventHandle schedule_at(TimePoint when, EventFn fn);
+
+  /// Schedules `fn` to run `delay` from now (delay must be non-negative).
+  EventHandle schedule_in(Duration delay, EventFn fn);
+
+  /// Runs events until the queue drains. Returns the number of events fired.
+  std::size_t run();
+
+  /// Runs events with fire time <= `deadline`, then advances the clock to
+  /// `deadline` (even if the queue drained earlier). Returns events fired.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Convenience: run_until(now() + span).
+  std::size_t run_for(Duration span);
+
+  /// Fires exactly one event if any is pending. Returns true if one fired.
+  bool step();
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Drops all pending events without firing them.
+  void clear() { queue_.clear(); }
+
+  /// Safety valve: run()/run_until() throw after this many events in a
+  /// single call, catching accidental infinite self-rescheduling loops.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  void fire_next();
+
+  EventQueue queue_;
+  TimePoint now_;
+  std::uint64_t event_limit_ = 500'000'000;
+};
+
+}  // namespace acute::sim

@@ -1,0 +1,144 @@
+// Simulation time primitives.
+//
+// The whole library measures time as signed 64-bit nanosecond counts, which
+// gives ~292 years of range — far beyond any simulated experiment — with no
+// floating-point drift. Duration is a span; TimePoint is an offset from the
+// simulation epoch (t = 0 when the Simulator is constructed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace acute::sim {
+
+/// A span of simulated time, in integer nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) {
+    return Duration{n};
+  }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) {
+    return Duration{us * 1'000};
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
+    return Duration{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) {
+    return Duration{s * 1'000'000'000};
+  }
+  /// Builds a duration from a fractional millisecond count (rounded to ns).
+  [[nodiscard]] static Duration from_ms(double ms);
+  /// Builds a duration from a fractional microsecond count (rounded to ns).
+  [[nodiscard]] static Duration from_us(double us);
+  /// Builds a duration from a fractional second count (rounded to ns).
+  [[nodiscard]] static Duration from_seconds(double s);
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_ms() const { return double(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_us() const { return double(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return double(ns_) / 1e9;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration{ns_ + other.ns_};
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration{ns_ - other.ns_};
+  }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration{ns_ * k};
+  }
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration{ns_ / k};
+  }
+  /// Ratio between two durations (e.g. to count watchdog ticks in a span).
+  [[nodiscard]] constexpr std::int64_t divided_by(Duration other) const {
+    return ns_ / other.ns_;
+  }
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering with an adaptive unit, e.g. "12.345ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant in simulated time (nanoseconds since the simulation epoch).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_nanos(std::int64_t ns) {
+    return TimePoint{ns};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_ms() const { return double(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return double(ns_) / 1e9;
+  }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{ns_ + d.count_nanos()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{ns_ - d.count_nanos()};
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::nanos(ns_ - other.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.count_nanos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  /// Human-readable rendering as seconds, e.g. "1.234500s".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::nanos(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::micros(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::millis(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+}  // namespace acute::sim

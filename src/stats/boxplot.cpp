@@ -1,0 +1,51 @@
+#include "stats/boxplot.hpp"
+
+#include <sstream>
+
+#include "stats/summary.hpp"
+
+namespace acute::stats {
+
+BoxPlot BoxPlot::from_sample(std::span<const double> sample) {
+  const Summary summary(sample);
+  BoxPlot box;
+  box.q1 = summary.percentile(25.0);
+  box.median = summary.percentile(50.0);
+  box.q3 = summary.percentile(75.0);
+
+  const double fence_low = box.q1 - 1.5 * box.iqr();
+  const double fence_high = box.q3 + 1.5 * box.iqr();
+
+  // Whiskers reach the most extreme samples inside the fences.
+  box.whisker_low = box.q3;
+  box.whisker_high = box.q1;
+  bool any_inside = false;
+  for (const double x : summary.sorted()) {
+    if (x < fence_low || x > fence_high) {
+      box.outliers.push_back(x);
+      continue;
+    }
+    if (!any_inside) {
+      box.whisker_low = x;
+      any_inside = true;
+    }
+    box.whisker_high = x;
+  }
+  if (!any_inside) {
+    // Degenerate: every sample is an outlier (IQR == 0 with far points).
+    box.whisker_low = box.q1;
+    box.whisker_high = box.q3;
+  }
+  return box;
+}
+
+std::string BoxPlot::to_string(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << "med=" << median << " box=[" << q1 << "," << q3 << "] whisk=["
+     << whisker_low << "," << whisker_high << "] out=" << outliers.size();
+  return os.str();
+}
+
+}  // namespace acute::stats

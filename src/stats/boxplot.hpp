@@ -1,0 +1,31 @@
+// Box-and-whisker statistics matching the paper's plots (§3.1): the box spans
+// the 25th-75th percentiles with the median marked; whiskers extend to the
+// most extreme samples within 1.5 IQR of the box; everything beyond is an
+// outlier.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acute::stats {
+
+struct BoxPlot {
+  double median = 0;
+  double q1 = 0;
+  double q3 = 0;
+  double whisker_low = 0;
+  double whisker_high = 0;
+  std::vector<double> outliers;
+
+  /// Inter-quartile range.
+  [[nodiscard]] double iqr() const { return q3 - q1; }
+
+  /// Computes box statistics for a non-empty sample.
+  [[nodiscard]] static BoxPlot from_sample(std::span<const double> sample);
+
+  /// One-line rendering: "med=1.23 box=[0.9,1.6] whisk=[0.2,2.4] out=3".
+  [[nodiscard]] std::string to_string(int precision = 2) const;
+};
+
+}  // namespace acute::stats

@@ -1,0 +1,55 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace acute::stats {
+
+using sim::expects;
+
+Cdf::Cdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  expects(!sorted_.empty(), "Cdf requires a non-empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return double(it - sorted_.begin()) / double(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  expects(q > 0.0 && q <= 1.0, "Cdf::quantile requires q in (0, 1]");
+  const auto n = sorted_.size();
+  const auto index =
+      static_cast<std::size_t>(std::ceil(q * double(n))) - std::size_t{1};
+  return sorted_[std::min(index, n - 1)];
+}
+
+std::vector<Cdf::Point> Cdf::curve(std::size_t points) const {
+  expects(points >= 2, "Cdf::curve requires at least 2 points");
+  std::vector<Point> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * double(i) / double(points - 1);
+    out.push_back(Point{x, at(x)});
+  }
+  return out;
+}
+
+double Cdf::ks_distance(const Cdf& a, const Cdf& b) {
+  double d = 0;
+  for (const double x : a.sorted_) {
+    d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  }
+  for (const double x : b.sorted_) {
+    d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  }
+  return d;
+}
+
+}  // namespace acute::stats

@@ -1,0 +1,40 @@
+// Empirical CDF (for the paper's Figures 8 and 9) plus the two-sample
+// Kolmogorov-Smirnov distance used by tests to assert that two distributions
+// are close (Fig. 9: background traffic does not perturb the measurement).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acute::stats {
+
+class Cdf {
+ public:
+  /// Builds the ECDF of a non-empty sample.
+  explicit Cdf(std::span<const double> sample);
+
+  /// F(x): fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF: the smallest sample value v with F(v) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evenly spaced (x, F(x)) points for plotting/printing.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> curve(std::size_t points = 20) const;
+
+  /// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+  [[nodiscard]] static double ks_distance(const Cdf& a, const Cdf& b);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace acute::stats

@@ -1,0 +1,82 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/contracts.hpp"
+
+namespace acute::stats {
+
+using sim::expects;
+
+Summary::Summary(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  expects(!sorted_.empty(), "Summary requires a non-empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+
+  double sum = 0;
+  for (const double x : sorted_) sum += x;
+  mean_ = sum / double(sorted_.size());
+
+  if (sorted_.size() > 1) {
+    double ss = 0;
+    for (const double x : sorted_) {
+      const double d = x - mean_;
+      ss += d * d;
+    }
+    stddev_ = std::sqrt(ss / double(sorted_.size() - 1));
+    sem_ = stddev_ / std::sqrt(double(sorted_.size()));
+    ci95_ = sem_ * student_t_975(sorted_.size() - 1);
+  }
+}
+
+double Summary::percentile(double p) const {
+  expects(p >= 0.0 && p <= 100.0, "percentile requires p in [0, 100]");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * double(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - double(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+std::string Summary::mean_ci_string(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << mean_ << " ±" << ci95_;
+  return os.str();
+}
+
+double student_t_975(std::size_t df) {
+  // Two-sided 95% critical values; beyond df=120 the normal limit applies.
+  struct Row {
+    std::size_t df;
+    double t;
+  };
+  static constexpr Row table[] = {
+      {1, 12.706}, {2, 4.303}, {3, 3.182},  {4, 2.776},  {5, 2.571},
+      {6, 2.447},  {7, 2.365}, {8, 2.306},  {9, 2.262},  {10, 2.228},
+      {12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+      {40, 2.021}, {60, 2.000}, {80, 1.990}, {100, 1.984}, {120, 1.980},
+  };
+  expects(df >= 1, "student_t_975 requires df >= 1");
+  if (df >= 120) return 1.960;
+  const Row* prev = &table[0];
+  for (const Row& row : table) {
+    if (row.df == df) return row.t;
+    if (row.df > df) {
+      // Interpolate in 1/df, which is nearly linear for t quantiles.
+      const double x = 1.0 / double(df);
+      const double x0 = 1.0 / double(prev->df);
+      const double x1 = 1.0 / double(row.df);
+      const double w = (x - x0) / (x1 - x0);
+      return prev->t + w * (row.t - prev->t);
+    }
+    prev = &row;
+  }
+  return 1.960;
+}
+
+}  // namespace acute::stats

@@ -1,0 +1,53 @@
+// Descriptive statistics used throughout the evaluation: mean with 95%
+// confidence interval (Student-t, as the paper's "mean with 95% confidence
+// interval" tables), median, arbitrary percentiles, and dispersion.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acute::stats {
+
+/// Immutable summary of a sample of doubles.
+class Summary {
+ public:
+  /// Computes the summary of `sample` (which may be unsorted, and is copied).
+  /// Requires a non-empty sample.
+  explicit Summary(std::span<const double> sample);
+
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const { return sem_; }
+  /// Half-width of the 95% confidence interval of the mean (Student-t).
+  [[nodiscard]] double ci95_half_width() const { return ci95_; }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Linear-interpolation percentile (R type-7), p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// The sample, sorted ascending.
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Renders "mean ±ci95" with the given precision, e.g. "33.16 ±0.96".
+  [[nodiscard]] std::string mean_ci_string(int precision = 2) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0;
+  double stddev_ = 0;
+  double sem_ = 0;
+  double ci95_ = 0;
+};
+
+/// 97.5% quantile of the Student-t distribution with `df` degrees of freedom
+/// (the multiplier for a two-sided 95% CI). Interpolated from a fixed table;
+/// exact enough for reporting (error < 0.5%).
+[[nodiscard]] double student_t_975(std::size_t df);
+
+}  // namespace acute::stats

@@ -1,0 +1,61 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/contracts.hpp"
+
+namespace acute::stats {
+
+using sim::expects;
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  expects(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == headers_.size(),
+          "Table row width must match the header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace acute::stats

@@ -1,0 +1,34 @@
+// Fixed-width ASCII table rendering for the bench binaries, which print the
+// paper's tables side by side with our measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acute::stats {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for building a row from doubles with fixed precision.
+  [[nodiscard]] static std::string cell(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header rule, e.g.
+  ///   col_a | col_b
+  ///   ------+------
+  ///   1.00  | 2.00
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acute::stats

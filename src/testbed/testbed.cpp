@@ -1,0 +1,158 @@
+#include "testbed/testbed.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::testbed {
+
+using net::Packet;
+using sim::Duration;
+using sim::expects;
+
+namespace {
+wifi::Station::Config load_gen_station_config(net::NodeId id,
+                                              net::NodeId ap_id) {
+  wifi::Station::Config config;
+  config.id = id;
+  config.ap = ap_id;
+  config.psm_enabled = false;  // desktop WNIC: no power save
+  config.associated_listen_interval = 1;
+  return config;
+}
+}  // namespace
+
+WirelessHost::WirelessHost(sim::Simulator& sim, wifi::Channel& channel,
+                           sim::Rng rng, net::NodeId id, net::NodeId ap_id)
+    : sim_(&sim),
+      rng_(std::move(rng)),
+      id_(id),
+      station_(sim, channel, rng_.fork("station"),
+               load_gen_station_config(id, ap_id)) {}
+
+void WirelessHost::transmit(Packet packet) {
+  packet.src = id_;
+  // Desktop host stack: tens of microseconds, no phone-style quirks.
+  const Duration stack = Duration::from_us(rng_.uniform(20.0, 60.0));
+  sim_->schedule_in(stack, [this, pkt = std::move(packet)]() mutable {
+    station_.send(std::move(pkt));
+  });
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  const wifi::PhyParams phy = config_.congested_phy
+                                  ? wifi::phy_802_11g_mixed()
+                                  : wifi::phy_802_11g();
+  channel_ =
+      std::make_unique<wifi::Channel>(sim_, rng_.fork("channel"), phy);
+
+  wifi::AccessPoint::Config ap_config;
+  ap_config.id = kApId;
+  ap_config.send_ttl_exceeded = config_.send_ttl_exceeded;
+  ap_ = std::make_unique<wifi::AccessPoint>(sim_, *channel_, rng_.fork("ap"),
+                                            ap_config);
+
+  switch_ = std::make_unique<net::Switch>(kSwitchId);
+  server_ =
+      std::make_unique<net::EchoServer>(sim_, rng_.fork("server"), kServerId);
+  load_sink_ = std::make_unique<net::UdpSink>(sim_, kLoadSinkId);
+
+  // Gigabit wired fabric with ~5 us propagation per hop.
+  const Duration wire_prop = Duration::from_us(5.0);
+  const double gigabit = 1e9;
+  ap_switch_link_ =
+      std::make_unique<net::Link>(sim_, *ap_, *switch_, wire_prop, gigabit);
+  switch_server_link_ = std::make_unique<net::Link>(sim_, *switch_, *server_,
+                                                    wire_prop, gigabit);
+  switch_sink_link_ = std::make_unique<net::Link>(sim_, *switch_, *load_sink_,
+                                                  wire_prop, gigabit);
+  ap_->attach_wired(*ap_switch_link_);
+  switch_->attach_port(*ap_switch_link_);
+  switch_->attach_port(*switch_server_link_);
+  switch_->attach_port(*switch_sink_link_);
+  server_->attach_link(*switch_server_link_);
+
+  server_->netem().set_delay(config_.emulated_rtt);
+  server_->netem().set_jitter(config_.netem_jitter);
+
+  // Wireless side: phone under test + load generator.
+  phone_ = std::make_unique<phone::Smartphone>(sim_, *channel_,
+                                               rng_.fork("phone"),
+                                               config_.profile, kPhoneId,
+                                               kApId);
+  load_gen_ = std::make_unique<WirelessHost>(sim_, *channel_,
+                                             rng_.fork("loadgen"), kLoadGenId,
+                                             kApId);
+  ap_->associate(kPhoneId, config_.profile.associated_listen_interval);
+  ap_->associate(kLoadGenId, 1);
+
+  iperf_ = std::make_unique<net::IperfLoadGenerator>(
+      sim_, rng_.fork("iperf"), kLoadGenId, kLoadSinkId,
+      config_.cross_connections, config_.cross_flow_mbps,
+      [this](Packet pkt) { load_gen_->transmit(std::move(pkt)); });
+
+  // Three sniffers within 0.5 m of the phone (§2.2): they all see every
+  // frame; each has an independent timestamp-noise stream.
+  for (const char* name : {"sniffer-A", "sniffer-B", "sniffer-C"}) {
+    auto sniffer = std::make_unique<wifi::Sniffer>(
+        name, rng_.fork(name), config_.sniffer_noise);
+    channel_->attach_observer(*sniffer);
+    sniffers_.push_back(std::move(sniffer));
+  }
+
+  // Beacons start at a random phase relative to the experiment schedule.
+  ap_->start_beacons(
+      rng_.fork("tbtt").uniform_duration(Duration{}, wifi::beacon_interval()));
+}
+
+void Testbed::set_emulated_rtt(Duration rtt) {
+  expects(!rtt.is_negative(), "Testbed emulated RTT must be non-negative");
+  server_->netem().set_delay(rtt);
+}
+
+void Testbed::start_cross_traffic() {
+  if (cross_running_) return;
+  cross_running_ = true;
+  load_sink_->reset_window();
+  iperf_->start();
+}
+
+void Testbed::stop_cross_traffic() {
+  if (!cross_running_) return;
+  cross_running_ = false;
+  iperf_->stop();
+}
+
+bool Testbed::cross_traffic_running() const { return cross_running_; }
+
+double Testbed::cross_traffic_throughput_mbps() const {
+  return load_sink_->throughput_mbps(load_sink_->window_start());
+}
+
+void Testbed::settle(Duration span) { sim_.run_for(span); }
+
+void Testbed::run_until_finished(tools::MeasurementTool& tool,
+                                 Duration max_sim_time) {
+  const sim::TimePoint deadline = sim_.now() + max_sim_time;
+  while (!tool.finished() && sim_.now() < deadline) {
+    sim_.run_for(Duration::millis(50));
+  }
+  expects(tool.finished(),
+          "Testbed::run_until_finished hit the simulated-time guard");
+}
+
+std::vector<core::LayerSample> Testbed::layer_samples(
+    const tools::ToolRun& run) const {
+  std::vector<core::LayerSample> samples;
+  samples.reserve(run.probes.size());
+  for (const tools::ProbeRecord& record : run.probes) {
+    if (record.timed_out || !record.response.has_value()) continue;
+    const auto sample = core::LayerSample::from_response(
+        *record.response, record.reported_rtt_ms);
+    if (sample.has_value()) samples.push_back(*sample);
+  }
+  return samples;
+}
+
+}  // namespace acute::testbed

@@ -1,0 +1,139 @@
+// The multiple-sniffer WiFi testbed of Fig. 2.
+//
+//   [phone]~~~\                         /---[measurement server + netem]
+//   [load gen]~~~ (802.11g channel) [AP]---[switch]
+//   [sniffer A/B/C observe the channel]    \---[load server (UDP sink)]
+//
+// Everything is wired exactly as in the paper: the measurement server's
+// netem qdisc emulates the path RTT; the load generator is wireless and
+// pushes ten 2.5 Mbit/s UDP flows at the load server to congest the WLAN;
+// three sniffers capture every frame for the t_n vantage point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/layer_sample.hpp"
+#include "net/link.hpp"
+#include "net/server.hpp"
+#include "net/switch.hpp"
+#include "net/traffic_gen.hpp"
+#include "phone/profile.hpp"
+#include "phone/smartphone.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tools/tool.hpp"
+#include "wifi/access_point.hpp"
+#include "wifi/channel.hpp"
+#include "wifi/sniffer.hpp"
+#include "wifi/station.hpp"
+
+namespace acute::testbed {
+
+/// A plain wireless host (the load generator: a desktop WNIC with power
+/// save disabled, unlike the phones under test).
+class WirelessHost {
+ public:
+  WirelessHost(sim::Simulator& sim, wifi::Channel& channel, sim::Rng rng,
+               net::NodeId id, net::NodeId ap_id);
+
+  /// Sends a packet toward the AP after a small host-stack delay.
+  void transmit(net::Packet packet);
+
+  [[nodiscard]] wifi::Station& station() { return station_; }
+  [[nodiscard]] net::NodeId id() const { return id_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  net::NodeId id_;
+  wifi::Station station_;
+};
+
+struct TestbedConfig {
+  phone::PhoneProfile profile = phone::PhoneProfile::nexus5();
+  std::uint64_t seed = 42;
+  /// tc-netem delay on the measurement server (one-way, on its egress).
+  sim::Duration emulated_rtt = sim::Duration{};
+  sim::Duration netem_jitter = sim::Duration::from_ms(1.5);
+  /// Use the mixed-mode PHY (protection, degraded rate) — the §4.3
+  /// congested-WLAN configuration. Enable whenever cross traffic runs.
+  bool congested_phy = false;
+  std::size_t cross_connections = 10;
+  double cross_flow_mbps = 2.5;
+  bool send_ttl_exceeded = false;
+  /// Sniffer radiotap timestamp noise.
+  sim::Duration sniffer_noise = sim::Duration::micros(2);
+};
+
+class Testbed {
+ public:
+  // Flat addresses of the Fig. 2 devices.
+  static constexpr net::NodeId kPhoneId = 1;
+  static constexpr net::NodeId kApId = 2;
+  static constexpr net::NodeId kSwitchId = 3;
+  static constexpr net::NodeId kServerId = 4;
+  static constexpr net::NodeId kLoadGenId = 5;
+  static constexpr net::NodeId kLoadSinkId = 6;
+
+  explicit Testbed(TestbedConfig config = {});
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] phone::Smartphone& phone() { return *phone_; }
+  [[nodiscard]] net::EchoServer& server() { return *server_; }
+  [[nodiscard]] wifi::AccessPoint& ap() { return *ap_; }
+  [[nodiscard]] wifi::Channel& channel() { return *channel_; }
+  [[nodiscard]] net::UdpSink& load_sink() { return *load_sink_; }
+  [[nodiscard]] wifi::Sniffer& sniffer(std::size_t index) {
+    return *sniffers_.at(index);
+  }
+  [[nodiscard]] std::size_t sniffer_count() const { return sniffers_.size(); }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  /// Reconfigures the emulated path RTT (tc on the server).
+  void set_emulated_rtt(sim::Duration rtt);
+
+  /// Starts / stops the iPerf cross traffic (§4.3).
+  void start_cross_traffic();
+  void stop_cross_traffic();
+  [[nodiscard]] bool cross_traffic_running() const;
+  /// Goodput at the load server since cross traffic started, Mbit/s.
+  [[nodiscard]] double cross_traffic_throughput_mbps() const;
+
+  /// Runs the simulation forward so beacons, watchdogs and power-save
+  /// machinery reach steady state before an experiment.
+  void settle(sim::Duration span = sim::Duration::millis(600));
+
+  /// Drives the simulation until `tool` finishes (or `max_sim_time` of
+  /// simulated time elapses — a deadlock guard, not a normal exit).
+  void run_until_finished(tools::MeasurementTool& tool,
+                          sim::Duration max_sim_time =
+                              sim::Duration::seconds(3600));
+
+  /// Folds a tool run into per-probe multi-layer samples. Probes that timed
+  /// out or lack stamps are skipped. The reported (tool-level) RTT is used
+  /// as du, as in the paper's user-level vantage point.
+  [[nodiscard]] std::vector<core::LayerSample> layer_samples(
+      const tools::ToolRun& run) const;
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  std::unique_ptr<wifi::Channel> channel_;
+  std::unique_ptr<wifi::AccessPoint> ap_;
+  std::unique_ptr<net::Switch> switch_;
+  std::unique_ptr<net::EchoServer> server_;
+  std::unique_ptr<net::UdpSink> load_sink_;
+  std::unique_ptr<net::Link> ap_switch_link_;
+  std::unique_ptr<net::Link> switch_server_link_;
+  std::unique_ptr<net::Link> switch_sink_link_;
+  std::unique_ptr<WirelessHost> load_gen_;
+  std::unique_ptr<net::IperfLoadGenerator> iperf_;
+  std::unique_ptr<phone::Smartphone> phone_;
+  std::vector<std::unique_ptr<wifi::Sniffer>> sniffers_;
+  bool cross_running_ = false;
+};
+
+}  // namespace acute::testbed

@@ -1,0 +1,51 @@
+#include "testbed/trace_export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "net/packet.hpp"
+
+namespace acute::testbed {
+
+void TraceExport::write_captures_csv(
+    std::ostream& out, const std::vector<wifi::Sniffer::Capture>& captures) {
+  out << "time_us,packet_id,probe_id,type,transmitter,receiver,size_bytes,"
+         "collided\n";
+  for (const auto& capture : captures) {
+    out << capture.time.count_nanos() / 1000 << ',' << capture.packet_id
+        << ',' << capture.probe_id << ',' << net::to_string(capture.type)
+        << ',' << capture.transmitter << ',' << capture.receiver << ','
+        << capture.size_bytes << ',' << (capture.collided ? 1 : 0) << '\n';
+  }
+}
+
+void TraceExport::write_samples_csv(
+    std::ostream& out, const std::vector<core::LayerSample>& samples) {
+  out << "probe_id,du_ms,dk_ms,dv_ms,dn_ms,dvsend_ms,dvrecv_ms,du_k_ms,"
+         "dk_n_ms,total_overhead_ms\n";
+  out.setf(std::ios::fixed);
+  out.precision(4);
+  for (const auto& sample : samples) {
+    out << sample.probe_id << ',' << sample.du_ms << ',' << sample.dk_ms
+        << ',' << sample.dv_ms << ',' << sample.dn_ms << ','
+        << sample.dvsend_ms << ',' << sample.dvrecv_ms << ','
+        << sample.du_k() << ',' << sample.dk_n() << ','
+        << sample.total_overhead() << '\n';
+  }
+}
+
+std::string TraceExport::captures_csv(
+    const std::vector<wifi::Sniffer::Capture>& captures) {
+  std::ostringstream os;
+  write_captures_csv(os, captures);
+  return os.str();
+}
+
+std::string TraceExport::samples_csv(
+    const std::vector<core::LayerSample>& samples) {
+  std::ostringstream os;
+  write_samples_csv(os, samples);
+  return os.str();
+}
+
+}  // namespace acute::testbed

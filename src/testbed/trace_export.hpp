@@ -1,0 +1,36 @@
+// Trace export: dump sniffer captures and per-probe layer samples as CSV,
+// so results can be analysed outside the library (gnuplot, pandas) the way
+// the paper's authors post-processed their pcap files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/layer_sample.hpp"
+#include "wifi/sniffer.hpp"
+
+namespace acute::testbed {
+
+class TraceExport {
+ public:
+  /// Writes sniffer captures as CSV:
+  /// time_us,packet_id,probe_id,type,transmitter,receiver,size,collided
+  static void write_captures_csv(std::ostream& out,
+                                 const std::vector<wifi::Sniffer::Capture>&
+                                     captures);
+
+  /// Writes layer samples as CSV:
+  /// probe_id,du_ms,dk_ms,dv_ms,dn_ms,dvsend_ms,dvrecv_ms,du_k,dk_n,total
+  static void write_samples_csv(std::ostream& out,
+                                const std::vector<core::LayerSample>&
+                                    samples);
+
+  /// Convenience: render to a string (used by tests and small scripts).
+  [[nodiscard]] static std::string captures_csv(
+      const std::vector<wifi::Sniffer::Capture>& captures);
+  [[nodiscard]] static std::string samples_csv(
+      const std::vector<core::LayerSample>& samples);
+};
+
+}  // namespace acute::testbed

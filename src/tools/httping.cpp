@@ -1,0 +1,38 @@
+#include "tools/httping.hpp"
+
+namespace acute::tools {
+
+using net::PacketType;
+using net::Protocol;
+
+void HttPing::send_probe(int index) {
+  if (!connected_) {
+    // TCP handshake first; the HTTP request follows on the SYN-ACK.
+    net::Packet syn = new_probe(index, PacketType::tcp_syn, Protocol::tcp,
+                                net::packet_size::tcp_control);
+    send_packet(std::move(syn));
+    return;
+  }
+  net::Packet request =
+      new_probe(index, PacketType::http_request, Protocol::tcp,
+                net::packet_size::http_request);
+  send_packet(std::move(request));
+}
+
+std::optional<double> HttPing::on_probe_response(int index,
+                                                 const net::Packet& response,
+                                                 double raw_rtt_ms) {
+  if (response.type == PacketType::tcp_syn_ack) {
+    // Connection established: issue the HTTP request (same probe index,
+    // fresh probe clock — httping reports the HTTP exchange time).
+    connected_ = true;
+    net::Packet request =
+        new_probe(index, PacketType::http_request, Protocol::tcp,
+                  net::packet_size::http_request);
+    send_packet(std::move(request));
+    return std::nullopt;
+  }
+  return raw_rtt_ms;
+}
+
+}  // namespace acute::tools

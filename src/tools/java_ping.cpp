@@ -1,0 +1,20 @@
+#include "tools/java_ping.hpp"
+
+#include <cmath>
+
+namespace acute::tools {
+
+void JavaPing::send_probe(int index) {
+  net::Packet syn =
+      new_probe(index, net::PacketType::tcp_syn, net::Protocol::tcp,
+                net::packet_size::tcp_control);
+  send_packet(std::move(syn));
+}
+
+std::optional<double> JavaPing::on_probe_response(
+    int /*index*/, const net::Packet& /*response*/, double raw_rtt_ms) {
+  // System.currentTimeMillis() resolution.
+  return std::floor(raw_rtt_ms);
+}
+
+}  // namespace acute::tools

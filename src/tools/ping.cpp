@@ -1,0 +1,32 @@
+#include "tools/ping.hpp"
+
+#include <cmath>
+
+namespace acute::tools {
+
+double quantize_ping_output(double rtt_ms, double resolution_ms,
+                            bool integer_above_100) {
+  if (integer_above_100 && rtt_ms >= 100.0) {
+    // The fractional part is truncated, so the reported value can undershoot
+    // the kernel-level RTT (paper §3.1).
+    return std::floor(rtt_ms);
+  }
+  if (resolution_ms <= 0) return rtt_ms;
+  return std::floor(rtt_ms / resolution_ms) * resolution_ms;
+}
+
+void IcmpPing::send_probe(int index) {
+  net::Packet probe =
+      new_probe(index, net::PacketType::icmp_echo_request,
+                net::Protocol::icmp, net::packet_size::icmp_echo);
+  send_packet(std::move(probe));
+}
+
+std::optional<double> IcmpPing::on_probe_response(
+    int /*index*/, const net::Packet& /*response*/, double raw_rtt_ms) {
+  const auto& profile = phone().profile();
+  return quantize_ping_output(raw_rtt_ms, profile.ping_resolution_ms,
+                              profile.ping_integer_ms_above_100);
+}
+
+}  // namespace acute::tools

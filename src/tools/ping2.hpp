@@ -1,0 +1,77 @@
+// ping2 — Sui et al. [34], the closest prior mitigation the paper compares
+// against (§1). It measures from the *server side*: each round sends a
+// first ping to wake the phone, and on its reply immediately sends a second
+// ping whose RTT is reported.
+//
+// The paper's critique, which this implementation lets us validate
+// (bench_comparison_ping2): "ping2 can be used only for network paths with
+// short nRTT and cannot remove the inflations completely, because, when
+// nRTT is long, the device could fall back to the inactive state again
+// before it receives the response packet and starts the second ping."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/server.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::tools {
+
+class Ping2Prober {
+ public:
+  struct Config {
+    net::NodeId target = 0;   // the phone
+    int pairs = 100;          // probe pairs to send
+    sim::Duration pair_interval = sim::Duration::seconds(1);
+    sim::Duration timeout = sim::Duration::seconds(1);
+  };
+
+  struct Result {
+    /// RTTs of the first pings (pay the full wake-up penalty).
+    std::vector<double> first_rtts_ms;
+    /// RTTs of the second pings (what ping2 reports).
+    std::vector<double> second_rtts_ms;
+    std::size_t lost_pairs = 0;
+  };
+
+  Ping2Prober(sim::Simulator& sim, net::EchoServer& server, Config config);
+
+  Ping2Prober(const Ping2Prober&) = delete;
+  Ping2Prober& operator=(const Ping2Prober&) = delete;
+  ~Ping2Prober();
+
+  using DoneFn = std::function<void(const Result&)>;
+  void start(DoneFn done = nullptr);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const Result& result() const { return result_; }
+
+ private:
+  void launch_pair(int index);
+  void send_ping(int index, bool is_second);
+  void on_reply(const net::Packet& reply);
+  void on_timeout(std::uint64_t probe_id);
+  void complete_pair(int index, bool lost);
+
+  sim::Simulator* sim_;
+  net::EchoServer* server_;
+  Config config_;
+  struct Outstanding {
+    int index = 0;
+    bool is_second = false;
+    sim::TimePoint sent_at;
+    sim::EventHandle timeout;
+  };
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  int completed_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  Result result_;
+  DoneFn done_;
+};
+
+}  // namespace acute::tools

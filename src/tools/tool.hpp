@@ -1,0 +1,136 @@
+// Measurement-tool framework.
+//
+// A tool runs as a simulation process on a Smartphone: it emits probe
+// packets toward a target server, matches responses by probe id, applies its
+// own reporting quirks (quantization, runtime overheads) and produces a
+// ToolRun. Two probe schedules exist in the paper's tool zoo:
+//  * periodic  — ping-style: probes leave every `interval` regardless of
+//    outstanding responses;
+//  * sequential — httping/MobiPerf-style: the next probe waits for the
+//    previous response (or its timeout) plus the interval gap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "phone/smartphone.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::tools {
+
+/// One probe's outcome.
+struct ProbeRecord {
+  int index = 0;
+  /// RTT as the tool reports it (after quantization quirks), milliseconds.
+  double reported_rtt_ms = 0;
+  bool timed_out = false;
+  /// The response as delivered to the app, with all layer stamps. Empty on
+  /// timeout.
+  std::optional<net::Packet> response;
+};
+
+/// A completed tool execution.
+struct ToolRun {
+  std::string tool_name;
+  std::vector<ProbeRecord> probes;
+
+  /// Reported RTTs of the successful probes.
+  [[nodiscard]] std::vector<double> reported_rtts_ms() const;
+  [[nodiscard]] std::size_t loss_count() const;
+  [[nodiscard]] std::size_t success_count() const;
+};
+
+class MeasurementTool {
+ public:
+  struct Config {
+    int probe_count = 100;
+    /// Inter-probe interval (periodic) or inter-probe gap (sequential).
+    sim::Duration interval = sim::Duration::seconds(1);
+    sim::Duration timeout = sim::Duration::seconds(1);
+    net::NodeId target = 0;
+    bool sequential = false;
+  };
+
+  MeasurementTool(phone::Smartphone& phone, Config config);
+  virtual ~MeasurementTool();
+
+  MeasurementTool(const MeasurementTool&) = delete;
+  MeasurementTool& operator=(const MeasurementTool&) = delete;
+
+  using DoneFn = std::function<void(const ToolRun&)>;
+
+  /// Launches the probe schedule. `done` (optional) fires on completion.
+  void start(DoneFn done = nullptr);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const ToolRun& result() const { return run_; }
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ protected:
+  /// The runtime the tool's process executes in (native C by default).
+  [[nodiscard]] virtual phone::ExecMode exec_mode() const {
+    return phone::ExecMode::native_c;
+  }
+
+  /// Emits the probe exchange for `index`. Implementations build packets via
+  /// new_probe() and send them with send_packet(). The base class handles
+  /// matching, timeout and scheduling.
+  virtual void send_probe(int index) = 0;
+
+  /// Called when a response for `index` arrives; implementations return the
+  /// RTT the tool would *report* (quantization quirks applied), given the
+  /// raw measured value, or std::nullopt if the exchange continues (e.g.
+  /// httping's connect phase). Default: report the raw value.
+  virtual std::optional<double> on_probe_response(int index,
+                                                  const net::Packet& response,
+                                                  double raw_rtt_ms);
+
+  /// Creates a probe packet bound to this tool's flow and `index`.
+  [[nodiscard]] net::Packet new_probe(int index, net::PacketType type,
+                                      net::Protocol protocol,
+                                      std::uint32_t size_bytes);
+
+  /// Sends a packet through the phone in this tool's exec mode.
+  void send_packet(net::Packet packet);
+
+  /// Restarts probe `index`'s send clock (httping uses this so the reported
+  /// RTT covers only the HTTP exchange, not the preceding connect).
+  void restamp_probe_clock(int index);
+
+  [[nodiscard]] phone::Smartphone& phone() { return *phone_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+ private:
+  struct Outstanding {
+    int index = 0;
+    sim::TimePoint sent_at;
+    sim::EventHandle timeout;
+  };
+
+  void launch_probe(int index);
+  void handle_response(const net::Packet& response);
+  void handle_timeout(std::uint64_t probe_id);
+  void complete_probe(int index, ProbeRecord record);
+  void maybe_finish();
+
+  phone::Smartphone* phone_;
+  sim::Simulator* sim_;
+  Config config_;
+  std::uint32_t flow_id_ = 0;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;  // by probe_id
+  std::unordered_map<int, std::uint64_t> probe_of_index_;
+  int launched_ = 0;
+  int completed_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  ToolRun run_;
+  DoneFn done_;
+};
+
+}  // namespace acute::tools

@@ -1,0 +1,83 @@
+// 802.11 timing constants, PHY parameter sets and airtime arithmetic.
+//
+// The testbed AP is an 802.11g NETGEAR WNDR3800 (paper §2.2) with the stock
+// 100 TU beacon interval (1 TU = 1.024 ms), which is why PSM can inflate an
+// nRTT by ~102.4 ms per skipped listen interval (§3.2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace acute::wifi {
+
+/// One 802.11 Time Unit: 1.024 ms.
+inline constexpr sim::Duration kTimeUnit = sim::Duration::micros(1024);
+
+/// Beacon period in TUs (standard default, used by the paper's AP).
+inline constexpr int kBeaconIntervalTu = 100;
+
+/// Beacon period: 102.4 ms.
+[[nodiscard]] constexpr sim::Duration beacon_interval() {
+  return kTimeUnit * kBeaconIntervalTu;
+}
+
+/// 802.11 ACK / CTS control frame size in bytes.
+inline constexpr std::uint32_t kAckBytes = 14;
+
+/// PHY / MAC parameters that shape medium-access timing.
+struct PhyParams {
+  double data_rate_mbps = 54.0;   // unicast data frames
+  double basic_rate_mbps = 6.0;   // control frames, beacons
+  sim::Duration slot = sim::Duration::micros(9);
+  sim::Duration sifs = sim::Duration::micros(10);
+  sim::Duration difs = sim::Duration::micros(28);
+  sim::Duration preamble = sim::Duration::micros(20);
+  int cw_min = 15;    // initial contention window (slots)
+  int cw_max = 1023;  // cap after collisions
+  int retry_limit = 7;
+  /// CTS-to-self protection before every data frame (802.11b/g mixed mode).
+  bool cts_to_self = false;
+};
+
+/// Pure-802.11g parameters (clean testbed, no legacy stations).
+[[nodiscard]] constexpr PhyParams phy_802_11g() { return PhyParams{}; }
+
+/// Mixed b/g parameters used for the congested-network experiments (§4.3):
+/// protection on, longer slots, and a contention-degraded data rate. With
+/// these parameters ten 2.5 Mbit/s UDP flows saturate the medium near the
+/// ~10 Mbit/s the paper measured.
+[[nodiscard]] constexpr PhyParams phy_802_11g_mixed() {
+  PhyParams p;
+  p.data_rate_mbps = 18.0;
+  p.basic_rate_mbps = 6.0;
+  p.slot = sim::Duration::micros(20);
+  p.difs = sim::Duration::micros(50);
+  p.cts_to_self = true;
+  return p;
+}
+
+/// Transmission time of `size_bytes` at `rate_mbps`, excluding the preamble.
+[[nodiscard]] inline sim::Duration payload_airtime(std::uint32_t size_bytes,
+                                                   double rate_mbps) {
+  return sim::Duration::from_us(double(size_bytes) * 8.0 / rate_mbps);
+}
+
+/// Full frame airtime: preamble + payload at the given rate.
+[[nodiscard]] inline sim::Duration frame_airtime(const PhyParams& phy,
+                                                 std::uint32_t size_bytes,
+                                                 double rate_mbps) {
+  return phy.preamble + payload_airtime(size_bytes, rate_mbps);
+}
+
+/// ACK frame airtime (control frames go at the basic rate).
+[[nodiscard]] inline sim::Duration ack_airtime(const PhyParams& phy) {
+  return frame_airtime(phy, kAckBytes, phy.basic_rate_mbps);
+}
+
+/// CTS-to-self time including the SIFS gap to the protected frame.
+[[nodiscard]] inline sim::Duration cts_to_self_airtime(const PhyParams& phy) {
+  return frame_airtime(phy, kAckBytes, phy.basic_rate_mbps) + phy.sifs;
+}
+
+}  // namespace acute::wifi

@@ -1,0 +1,33 @@
+#include "wifi/radio.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::wifi {
+
+Radio::Radio(Channel& channel, net::NodeId owner)
+    : channel_(&channel), owner_(owner) {
+  channel.attach_radio(*this);
+}
+
+void Radio::enqueue(net::Packet packet, net::NodeId receiver) {
+  if (queue_.size() >= queue_limit_) {
+    ++dropped_count_;
+    return;  // tail drop under saturation
+  }
+  queue_.push_back(QueuedFrame{std::move(packet), receiver, false, 0});
+  channel_->notify_backlog(*this);
+}
+
+void Radio::enqueue_priority(net::Packet packet, net::NodeId receiver) {
+  if (queue_.size() >= queue_limit_) {
+    ++dropped_count_;
+    return;
+  }
+  // Priority frames (beacons) jump the queue and skip backoff once.
+  queue_.push_front(QueuedFrame{std::move(packet), receiver, true, 0});
+  channel_->notify_backlog(*this);
+}
+
+}  // namespace acute::wifi

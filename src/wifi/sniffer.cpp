@@ -1,0 +1,51 @@
+#include "wifi/sniffer.hpp"
+
+#include <utility>
+
+namespace acute::wifi {
+
+using sim::Duration;
+
+Sniffer::Sniffer(std::string name, sim::Rng rng, Duration timestamp_noise)
+    : name_(std::move(name)), rng_(std::move(rng)), noise_(timestamp_noise) {}
+
+void Sniffer::on_frame(const Frame& frame) {
+  Capture capture;
+  capture.packet_id = frame.packet.id;
+  capture.probe_id = frame.packet.probe_id;
+  capture.type = frame.packet.type;
+  capture.transmitter = frame.transmitter;
+  capture.receiver = frame.receiver;
+  capture.size_bytes = frame.packet.size_bytes;
+  capture.time = frame.tx_start;
+  if (!noise_.is_zero()) {
+    capture.time += rng_.uniform_duration(-noise_, noise_);
+  }
+  capture.collided = frame.collided;
+  if (!capture.collided) {
+    first_clean_index_.try_emplace(capture.packet_id, captures_.size());
+  }
+  captures_.push_back(std::move(capture));
+}
+
+std::optional<sim::TimePoint> Sniffer::air_time_of(
+    std::uint64_t packet_id) const {
+  const auto it = first_clean_index_.find(packet_id);
+  if (it == first_clean_index_.end()) return std::nullopt;
+  return captures_[it->second].time;
+}
+
+std::size_t Sniffer::count_of(net::PacketType type) const {
+  std::size_t count = 0;
+  for (const Capture& capture : captures_) {
+    if (!capture.collided && capture.type == type) ++count;
+  }
+  return count;
+}
+
+void Sniffer::clear() {
+  captures_.clear();
+  first_clean_index_.clear();
+}
+
+}  // namespace acute::wifi

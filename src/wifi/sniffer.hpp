@@ -1,0 +1,62 @@
+// Passive wireless sniffer (§2.2 uses three, placed 0.5 m from the phone).
+//
+// Captures every frame on the medium, including frames a dozing station
+// cannot hear. The testbed derives t_n — and hence dn = t_n^i - t_n^o — from
+// these captures, exactly as the paper estimates PHY timestamps externally.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "wifi/channel.hpp"
+
+namespace acute::wifi {
+
+class Sniffer : public MediumObserver {
+ public:
+  struct Capture {
+    std::uint64_t packet_id = 0;
+    std::uint64_t probe_id = 0;
+    net::PacketType type = net::PacketType::udp_data;
+    net::NodeId transmitter = 0;
+    net::NodeId receiver = 0;
+    std::uint32_t size_bytes = 0;
+    sim::TimePoint time;  // capture timestamp (frame TX start + noise)
+    bool collided = false;
+  };
+
+  /// `timestamp_noise` models radiotap clock error: each capture time is
+  /// perturbed by U(-noise, +noise). Zero by default.
+  Sniffer(std::string name, sim::Rng rng,
+          sim::Duration timestamp_noise = sim::Duration{});
+
+  void on_frame(const Frame& frame) override;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Capture>& captures() const {
+    return captures_;
+  }
+
+  /// Capture time of the first clean (non-collided) transmission of the
+  /// packet with this id, if seen.
+  [[nodiscard]] std::optional<sim::TimePoint> air_time_of(
+      std::uint64_t packet_id) const;
+
+  /// Number of clean captures of the given type.
+  [[nodiscard]] std::size_t count_of(net::PacketType type) const;
+
+  void clear();
+
+ private:
+  std::string name_;
+  sim::Rng rng_;
+  sim::Duration noise_;
+  std::vector<Capture> captures_;
+  std::unordered_map<std::uint64_t, std::size_t> first_clean_index_;
+};
+
+}  // namespace acute::wifi

@@ -1,0 +1,161 @@
+// Cellular RRC substrate (§4.1's extension target): state transitions,
+// promotion costs, demotion timers, and the warm-up mitigation.
+#include <gtest/gtest.h>
+
+#include "cellular/cellular_probe.hpp"
+#include "cellular/rrc.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+
+namespace acute::cellular {
+namespace {
+
+using namespace acute::sim::literals;
+using sim::Duration;
+using sim::Simulator;
+
+struct RrcFixture {
+  Simulator sim;
+  RrcConfig config = RrcConfig::umts_3g();
+  RrcMachine rrc{sim, sim::Rng(3), config};
+};
+
+TEST(RrcMachine, StartsIdle) {
+  RrcFixture f;
+  EXPECT_EQ(f.rrc.state(), RrcState::idle);
+  EXPECT_EQ(f.rrc.promotions(), 0u);
+}
+
+TEST(RrcMachine, FirstTransmitPaysIdlePromotion) {
+  RrcFixture f;
+  const Duration wait = f.rrc.request_transmit(400);
+  EXPECT_GE(wait, f.config.idle_to_dch - f.config.promotion_jitter);
+  EXPECT_LE(wait, f.config.idle_to_dch + f.config.promotion_jitter);
+  EXPECT_EQ(f.rrc.state(), RrcState::cell_dch);
+  EXPECT_EQ(f.rrc.promotions(), 1u);
+}
+
+TEST(RrcMachine, TransmitInDchIsFreeOncePromoted) {
+  RrcFixture f;
+  const Duration first = f.rrc.request_transmit(400);
+  f.sim.run_for(first + 10_ms);
+  EXPECT_EQ(f.rrc.request_transmit(400), Duration{});
+}
+
+TEST(RrcMachine, ConcurrentTransmitJoinsPromotion) {
+  RrcFixture f;
+  const Duration first = f.rrc.request_transmit(400);
+  f.sim.run_for(500_ms);
+  const Duration second = f.rrc.request_transmit(400);
+  EXPECT_EQ(second, first - 500_ms);
+  EXPECT_EQ(f.rrc.promotions(), 1u);
+}
+
+TEST(RrcMachine, DemotesDchToFachToIdle) {
+  RrcFixture f;
+  const Duration wait = f.rrc.request_transmit(400);
+  f.sim.run_for(wait + 10_ms);
+  ASSERT_EQ(f.rrc.state(), RrcState::cell_dch);
+  // DCH inactivity (5 s) then FACH inactivity (12 s).
+  f.sim.run_for(f.config.dch_inactivity + 100_ms);
+  EXPECT_EQ(f.rrc.state(), RrcState::cell_fach);
+  f.sim.run_for(f.config.fach_inactivity + 100_ms);
+  EXPECT_EQ(f.rrc.state(), RrcState::idle);
+  EXPECT_EQ(f.rrc.demotions(), 2u);
+}
+
+TEST(RrcMachine, ActivityHoldsDch) {
+  RrcFixture f;
+  const Duration wait = f.rrc.request_transmit(400);
+  f.sim.run_for(wait + 10_ms);
+  // Keep-alives every 2 s << 5 s inactivity.
+  for (int i = 0; i < 10; ++i) {
+    f.sim.run_for(2_s);
+    (void)f.rrc.request_transmit(400);
+  }
+  EXPECT_EQ(f.rrc.state(), RrcState::cell_dch);
+  EXPECT_EQ(f.rrc.demotions(), 0u);
+}
+
+TEST(RrcMachine, SmallPacketsRideFachWithoutPromotion) {
+  RrcFixture f;
+  const Duration wait = f.rrc.request_transmit(400);
+  f.sim.run_for(wait + f.config.dch_inactivity + 100_ms);
+  ASSERT_EQ(f.rrc.state(), RrcState::cell_fach);
+  // Below the threshold: no promotion, no extra wait.
+  EXPECT_EQ(f.rrc.request_transmit(64), Duration{});
+  EXPECT_EQ(f.rrc.state(), RrcState::cell_fach);
+}
+
+TEST(RrcMachine, LargePacketInFachPromotes) {
+  RrcFixture f;
+  const Duration wait = f.rrc.request_transmit(400);
+  f.sim.run_for(wait + f.config.dch_inactivity + 100_ms);
+  ASSERT_EQ(f.rrc.state(), RrcState::cell_fach);
+  const Duration promo = f.rrc.request_transmit(400);
+  EXPECT_GE(promo, f.config.fach_to_dch - f.config.promotion_jitter);
+  EXPECT_LE(promo, f.config.fach_to_dch + f.config.promotion_jitter);
+  EXPECT_EQ(f.rrc.state(), RrcState::cell_dch);
+}
+
+TEST(RrcMachine, StateLatencyReflectsState) {
+  RrcFixture f;
+  EXPECT_EQ(f.rrc.state_latency(), f.config.fach_latency);  // idle: FACH-ish
+  const Duration wait = f.rrc.request_transmit(400);
+  f.sim.run_for(wait + 10_ms);
+  EXPECT_EQ(f.rrc.state_latency(), f.config.dch_latency);
+}
+
+TEST(RrcMachine, StateNames) {
+  EXPECT_STREQ(to_string(RrcState::idle), "IDLE");
+  EXPECT_STREQ(to_string(RrcState::cell_fach), "CELL_FACH");
+  EXPECT_STREQ(to_string(RrcState::cell_dch), "CELL_DCH");
+}
+
+TEST(RrcConfig, LtePromotesFasterThan3g) {
+  EXPECT_LT(RrcConfig::lte().idle_to_dch, RrcConfig::umts_3g().idle_to_dch);
+}
+
+TEST(CellularProbeSession, NaiveProbesPayPromotion) {
+  CellularProbeSession::Spec spec;
+  spec.probes = 10;
+  spec.keep_awake = false;
+  spec.probe_interval = spec.rrc.dch_inactivity + spec.rrc.fach_inactivity +
+                        2_s;  // radio fully idles between probes
+  const auto rtts = CellularProbeSession::run(spec);
+  ASSERT_EQ(rtts.size(), 10u);
+  // Every probe pays ~2 s of promotion on top of the 50 ms core RTT.
+  for (const double rtt : rtts) {
+    EXPECT_GT(rtt, 1500.0);
+  }
+}
+
+TEST(CellularProbeSession, WarmedProbesSeeCoreRtt) {
+  CellularProbeSession::Spec spec;
+  spec.probes = 10;
+  spec.keep_awake = true;
+  spec.probe_interval = 3_s;  // < DCH inactivity with keep-alives anyway
+  const auto rtts = CellularProbeSession::run(spec);
+  ASSERT_EQ(rtts.size(), 10u);
+  const double median = stats::Summary(rtts).median();
+  EXPECT_NEAR(median, 52.0, 6.0);  // core RTT + DCH latency only
+}
+
+TEST(CellularProbeSession, MitigationFactorIsLarge) {
+  CellularProbeSession::Spec naive;
+  naive.probes = 8;
+  naive.keep_awake = false;
+  naive.probe_interval = naive.rrc.dch_inactivity +
+                         naive.rrc.fach_inactivity + 2_s;
+  CellularProbeSession::Spec warmed = naive;
+  warmed.keep_awake = true;
+  warmed.probe_interval = 3_s;
+  const double naive_median =
+      stats::Summary(CellularProbeSession::run(naive)).median();
+  const double warmed_median =
+      stats::Summary(CellularProbeSession::run(warmed)).median();
+  EXPECT_GT(naive_median / warmed_median, 10.0);
+}
+
+}  // namespace
+}  // namespace acute::cellular

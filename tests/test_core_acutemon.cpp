@@ -1,0 +1,185 @@
+// AcuteMon behaviour (§4.1) and its headline accuracy property (§4.2):
+// warm-up timing, background cadence, TTL=1 containment, and the
+// <3 ms median overhead across handsets and path lengths.
+#include <gtest/gtest.h>
+
+#include "core/acutemon.hpp"
+#include "core/layer_sample.hpp"
+#include "stats/summary.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/testbed.hpp"
+
+namespace acute::core {
+namespace {
+
+using namespace acute::sim::literals;
+using sim::Duration;
+using testbed::Testbed;
+
+tools::MeasurementTool::Config mt_config(int probes) {
+  tools::MeasurementTool::Config config;
+  config.probe_count = probes;
+  config.timeout = 1_s;
+  config.target = Testbed::kServerId;
+  return config;
+}
+
+TEST(AcuteMon, WarmupPrecedesFirstProbeByDpre) {
+  testbed::TestbedConfig tb_config;
+  tb_config.emulated_rtt = 30_ms;
+  Testbed testbed(tb_config);
+  testbed.settle(800_ms);
+  AcuteMon monitor(testbed.phone(), mt_config(5));
+  const auto start = testbed.simulator().now();
+  monitor.start_measurement();
+  EXPECT_TRUE(monitor.warmup_sent());
+  testbed.run_until_finished(monitor);
+  // First probe left dpre = 20 ms after the warm-up.
+  const auto samples = testbed.layer_samples(monitor.result());
+  ASSERT_FALSE(samples.empty());
+  const auto& first = monitor.result().probes.front();
+  ASSERT_TRUE(first.response.has_value());
+  const auto app_send = first.response->request_stamps->app_send;
+  ASSERT_TRUE(app_send.has_value());
+  EXPECT_NEAR((*app_send - start).to_ms(), 20.0, 0.5);
+}
+
+TEST(AcuteMon, BackgroundCadenceMatchesPaperEstimate) {
+  // §4.1: K = 5 probes on a 100 ms path -> ~25 background packets.
+  testbed::TestbedConfig tb_config;
+  tb_config.emulated_rtt = 100_ms;
+  Testbed testbed(tb_config);
+  testbed.settle(800_ms);
+  AcuteMon monitor(testbed.phone(), mt_config(5));
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  EXPECT_NEAR(double(monitor.background_packets_sent()), 25.0, 6.0);
+}
+
+TEST(AcuteMon, KeepAlivesDieAtTheGateway) {
+  testbed::TestbedConfig tb_config;
+  tb_config.emulated_rtt = 50_ms;
+  Testbed testbed(tb_config);
+  testbed.phone().set_system_traffic_enabled(false);
+  testbed.settle(800_ms);
+  const auto drops_before = testbed.ap().ttl_drops();
+  const auto served_before = testbed.server().requests_served();
+  AcuteMon monitor(testbed.phone(), mt_config(10));
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  // warm-up + every background packet died at the AP...
+  EXPECT_EQ(testbed.ap().ttl_drops() - drops_before,
+            1 + monitor.background_packets_sent());
+  // ...and the server saw exactly the K probes.
+  EXPECT_EQ(testbed.server().requests_served() - served_before, 10u);
+}
+
+TEST(AcuteMon, PhoneNeverDozesDuringMeasurement) {
+  testbed::TestbedConfig tb_config;
+  tb_config.profile = phone::PhoneProfile::nexus4();  // Tip ~40 ms
+  tb_config.emulated_rtt = 135_ms;                    // longer than Tip
+  Testbed testbed(tb_config);
+  testbed.settle(800_ms);
+  const auto dozes_before = testbed.phone().station().doze_count();
+  const auto sleeps_before = testbed.phone().bus().sleep_count();
+  AcuteMon monitor(testbed.phone(), mt_config(30));
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  EXPECT_EQ(testbed.phone().station().doze_count(), dozes_before);
+  EXPECT_EQ(testbed.phone().bus().sleep_count(), sleeps_before);
+}
+
+TEST(AcuteMon, BackgroundStopsWithMeasurement) {
+  Testbed testbed;
+  testbed.settle(800_ms);
+  AcuteMon monitor(testbed.phone(), mt_config(3));
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  const auto sent_at_finish = monitor.background_packets_sent();
+  testbed.settle(1_s);
+  EXPECT_LE(monitor.background_packets_sent(), sent_at_finish + 1);
+}
+
+TEST(AcuteMon, DisabledBackgroundSendsNone) {
+  Testbed testbed;
+  testbed.settle(800_ms);
+  AcuteMon::Options options;
+  options.background_enabled = false;
+  AcuteMon monitor(testbed.phone(), mt_config(5), options);
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  EXPECT_EQ(monitor.background_packets_sent(), 0u);
+  EXPECT_TRUE(monitor.warmup_sent());
+}
+
+TEST(AcuteMon, HttpProbeMethodWorks) {
+  testbed::TestbedConfig tb_config;
+  tb_config.emulated_rtt = 30_ms;
+  Testbed testbed(tb_config);
+  testbed.settle(800_ms);
+  AcuteMon::Options options;
+  options.method = AcuteMon::ProbeMethod::http;
+  AcuteMon monitor(testbed.phone(), mt_config(5), options);
+  monitor.start_measurement();
+  testbed.run_until_finished(monitor);
+  for (const auto& probe : monitor.result().probes) {
+    ASSERT_TRUE(probe.response.has_value());
+    EXPECT_EQ(probe.response->type, net::PacketType::http_response);
+  }
+}
+
+TEST(AcuteMon, OptionContracts) {
+  Testbed testbed;
+  AcuteMon::Options options;
+  options.warmup_lead = Duration{};
+  EXPECT_THROW(AcuteMon(testbed.phone(), mt_config(5), options),
+               sim::ContractViolation);
+  options.warmup_lead = 20_ms;
+  options.background_interval = Duration{};
+  EXPECT_THROW(AcuteMon(testbed.phone(), mt_config(5), options),
+               sim::ContractViolation);
+}
+
+// ---- The headline property (§4.2.2): for every handset and every path
+// length, AcuteMon's median total overhead stays within 3 ms (4 ms for the
+// slow single-core Xperia J whose driver costs reach that level), and the
+// overhead is independent of the emulated RTT.
+struct AccuracyCase {
+  int phone_index;
+  int rtt_ms;
+};
+
+class AcuteMonAccuracy : public ::testing::TestWithParam<AccuracyCase> {};
+
+TEST_P(AcuteMonAccuracy, MedianOverheadWithinPaperBound) {
+  const auto param = GetParam();
+  const auto profile = phone::PhoneProfile::all()[param.phone_index];
+  testbed::Experiment::AcuteMonSpec spec;
+  spec.profile = profile;
+  spec.emulated_rtt = Duration::millis(param.rtt_ms);
+  spec.probes = 60;
+  spec.seed = 42 + param.phone_index * 10 + param.rtt_ms;
+  const auto result = testbed::Experiment::acutemon(spec);
+
+  ASSERT_GE(result.samples.size(), 55u);
+  const stats::Summary overhead(
+      result.values(&LayerSample::total_overhead));
+  const double bound = profile.name == "Sony Xperia J" ? 4.5 : 3.0;
+  EXPECT_LT(overhead.median(), bound) << profile.name;
+  EXPECT_GE(overhead.median(), 0.0) << profile.name;
+
+  // dn itself stays glued to the emulated value (Table 5).
+  const stats::Summary dn(result.values(&LayerSample::dn_ms));
+  EXPECT_NEAR(dn.mean(), param.rtt_ms, 3.0) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhonesByRtt, AcuteMonAccuracy,
+    ::testing::Values(AccuracyCase{0, 20}, AccuracyCase{0, 135},
+                      AccuracyCase{1, 20}, AccuracyCase{1, 135},
+                      AccuracyCase{2, 20}, AccuracyCase{2, 135},
+                      AccuracyCase{3, 20}, AccuracyCase{3, 135},
+                      AccuracyCase{4, 20}, AccuracyCase{4, 135}));
+
+}  // namespace
+}  // namespace acute::core

@@ -1,0 +1,140 @@
+// Black-box timeout inference, exercised against synthetic oracles (fast,
+// exact) — the full-testbed inference is covered by the Table 4 bench and
+// the integration tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/timeout_prober.hpp"
+#include "sim/contracts.hpp"
+#include "sim/random.hpp"
+#include "wifi/constants.hpp"
+
+namespace acute::core {
+namespace {
+
+using sim::Duration;
+
+TimeoutProber::Config fast_config() {
+  TimeoutProber::Config config;
+  config.min = Duration::millis(10);
+  config.max = Duration::millis(600);
+  config.resolution = Duration::millis(5);
+  config.probes_per_point = 9;
+  return config;
+}
+
+/// Oracle for a phone with the given Tip: paths longer than Tip return
+/// beacon-inflated RTTs, shorter ones return the RTT plus small noise.
+TimeoutProber::RttProbeFn psm_oracle(double tip_ms, double wake_ms = 10.0) {
+  return [tip_ms, wake_ms](Duration rtt, int n) {
+    // fork() decorrelates streams built from nearby integer seeds.
+    sim::Rng rng = sim::Rng(std::llround(rtt.to_ms())).fork("psm-oracle");
+    std::vector<double> rtts;
+    for (int i = 0; i < n; ++i) {
+      double value = rtt.to_ms() + wake_ms + rng.uniform(0.0, 2.0);
+      if (rtt.to_ms() > tip_ms) {
+        // PSM buffering: wait for a beacon, median ~half an interval.
+        value += rng.uniform(0.2, 0.8) * wifi::beacon_interval().to_ms();
+      }
+      rtts.push_back(value);
+    }
+    return rtts;
+  };
+}
+
+TEST(TimeoutProber, InfersPsmTimeoutWithinResolution) {
+  for (const double tip : {40.0, 205.0, 400.0}) {
+    const Duration inferred =
+        TimeoutProber::infer_psm_timeout(psm_oracle(tip), fast_config());
+    EXPECT_NEAR(inferred.to_ms(), tip, 7.5) << "tip=" << tip;
+  }
+}
+
+TEST(TimeoutProber, PsmBoundaryCases) {
+  // Always inflated -> returns the lower bound.
+  const Duration low =
+      TimeoutProber::infer_psm_timeout(psm_oracle(1.0), fast_config());
+  EXPECT_EQ(low, fast_config().min);
+  // Never inflated -> returns the upper bound.
+  const Duration high =
+      TimeoutProber::infer_psm_timeout(psm_oracle(10'000.0), fast_config());
+  EXPECT_EQ(high, fast_config().max);
+}
+
+TEST(TimeoutProber, PsmRobustToBusWakeInflation) {
+  // A Broadcom-sized bus wake (~22 ms) must not read as PSM inflation.
+  const Duration inferred = TimeoutProber::infer_psm_timeout(
+      psm_oracle(205.0, 22.0), fast_config());
+  EXPECT_NEAR(inferred.to_ms(), 205.0, 7.5);
+}
+
+/// Oracle for the bus-sleep sweep: gaps longer than Tis pay the wake.
+TimeoutProber::GapProbeFn bus_oracle(double tis_ms, double wake_ms = 10.0) {
+  return [tis_ms, wake_ms](Duration gap, int n) {
+    sim::Rng rng = sim::Rng(std::llround(gap.to_ms())).fork("bus-oracle");
+    std::vector<double> rtts;
+    for (int i = 0; i < n; ++i) {
+      double value = 5.0 + rng.uniform(0.0, 0.5);
+      if (gap.to_ms() > tis_ms) value += wake_ms + rng.uniform(-1.0, 1.0);
+      rtts.push_back(value);
+    }
+    return rtts;
+  };
+}
+
+TEST(TimeoutProber, InfersBusSleepTimeout) {
+  for (const double tis : {50.0, 120.0}) {
+    const Duration inferred =
+        TimeoutProber::infer_bus_sleep_timeout(bus_oracle(tis), fast_config());
+    EXPECT_NEAR(inferred.to_ms(), tis, 7.5) << "tis=" << tis;
+  }
+}
+
+TEST(TimeoutProber, BusSleepSmallWakeStillDetected) {
+  // Qualcomm-sized wake (~4.5 ms) is above the 2.5 ms detection threshold.
+  const Duration inferred = TimeoutProber::infer_bus_sleep_timeout(
+      bus_oracle(50.0, 4.5), fast_config());
+  EXPECT_NEAR(inferred.to_ms(), 50.0, 7.5);
+}
+
+TEST(TimeoutProber, BusSleepNeverInflatedReturnsMax) {
+  const Duration inferred = TimeoutProber::infer_bus_sleep_timeout(
+      bus_oracle(10'000.0), fast_config());
+  EXPECT_EQ(inferred, fast_config().max);
+}
+
+TEST(TimeoutProber, ListenIntervalFromPsmDelays) {
+  // All delays below one beacon interval -> L = 0.
+  EXPECT_EQ(TimeoutProber::infer_actual_listen_interval(
+                {10.0, 50.0, 95.0, 101.0}),
+            0);
+  // Delays spanning up to two intervals -> L = 1.
+  std::vector<double> two_cycles;
+  for (int i = 0; i < 20; ++i) two_cycles.push_back(10.0 + i * 10.0);
+  EXPECT_EQ(TimeoutProber::infer_actual_listen_interval(two_cycles), 1);
+}
+
+TEST(TimeoutProber, ListenIntervalRobustToOccasionalMiss) {
+  // 85% of waits within one cycle, 15% in the second (missed TIMs): the
+  // P80-based estimate still reports L = 0.
+  std::vector<double> delays;
+  for (int i = 0; i < 85; ++i) delays.push_back(5.0 + i);  // <= 90 ms
+  for (int i = 0; i < 15; ++i) delays.push_back(110.0 + i);
+  EXPECT_EQ(TimeoutProber::infer_actual_listen_interval(delays), 0);
+}
+
+TEST(TimeoutProber, ContractChecks) {
+  EXPECT_THROW((void)TimeoutProber::infer_psm_timeout(nullptr, fast_config()),
+               sim::ContractViolation);
+  TimeoutProber::Config bad = fast_config();
+  bad.min = bad.max;
+  EXPECT_THROW(
+      (void)TimeoutProber::infer_psm_timeout(psm_oracle(100.0), bad),
+      sim::ContractViolation);
+  EXPECT_THROW((void)TimeoutProber::infer_actual_listen_interval({}),
+               sim::ContractViolation);
+}
+
+}  // namespace
+}  // namespace acute::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace acute::net {
+namespace {
+
+TEST(Packet, MakeAssignsFreshIds) {
+  const Packet a = Packet::make(PacketType::udp_data, Protocol::udp, 1, 2, 64);
+  const Packet b = Packet::make(PacketType::udp_data, Protocol::udp, 1, 2, 64);
+  EXPECT_NE(a.id, 0u);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(a.src, 1u);
+  EXPECT_EQ(a.dst, 2u);
+  EXPECT_EQ(a.size_bytes, 64u);
+  EXPECT_EQ(a.ttl, 64);  // default IP TTL
+  EXPECT_EQ(a.probe_id, 0u);
+}
+
+TEST(Packet, MakeResponseSwapsEndpoints) {
+  Packet request =
+      Packet::make(PacketType::tcp_syn, Protocol::tcp, 10, 20, 60);
+  request.probe_id = 777;
+  request.flow_id = 5;
+  request.stamps.app_send = sim::TimePoint::from_nanos(123);
+
+  const Packet response =
+      Packet::make_response(request, PacketType::tcp_syn_ack, 60);
+  EXPECT_EQ(response.src, 20u);
+  EXPECT_EQ(response.dst, 10u);
+  EXPECT_EQ(response.probe_id, 777u);
+  EXPECT_EQ(response.flow_id, 5u);
+  EXPECT_EQ(response.protocol, Protocol::tcp);
+  EXPECT_NE(response.id, request.id);
+}
+
+TEST(Packet, MakeResponseCarriesRequestStamps) {
+  Packet request =
+      Packet::make(PacketType::icmp_echo_request, Protocol::icmp, 1, 2, 84);
+  request.stamps.app_send = sim::TimePoint::from_nanos(1000);
+  request.stamps.air = sim::TimePoint::from_nanos(2000);
+  const Packet response =
+      Packet::make_response(request, PacketType::icmp_echo_reply, 84);
+  ASSERT_NE(response.request_stamps, nullptr);
+  EXPECT_EQ(response.request_stamps->app_send->count_nanos(), 1000);
+  EXPECT_EQ(response.request_stamps->air->count_nanos(), 2000);
+  // The response's own stamps start clean.
+  EXPECT_FALSE(response.stamps.app_send.has_value());
+}
+
+TEST(Packet, BroadcastDetection) {
+  Packet beacon = Packet::make(PacketType::wifi_beacon, Protocol::wifi_mgmt,
+                               2, kBroadcastId, 96);
+  EXPECT_TRUE(beacon.is_broadcast());
+  EXPECT_TRUE(beacon.is_wifi_control());
+  const Packet data = Packet::make(PacketType::udp_data, Protocol::udp, 1, 2,
+                                   100);
+  EXPECT_FALSE(data.is_broadcast());
+  EXPECT_FALSE(data.is_wifi_control());
+}
+
+TEST(Packet, DescribeMentionsKeyFields) {
+  Packet pkt = Packet::make(PacketType::tcp_syn, Protocol::tcp, 3, 4, 60);
+  pkt.probe_id = 9;
+  pkt.ttl = 1;
+  const std::string text = pkt.describe();
+  EXPECT_NE(text.find("tcp_syn"), std::string::npos);
+  EXPECT_NE(text.find("3->4"), std::string::npos);
+  EXPECT_NE(text.find("ttl=1"), std::string::npos);
+  EXPECT_NE(text.find("probe=9"), std::string::npos);
+}
+
+TEST(PacketType, ToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(PacketType::icmp_echo_request), "icmp_echo_request");
+  EXPECT_STREQ(to_string(PacketType::udp_warmup), "udp_warmup");
+  EXPECT_STREQ(to_string(PacketType::wifi_ps_poll), "wifi_ps_poll");
+  EXPECT_STREQ(to_string(Protocol::icmp), "icmp");
+  EXPECT_STREQ(to_string(Protocol::wifi_mgmt), "wifi_mgmt");
+}
+
+TEST(PacketSizes, MatchToolExpectations) {
+  EXPECT_EQ(packet_size::icmp_echo, 84u);    // 56B payload + IP/ICMP headers
+  EXPECT_LT(packet_size::udp_small, 64u);    // AcuteMon keep-alives are tiny
+  EXPECT_GT(packet_size::udp_iperf, 1400u);  // iPerf datagrams near MTU
+}
+
+}  // namespace
+}  // namespace acute::net

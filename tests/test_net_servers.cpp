@@ -1,0 +1,210 @@
+// EchoServer (measurement server + netem) and the iPerf-like load pieces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/server.hpp"
+#include "net/traffic_gen.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::net {
+namespace {
+
+using namespace acute::sim::literals;
+using sim::Duration;
+using sim::Simulator;
+
+class CaptureNode : public Node {
+ public:
+  CaptureNode(Simulator& sim, NodeId id) : sim_(&sim), id_(id) {}
+  void receive(Packet packet, Link*) override {
+    packets.push_back(std::move(packet));
+    times.push_back(sim_->now());
+  }
+  [[nodiscard]] NodeId id() const override { return id_; }
+  std::vector<Packet> packets;
+  std::vector<sim::TimePoint> times;
+
+ private:
+  Simulator* sim_;
+  NodeId id_;
+};
+
+struct ServerFixture {
+  Simulator sim;
+  CaptureNode client{sim, 1};
+  EchoServer server{sim, sim::Rng(7), 4};
+  Link link{sim, client, server, Duration::micros(1), 1e9};
+
+  ServerFixture() { server.attach_link(link); }
+
+  void send(PacketType type, Protocol protocol, std::uint32_t size) {
+    Packet pkt = Packet::make(type, protocol, 1, 4, size);
+    pkt.probe_id = 42;
+    link.send(1, std::move(pkt));
+  }
+};
+
+TEST(EchoServer, RepliesToIcmpEcho) {
+  ServerFixture f;
+  f.send(PacketType::icmp_echo_request, Protocol::icmp, 84);
+  f.sim.run();
+  ASSERT_EQ(f.client.packets.size(), 1u);
+  EXPECT_EQ(f.client.packets[0].type, PacketType::icmp_echo_reply);
+  EXPECT_EQ(f.client.packets[0].size_bytes, 84u);
+  EXPECT_EQ(f.client.packets[0].probe_id, 42u);
+  EXPECT_EQ(f.server.requests_served(), 1u);
+}
+
+TEST(EchoServer, RepliesSynAckOnOpenPort) {
+  ServerFixture f;
+  f.send(PacketType::tcp_syn, Protocol::tcp, 60);
+  f.sim.run();
+  ASSERT_EQ(f.client.packets.size(), 1u);
+  EXPECT_EQ(f.client.packets[0].type, PacketType::tcp_syn_ack);
+}
+
+TEST(EchoServer, RepliesRstOnClosedPort) {
+  ServerFixture f;
+  f.server.set_tcp_port_closed(true);
+  f.send(PacketType::tcp_syn, Protocol::tcp, 60);
+  f.sim.run();
+  ASSERT_EQ(f.client.packets.size(), 1u);
+  EXPECT_EQ(f.client.packets[0].type, PacketType::tcp_rst);
+}
+
+TEST(EchoServer, ServesHttpWithConfigurableSize) {
+  ServerFixture f;
+  f.server.set_http_response_size(512);
+  f.send(PacketType::http_request, Protocol::tcp, 160);
+  f.sim.run();
+  ASSERT_EQ(f.client.packets.size(), 1u);
+  EXPECT_EQ(f.client.packets[0].type, PacketType::http_response);
+  EXPECT_EQ(f.client.packets[0].size_bytes, 512u);
+}
+
+TEST(EchoServer, SilentlyAbsorbsUdp) {
+  ServerFixture f;
+  f.send(PacketType::udp_data, Protocol::udp, 100);
+  f.send(PacketType::udp_warmup, Protocol::udp, 46);
+  f.sim.run();
+  EXPECT_TRUE(f.client.packets.empty());
+  EXPECT_EQ(f.server.requests_served(), 0u);
+}
+
+TEST(EchoServer, IgnoresPacketsForOthers) {
+  ServerFixture f;
+  Packet pkt = Packet::make(PacketType::icmp_echo_request, Protocol::icmp, 1,
+                            99 /* not the server */, 84);
+  f.link.send(1, std::move(pkt));
+  f.sim.run();
+  EXPECT_TRUE(f.client.packets.empty());
+}
+
+TEST(EchoServer, NetemDelaysResponses) {
+  ServerFixture f;
+  f.server.netem().set_delay(30_ms);
+  f.send(PacketType::icmp_echo_request, Protocol::icmp, 84);
+  f.sim.run();
+  ASSERT_EQ(f.client.times.size(), 1u);
+  // Round trip = 2 link traversals + service + 30 ms netem.
+  EXPECT_GT(f.client.times[0].to_ms(), 30.0);
+  EXPECT_LT(f.client.times[0].to_ms(), 31.0);
+}
+
+TEST(EchoServer, ResponseCarriesRequestStamps) {
+  ServerFixture f;
+  Packet pkt =
+      Packet::make(PacketType::icmp_echo_request, Protocol::icmp, 1, 4, 84);
+  pkt.stamps.app_send = sim::TimePoint::from_nanos(111);
+  f.link.send(1, std::move(pkt));
+  f.sim.run();
+  ASSERT_EQ(f.client.packets.size(), 1u);
+  ASSERT_NE(f.client.packets[0].request_stamps, nullptr);
+  EXPECT_EQ(f.client.packets[0].request_stamps->app_send->count_nanos(), 111);
+}
+
+TEST(UdpSink, CountsOnlyItsUdp) {
+  Simulator sim;
+  UdpSink sink(sim, 6);
+  CaptureNode other(sim, 1);
+  Link link(sim, other, sink, Duration::micros(1), 1e9);
+  link.send(1, Packet::make(PacketType::udp_data, Protocol::udp, 1, 6, 1000));
+  link.send(1, Packet::make(PacketType::udp_data, Protocol::udp, 1, 9, 1000));
+  link.send(1, Packet::make(PacketType::tcp_syn, Protocol::tcp, 1, 6, 60));
+  sim.run();
+  EXPECT_EQ(sink.packets_received(), 1u);
+  EXPECT_EQ(sink.bytes_received(), 1000u);
+}
+
+TEST(UdpSink, ThroughputOverWindow) {
+  Simulator sim;
+  UdpSink sink(sim, 6);
+  CaptureNode other(sim, 1);
+  Link link(sim, other, sink, Duration::micros(1), 1e9);
+  sink.reset_window();
+  // 125 packets x 1000 B over 1 s = 1 Mbit/s.
+  for (int i = 0; i < 125; ++i) {
+    sim.schedule_in(Duration::millis(i * 8), [&] {
+      link.send(1,
+                Packet::make(PacketType::udp_data, Protocol::udp, 1, 6, 1000));
+    });
+  }
+  sim.run_for(1_s);
+  EXPECT_NEAR(sink.throughput_mbps(sink.window_start()), 1.0, 0.05);
+}
+
+TEST(UdpCbrSource, EmitsAtConfiguredRate) {
+  Simulator sim;
+  int count = 0;
+  UdpCbrSource::Config config;
+  config.src = 5;
+  config.dst = 6;
+  config.rate_mbps = 1.0;  // 1 Mbit/s of 1250 B datagrams = 100 pkt/s
+  config.datagram_bytes = 1250;
+  UdpCbrSource source(sim, sim::Rng(5), config, [&](Packet pkt) {
+    EXPECT_EQ(pkt.src, 5u);
+    EXPECT_EQ(pkt.dst, 6u);
+    EXPECT_EQ(pkt.size_bytes, 1250u);
+    ++count;
+  });
+  source.start();
+  sim.run_for(1_s);
+  source.stop();
+  EXPECT_NEAR(count, 100, 2);
+  EXPECT_EQ(source.packets_sent(), std::uint64_t(count));
+}
+
+TEST(UdpCbrSource, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  UdpCbrSource::Config config;
+  config.rate_mbps = 10.0;
+  UdpCbrSource source(sim, sim::Rng(5), config, [&](Packet) { ++count; });
+  source.start();
+  sim.run_for(100_ms);
+  const int at_stop = count;
+  source.stop();
+  sim.run_for(100_ms);
+  EXPECT_EQ(count, at_stop);
+  EXPECT_FALSE(source.running());
+}
+
+TEST(IperfLoadGenerator, AggregatesFlows) {
+  Simulator sim;
+  std::uint64_t bytes = 0;
+  IperfLoadGenerator gen(sim, sim::Rng(6), 5, 6, 10, 2.5,
+                         [&](Packet pkt) { bytes += pkt.size_bytes; });
+  EXPECT_EQ(gen.connection_count(), 10u);
+  EXPECT_DOUBLE_EQ(gen.offered_load_mbps(), 25.0);
+  gen.start();
+  sim.run_for(1_s);
+  gen.stop();
+  // 25 Mbit/s offered over 1 s ~ 3.125 MB.
+  EXPECT_NEAR(double(bytes), 25e6 / 8, 25e6 / 8 * 0.05);
+  EXPECT_GT(gen.packets_sent(), 2000u);
+}
+
+}  // namespace
+}  // namespace acute::net

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "phone/profile.hpp"
+#include "sim/random.hpp"
+
+namespace acute::phone {
+namespace {
+
+using sim::Duration;
+
+TEST(PhoneProfile, AllReturnsTheFiveHandsetsOfTable1) {
+  const auto profiles = PhoneProfile::all();
+  ASSERT_EQ(profiles.size(), 5u);
+  std::vector<std::string> names;
+  for (const auto& p : profiles) names.push_back(p.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "Google Nexus 5"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Google Nexus 4"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "HTC One"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Sony Xperia J"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Samsung Grand"),
+            names.end());
+}
+
+TEST(PhoneProfile, ByNameRoundTripsAndThrowsOnUnknown) {
+  EXPECT_EQ(PhoneProfile::by_name("HTC One").chipset, "WCN3680");
+  EXPECT_THROW(PhoneProfile::by_name("iPhone 6"), std::invalid_argument);
+}
+
+TEST(PhoneProfile, Table1HardwareIdentity) {
+  const auto n5 = PhoneProfile::nexus5();
+  EXPECT_EQ(n5.chipset, "BCM4339");
+  EXPECT_EQ(n5.vendor, WnicVendor::broadcom_sdio);
+  EXPECT_DOUBLE_EQ(n5.cpu_ghz, 2.26);
+  EXPECT_EQ(n5.cpu_cores, 4);
+
+  const auto n4 = PhoneProfile::nexus4();
+  EXPECT_EQ(n4.chipset, "WCN3660");
+  EXPECT_EQ(n4.vendor, WnicVendor::qualcomm_smd);
+
+  const auto xperia = PhoneProfile::xperia_j();
+  EXPECT_EQ(xperia.chipset, "BCM4330");
+  EXPECT_EQ(xperia.cpu_cores, 1);
+  EXPECT_EQ(xperia.ram_mb, 512);
+}
+
+TEST(PhoneProfile, Table4PsmTimeouts) {
+  // Tip per handset (Table 4); Nexus 4 is the aggressive outlier.
+  EXPECT_NEAR(PhoneProfile::nexus4().psm_timeout.to_ms(), 40.0, 3.0);
+  EXPECT_NEAR(PhoneProfile::nexus5().psm_timeout.to_ms(), 205.0, 1.0);
+  EXPECT_NEAR(PhoneProfile::galaxy_grand().psm_timeout.to_ms(), 45.0, 1.0);
+  EXPECT_NEAR(PhoneProfile::htc_one().psm_timeout.to_ms(), 400.0, 1.0);
+  EXPECT_NEAR(PhoneProfile::xperia_j().psm_timeout.to_ms(), 210.0, 1.0);
+}
+
+TEST(PhoneProfile, Table4ListenIntervals) {
+  // wcnss announces 1, bcmdhd announces 10 (Table 4 "associated" column).
+  EXPECT_EQ(PhoneProfile::nexus4().associated_listen_interval, 1);
+  EXPECT_EQ(PhoneProfile::htc_one().associated_listen_interval, 1);
+  EXPECT_EQ(PhoneProfile::nexus5().associated_listen_interval, 10);
+  EXPECT_EQ(PhoneProfile::xperia_j().associated_listen_interval, 10);
+  EXPECT_EQ(PhoneProfile::galaxy_grand().associated_listen_interval, 10);
+}
+
+TEST(PhoneProfile, BusSleepIdleIs50msDefault) {
+  // §3.2.1: dhd_watchdog_ms = 10 ms, idletime = 5 -> 50 ms idle period.
+  for (const auto& profile : PhoneProfile::all()) {
+    EXPECT_EQ(profile.bus_watchdog, Duration::millis(10)) << profile.name;
+    EXPECT_EQ(profile.bus_idletime_ticks, 5) << profile.name;
+    EXPECT_EQ(profile.bus_sleep_idle(), Duration::millis(50)) << profile.name;
+  }
+}
+
+TEST(PhoneProfile, BroadcomWakesCostMoreThanQualcomm) {
+  // Table 2/3: SDIO promotion ~10 ms vs SMD ~5 ms.
+  EXPECT_GT(PhoneProfile::nexus5().bus_wake_tx.mu_ms,
+            PhoneProfile::nexus4().bus_wake_tx.mu_ms + 3.0);
+  EXPECT_GT(PhoneProfile::nexus5().bus_wake_rx.mu_ms,
+            PhoneProfile::nexus4().bus_wake_rx.mu_ms + 3.0);
+}
+
+TEST(PhoneProfile, PingQuantizationQuirkOnlyOnNexus4) {
+  EXPECT_TRUE(PhoneProfile::nexus4().ping_integer_ms_above_100);
+  EXPECT_FALSE(PhoneProfile::nexus5().ping_integer_ms_above_100);
+}
+
+TEST(PhoneProfile, SlowPhonesHaveLargerCpuScale) {
+  EXPECT_DOUBLE_EQ(PhoneProfile::nexus5().cpu_scale, 1.0);
+  EXPECT_GT(PhoneProfile::xperia_j().cpu_scale,
+            PhoneProfile::galaxy_grand().cpu_scale);
+  EXPECT_GT(PhoneProfile::galaxy_grand().cpu_scale,
+            PhoneProfile::nexus4().cpu_scale);
+}
+
+TEST(LatencyDist, SampleRespectsBounds) {
+  sim::Rng rng(3);
+  const LatencyDist dist{10.0, 5.0, 8.0, 13.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = dist.sample(rng);
+    EXPECT_GE(d.to_ms(), 8.0);
+    EXPECT_LE(d.to_ms(), 13.0);
+  }
+}
+
+TEST(LatencyDist, ScaledSampleScalesBounds) {
+  sim::Rng rng(3);
+  const LatencyDist dist{1.0, 0.2, 0.5, 1.5};
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = dist.sample_scaled(rng, 2.0);
+    EXPECT_GE(d.to_ms(), 1.0);
+    EXPECT_LE(d.to_ms(), 3.0);
+  }
+}
+
+TEST(WnicVendor, ToStringNamesDriver) {
+  EXPECT_NE(std::string(to_string(WnicVendor::broadcom_sdio)).find("bcmdhd"),
+            std::string::npos);
+  EXPECT_NE(std::string(to_string(WnicVendor::qualcomm_smd)).find("wcnss"),
+            std::string::npos);
+}
+
+// Property: every handset's latency distributions are internally
+// consistent (lo <= mu <= hi, sigma >= 0).
+class ProfileConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileConsistency, DistributionsWellFormed) {
+  const auto profile = PhoneProfile::all()[GetParam()];
+  const LatencyDist* dists[] = {
+      &profile.bus_wake_tx, &profile.bus_wake_rx, &profile.bus_clk_request,
+      &profile.driver_tx_base, &profile.driver_rx_base, &profile.driver_netif,
+      &profile.kernel_tx, &profile.kernel_rx, &profile.native_send,
+      &profile.native_recv, &profile.dvm_send, &profile.dvm_recv,
+      &profile.dvm_gc_pause};
+  for (const LatencyDist* dist : dists) {
+    EXPECT_LE(dist->lo_ms, dist->mu_ms);
+    EXPECT_LE(dist->mu_ms, dist->hi_ms);
+    EXPECT_GE(dist->sigma_ms, 0.0);
+    EXPECT_GE(dist->lo_ms, 0.0);
+  }
+  EXPECT_GT(profile.cpu_scale, 0.0);
+  EXPECT_GT(profile.psm_timeout, Duration{});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhones, ProfileConsistency,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace acute::phone

@@ -1,0 +1,159 @@
+// The SDIO/SMD bus sleep machine (§3.2.1): idle counting, wake costs,
+// the rooted-driver ablation, and clock-ramp behaviour.
+#include <gtest/gtest.h>
+
+#include "phone/profile.hpp"
+#include "phone/sdio_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::phone {
+namespace {
+
+using namespace acute::sim::literals;
+using sim::Duration;
+using sim::Simulator;
+
+struct BusFixture {
+  Simulator sim;
+  PhoneProfile profile = PhoneProfile::nexus5();
+  SdioBus bus{sim, sim::Rng(11), profile};
+};
+
+TEST(SdioBus, StartsAwakeAndSleepsAfterIdlePeriod) {
+  BusFixture f;
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+  // Idle period = watchdog (10 ms) x idletime (5) = 50 ms, +1 tick phase.
+  f.sim.run_for(39_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+  f.sim.run_for(22_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::sleeping);
+  EXPECT_EQ(f.bus.sleep_count(), 1u);
+}
+
+TEST(SdioBus, ActivityResetsIdleCounting) {
+  BusFixture f;
+  // Touch the bus every 30 ms: it must never sleep.
+  for (int i = 0; i < 20; ++i) {
+    f.sim.schedule_in(Duration::millis(30 * i), [&f] { f.bus.activity(); });
+  }
+  f.sim.run_for(620_ms);
+  EXPECT_EQ(f.bus.sleep_count(), 0u);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+}
+
+TEST(SdioBus, AcquireWhileSleepingPaysWake) {
+  BusFixture f;
+  f.sim.run_for(100_ms);
+  ASSERT_EQ(f.bus.state(), SdioBus::State::sleeping);
+  const Duration cost = f.bus.acquire(SdioBus::Direction::transmit);
+  // Promotion delay from the Nexus 5 profile: ~8.4-13.4 ms.
+  EXPECT_GE(cost.to_ms(), f.profile.bus_wake_tx.lo_ms);
+  EXPECT_LE(cost.to_ms(), f.profile.bus_wake_tx.hi_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+  EXPECT_EQ(f.bus.wake_count(), 1u);
+}
+
+TEST(SdioBus, ReceiveWakeUsesRxDistribution) {
+  BusFixture f;
+  f.sim.run_for(100_ms);
+  const Duration cost = f.bus.acquire(SdioBus::Direction::receive);
+  EXPECT_GE(cost.to_ms(), f.profile.bus_wake_rx.lo_ms);
+  EXPECT_LE(cost.to_ms(), f.profile.bus_wake_rx.hi_ms);
+}
+
+TEST(SdioBus, AcquireWhenRecentlyActiveIsFree) {
+  BusFixture f;
+  f.bus.activity();
+  f.sim.run_for(5_ms);
+  EXPECT_EQ(f.bus.acquire(SdioBus::Direction::transmit), Duration{});
+}
+
+TEST(SdioBus, ConcurrentAcquireJoinsOngoingWake) {
+  BusFixture f;
+  f.sim.run_for(100_ms);
+  const Duration first = f.bus.acquire(SdioBus::Direction::transmit);
+  f.sim.run_for(2_ms);
+  const Duration second = f.bus.acquire(SdioBus::Direction::receive);
+  // The second request waits only for the remainder of the ongoing wake.
+  EXPECT_EQ(second, first - 2_ms);
+  EXPECT_EQ(f.bus.wake_count(), 1u);
+}
+
+TEST(SdioBus, AwakeButIdlePaysClockRamp) {
+  BusFixture f;
+  PhoneProfile profile = PhoneProfile::nexus5();
+  profile.bus_watchdog = Duration::millis(10);
+  SdioBus bus(f.sim, sim::Rng(12), profile);
+  bus.set_sleep_enabled(false);  // stay awake, but let the clock idle down
+  f.sim.run_for(200_ms);
+  const Duration cost = bus.acquire(SdioBus::Direction::transmit);
+  EXPECT_GE(cost.to_ms(), profile.bus_clk_request.lo_ms);
+  EXPECT_LE(cost.to_ms(), profile.bus_clk_request.hi_ms);
+}
+
+TEST(SdioBus, DisableSleepIsTheRootedAblation) {
+  BusFixture f;
+  f.bus.set_sleep_enabled(false);
+  f.sim.run_for(500_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+  EXPECT_EQ(f.bus.sleep_count(), 0u);
+  EXPECT_FALSE(f.bus.sleep_enabled());
+}
+
+TEST(SdioBus, DisableWakesASleepingBus) {
+  BusFixture f;
+  f.sim.run_for(100_ms);
+  ASSERT_EQ(f.bus.state(), SdioBus::State::sleeping);
+  f.bus.set_sleep_enabled(false);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+}
+
+TEST(SdioBus, ReenableRestoresSleeping) {
+  BusFixture f;
+  f.bus.set_sleep_enabled(false);
+  f.sim.run_for(200_ms);
+  f.bus.set_sleep_enabled(true);
+  f.sim.run_for(100_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::sleeping);
+}
+
+TEST(SdioBus, TransferTimeScalesWithSize) {
+  BusFixture f;
+  const Duration t1 = f.bus.transfer_time(1000);
+  const Duration t2 = f.bus.transfer_time(2000);
+  EXPECT_EQ(t2.count_nanos(), 2 * t1.count_nanos());
+  // 1000 B at 400 Mbit/s = 20 us.
+  EXPECT_EQ(t1, Duration::micros(20));
+}
+
+TEST(SdioBus, WakeCompletionCountsAsActivity) {
+  BusFixture f;
+  f.sim.run_for(100_ms);
+  (void)f.bus.acquire(SdioBus::Direction::transmit);
+  // Immediately after the wake completes the bus is busy; it must not
+  // re-sleep within the idle period measured from the wake end.
+  f.sim.run_for(45_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::awake);
+  f.sim.run_for(30_ms);
+  EXPECT_EQ(f.bus.state(), SdioBus::State::sleeping);
+}
+
+// Property: across every handset profile, the sleep onset is within one
+// watchdog tick above the configured idle period.
+class BusSleepOnset : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusSleepOnset, SleepsCloseToConfiguredIdle) {
+  Simulator sim;
+  const auto profile = PhoneProfile::all()[GetParam()];
+  SdioBus bus(sim, sim::Rng(31), profile);
+  const Duration idle = profile.bus_sleep_idle();
+  sim.run_for(idle - 11_ms);
+  EXPECT_EQ(bus.state(), SdioBus::State::awake) << profile.name;
+  sim.run_for(22_ms);
+  EXPECT_EQ(bus.state(), SdioBus::State::sleeping) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhones, BusSleepOnset, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace acute::phone

@@ -1,0 +1,303 @@
+// Driver, kernel, runtime and the composed Smartphone: per-layer stamps,
+// the modified-driver dvsend/dvrecv logs, exec-environment costs, and flow
+// demultiplexing.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "phone/driver.hpp"
+#include "phone/kernel.hpp"
+#include "phone/profile.hpp"
+#include "phone/runtime.hpp"
+#include "phone/sdio_bus.hpp"
+#include "phone/smartphone.hpp"
+#include "sim/simulator.hpp"
+#include "wifi/access_point.hpp"
+#include "wifi/channel.hpp"
+#include "wifi/station.hpp"
+
+namespace acute::phone {
+namespace {
+
+using namespace acute::sim::literals;
+using net::Packet;
+using net::PacketType;
+using net::Protocol;
+using sim::Duration;
+using sim::Simulator;
+
+constexpr net::NodeId kSta = 1;
+constexpr net::NodeId kPeer = 2;
+
+wifi::Station::Config always_awake(net::NodeId id, net::NodeId ap) {
+  wifi::Station::Config config;
+  config.id = id;
+  config.ap = ap;
+  config.psm_enabled = false;
+  return config;
+}
+
+struct StackFixture {
+  Simulator sim;
+  wifi::Channel channel{sim, sim::Rng(5), wifi::phy_802_11g()};
+  PhoneProfile profile = PhoneProfile::nexus5();
+  wifi::Station station{sim, channel, sim::Rng(6), always_awake(kSta, kPeer)};
+  SdioBus bus{sim, sim::Rng(7), profile};
+  WnicDriver driver{sim, sim::Rng(8), profile, bus, station};
+  wifi::Radio peer{channel, kPeer};
+  std::vector<Packet> peer_received;
+
+  StackFixture() {
+    peer.set_receiver([this](Packet pkt, const wifi::Frame&) {
+      peer_received.push_back(std::move(pkt));
+    });
+  }
+
+  Packet data(std::uint32_t size = 200) {
+    return Packet::make(PacketType::udp_data, Protocol::udp, kSta, kPeer,
+                        size);
+  }
+};
+
+TEST(WnicDriver, TxPathStampsInOrder) {
+  StackFixture f;
+  f.driver.start_xmit(f.data());
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.peer_received.size(), 1u);
+  const net::LayerStamps& s = f.peer_received[0].stamps;
+  ASSERT_TRUE(s.driver_xmit_entry.has_value());
+  ASSERT_TRUE(s.driver_txpkt.has_value());
+  ASSERT_TRUE(s.air.has_value());
+  EXPECT_LT(*s.driver_xmit_entry, *s.driver_txpkt);
+  EXPECT_LT(*s.driver_txpkt, *s.air);
+}
+
+TEST(WnicDriver, DvsendLogMatchesStamps) {
+  StackFixture f;
+  f.bus.set_sleep_enabled(false);
+  f.driver.start_xmit(f.data());
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.driver.dvsend_log_ms().size(), 1u);
+  const net::LayerStamps& s = f.peer_received[0].stamps;
+  EXPECT_DOUBLE_EQ(f.driver.dvsend_log_ms()[0],
+                   (*s.driver_txpkt - *s.driver_xmit_entry).to_ms());
+  EXPECT_EQ(f.driver.tx_packets(), 1u);
+}
+
+TEST(WnicDriver, SleepingBusInflatesDvsend) {
+  StackFixture f;
+  f.sim.run_for(200_ms);  // bus sleeps
+  f.driver.start_xmit(f.data());
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.driver.dvsend_log_ms().size(), 1u);
+  // Wake ~8.4-13.4 ms (Nexus 5) + dispatch.
+  EXPECT_GT(f.driver.dvsend_log_ms()[0], 8.0);
+  EXPECT_LT(f.driver.dvsend_log_ms()[0], 15.0);
+}
+
+TEST(WnicDriver, AwakeBusKeepsDvsendSmall) {
+  StackFixture f;
+  f.bus.set_sleep_enabled(false);
+  f.bus.activity();
+  f.driver.start_xmit(f.data());
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.driver.dvsend_log_ms().size(), 1u);
+  EXPECT_LT(f.driver.dvsend_log_ms()[0], 1.0);  // Table 3 disabled rows
+}
+
+TEST(WnicDriver, RxPathStampsAndDvrecv) {
+  StackFixture f;
+  f.bus.set_sleep_enabled(false);
+  std::optional<Packet> up;
+  f.driver.set_rx_handler([&](Packet pkt) { up = std::move(pkt); });
+  f.peer.enqueue(Packet::make(PacketType::udp_data, Protocol::udp, kPeer,
+                              kSta, 300),
+                 kSta);
+  f.sim.run_for(50_ms);
+  ASSERT_TRUE(up.has_value());
+  const net::LayerStamps& s = up->stamps;
+  ASSERT_TRUE(s.air.has_value());
+  ASSERT_TRUE(s.driver_isr.has_value());
+  ASSERT_TRUE(s.driver_rxf_enqueue.has_value());
+  EXPECT_LT(*s.air, *s.driver_isr);
+  EXPECT_LT(*s.driver_isr, *s.driver_rxf_enqueue);
+  ASSERT_EQ(f.driver.dvrecv_log_ms().size(), 1u);
+  EXPECT_DOUBLE_EQ(f.driver.dvrecv_log_ms()[0],
+                   (*s.driver_rxf_enqueue - *s.driver_isr).to_ms());
+  EXPECT_EQ(f.driver.rx_packets(), 1u);
+}
+
+TEST(WnicDriver, SleepingBusInflatesDvrecv) {
+  StackFixture f;
+  f.driver.set_rx_handler([](Packet) {});
+  f.sim.run_for(200_ms);  // bus sleeps
+  f.peer.enqueue(Packet::make(PacketType::udp_data, Protocol::udp, kPeer,
+                              kSta, 300),
+                 kSta);
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.driver.dvrecv_log_ms().size(), 1u);
+  // Wake (~8.6-12.6 ms) + read cost.
+  EXPECT_GT(f.driver.dvrecv_log_ms()[0], 8.5);
+  EXPECT_LT(f.driver.dvrecv_log_ms()[0], 16.0);
+}
+
+TEST(WnicDriver, ClearLogsEmptiesBoth) {
+  StackFixture f;
+  f.driver.start_xmit(f.data());
+  f.sim.run_for(50_ms);
+  EXPECT_FALSE(f.driver.dvsend_log_ms().empty());
+  f.driver.clear_logs();
+  EXPECT_TRUE(f.driver.dvsend_log_ms().empty());
+  EXPECT_TRUE(f.driver.dvrecv_log_ms().empty());
+}
+
+TEST(KernelStack, StampsBpfTapsOnBothPaths) {
+  StackFixture f;
+  f.bus.set_sleep_enabled(false);
+  KernelStack kernel(f.sim, sim::Rng(9), f.profile, f.driver);
+  std::optional<Packet> up;
+  kernel.set_rx_handler([&](Packet pkt) { up = std::move(pkt); });
+
+  kernel.transmit(f.data());
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.peer_received.size(), 1u);
+  const net::LayerStamps& tx = f.peer_received[0].stamps;
+  ASSERT_TRUE(tx.kernel_send.has_value());
+  // The bpf tap fires right at the driver hand-off (same event).
+  EXPECT_LE(*tx.kernel_send, *tx.driver_xmit_entry);
+
+  f.peer.enqueue(Packet::make(PacketType::udp_data, Protocol::udp, kPeer,
+                              kSta, 300),
+                 kSta);
+  f.sim.run_for(50_ms);
+  ASSERT_TRUE(up.has_value());
+  ASSERT_TRUE(up->stamps.kernel_recv.has_value());
+  EXPECT_GT(*up->stamps.kernel_recv, *up->stamps.driver_rxf_enqueue);
+  EXPECT_EQ(kernel.tx_packets(), 1u);
+  EXPECT_EQ(kernel.rx_packets(), 1u);
+}
+
+TEST(ExecEnv, NativeIsCheaperThanDalvik) {
+  sim::Rng rng(10);
+  const PhoneProfile profile = PhoneProfile::nexus5();
+  ExecEnv env(rng, profile);
+  double native_sum = 0, dvm_sum = 0;
+  for (int i = 0; i < 300; ++i) {
+    native_sum += env.send_overhead(ExecMode::native_c).to_ms();
+    dvm_sum += env.send_overhead(ExecMode::dalvik).to_ms();
+  }
+  EXPECT_LT(native_sum / 300, 0.15);  // [23]: native ~tens of us
+  EXPECT_GT(dvm_sum / 300, 2 * native_sum / 300);
+}
+
+TEST(ExecEnv, DalvikRecvShowsGcTail) {
+  sim::Rng rng(10);
+  PhoneProfile profile = PhoneProfile::nexus5();
+  profile.dvm_gc_prob = 0.5;  // make the tail easy to observe
+  ExecEnv env(rng, profile);
+  double max_cost = 0;
+  for (int i = 0; i < 200; ++i) {
+    max_cost = std::max(max_cost, env.recv_overhead(ExecMode::dalvik).to_ms());
+  }
+  EXPECT_GT(max_cost, 1.0);  // at least one GC pause (>= 1 ms)
+}
+
+TEST(ExecEnv, ModeNamesForDiagnostics) {
+  EXPECT_STREQ(to_string(ExecMode::native_c), "native C");
+  EXPECT_STREQ(to_string(ExecMode::dalvik), "Dalvik");
+}
+
+struct PhoneFixture {
+  Simulator sim;
+  wifi::Channel channel{sim, sim::Rng(20), wifi::phy_802_11g()};
+  wifi::AccessPoint ap;
+  Smartphone phone;
+
+  PhoneFixture()
+      : ap(sim, channel, sim::Rng(21), [] {
+          wifi::AccessPoint::Config config;
+          config.id = kPeer;
+          return config;
+        }()),
+        phone(sim, channel, sim::Rng(22), PhoneProfile::nexus5(), kSta,
+              kPeer) {
+    ap.associate(kSta, 10);
+  }
+};
+
+TEST(Smartphone, SendStampsAppAndKernelLayers) {
+  PhoneFixture f;
+  // Watch the frame on the medium via a sniffer-like observer.
+  std::vector<Packet> on_air;
+  wifi::Radio observer(f.channel, 99);
+  Packet pkt = Packet::make(PacketType::udp_data, Protocol::udp, kSta, 50,
+                            100);
+  pkt.ttl = 1;  // die at the AP; we only care about the uplink stamps
+  f.phone.send(std::move(pkt), ExecMode::native_c);
+  // Capture at AP: hook its ttl_drops instead. Simplest: run and check the
+  // drop plus the phone-side log through the driver.
+  f.sim.run_for(100_ms);
+  EXPECT_EQ(f.ap.ttl_drops(), 1u);
+  ASSERT_EQ(f.phone.driver().dvsend_log_ms().size(), 1u);
+  (void)observer;
+}
+
+TEST(Smartphone, FlowDemultiplexesToRegisteredApp) {
+  PhoneFixture f;
+  // Loop a packet back by delivering it from the AP side.
+  std::vector<Packet> got_a, got_b;
+  f.phone.register_flow(10, [&](const Packet& pkt) { got_a.push_back(pkt); });
+  f.phone.register_flow(11, [&](const Packet& pkt) { got_b.push_back(pkt); });
+
+  Packet down = Packet::make(PacketType::udp_data, Protocol::udp, 50, kSta,
+                             100);
+  down.flow_id = 10;
+  f.ap.receive(down, nullptr);
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(got_a.size(), 1u);
+  EXPECT_TRUE(got_b.empty());
+  ASSERT_TRUE(got_a[0].stamps.app_recv.has_value());
+  EXPECT_GT(*got_a[0].stamps.app_recv, *got_a[0].stamps.kernel_recv);
+}
+
+TEST(Smartphone, UnregisteredFlowIsDropped) {
+  PhoneFixture f;
+  Packet down = Packet::make(PacketType::udp_data, Protocol::udp, 50, kSta,
+                             100);
+  down.flow_id = 999;
+  f.ap.receive(down, nullptr);
+  f.sim.run_for(50_ms);  // must not crash; packet silently dropped
+  SUCCEED();
+}
+
+TEST(Smartphone, AllocateFlowIdIsUnique) {
+  PhoneFixture f;
+  const auto a = f.phone.allocate_flow_id();
+  const auto b = f.phone.allocate_flow_id();
+  EXPECT_NE(a, b);
+}
+
+TEST(Smartphone, SystemTrafficChattersWhenEnabled) {
+  PhoneFixture f;
+  f.sim.run_for(30_s);
+  // Poisson with mean 2.5 s: ~12 packets in 30 s.
+  EXPECT_GT(f.phone.system_packets_sent(), 3u);
+  EXPECT_LT(f.phone.system_packets_sent(), 40u);
+  EXPECT_GT(f.ap.ttl_drops(), 0u);  // they die at the gateway
+}
+
+TEST(Smartphone, SystemTrafficCanBeSilenced) {
+  PhoneFixture f;
+  f.phone.set_system_traffic_enabled(false);
+  f.sim.run_for(30_s);
+  EXPECT_EQ(f.phone.system_packets_sent(), 0u);
+}
+
+TEST(Smartphone, RegisterFlowRequiresHandler) {
+  PhoneFixture f;
+  EXPECT_THROW(f.phone.register_flow(1, nullptr), sim::ContractViolation);
+}
+
+}  // namespace
+}  // namespace acute::phone

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/event_queue.hpp"
+
+namespace acute::sim {
+namespace {
+
+using namespace acute::sim::literals;
+
+TimePoint at(std::int64_t ms) {
+  return TimePoint::epoch() + Duration::millis(ms);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  (void)queue.push(at(30), [&] { order.push_back(3); });
+  (void)queue.push(at(10), [&] { order.push_back(1); });
+  (void)queue.push(at(20), [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    (void)queue.push(at(5), [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  auto h1 = queue.push(at(1), [] {});
+  auto h2 = queue.push(at(2), [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  h1.cancel();
+  EXPECT_EQ(queue.size(), 1u);
+  (void)queue.pop();
+  EXPECT_TRUE(queue.empty());
+  (void)h2;
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  auto h1 = queue.push(at(1), [&] { order.push_back(1); });
+  (void)queue.push(at(2), [&] { order.push_back(2); });
+  h1.cancel();
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue queue;
+  auto handle = queue.push(at(1), [] {});
+  handle.cancel();
+  handle.cancel();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, HandlePendingReflectsState) {
+  EventQueue queue;
+  auto handle = queue.push(at(1), [] {});
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, HandleOfFiredEventIsNotPending) {
+  EventQueue queue;
+  auto handle = queue.push(at(1), [] {});
+  (void)queue.pop();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // harmless after firing
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op
+}
+
+TEST(EventQueue, HandleOutlivingQueueIsSafe) {
+  EventHandle handle;
+  {
+    EventQueue queue;
+    handle = queue.push(at(1), [] {});
+  }
+  handle.cancel();  // must not crash or touch freed memory
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive) {
+  EventQueue queue;
+  auto h1 = queue.push(at(1), [] {});
+  (void)queue.push(at(5), [] {});
+  EXPECT_EQ(queue.next_time(), at(1));
+  h1.cancel();
+  EXPECT_EQ(queue.next_time(), at(5));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue queue;
+  (void)queue.push(at(1), [] {});
+  (void)queue.push(at(2), [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopOnEmptyViolatesContract) {
+  EventQueue queue;
+  EXPECT_THROW((void)queue.pop(), ContractViolation);
+  EXPECT_THROW((void)queue.next_time(), ContractViolation);
+}
+
+TEST(EventQueue, PushRequiresCallable) {
+  EventQueue queue;
+  EXPECT_THROW((void)queue.push(at(1), EventFn{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace acute::sim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/contracts.hpp"
+#include "sim/random.hpp"
+
+namespace acute::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.fork("alpha");
+  Rng c2 = Rng(42).fork("alpha");
+  EXPECT_DOUBLE_EQ(c1.uniform(0, 1), c2.uniform(0, 1));
+
+  Rng other = parent.fork("beta");
+  EXPECT_NE(parent.fork("alpha").seed(), other.seed());
+}
+
+TEST(Rng, ForkByIntegerTag) {
+  Rng parent(42);
+  EXPECT_EQ(parent.fork(1).seed(), Rng(42).fork(1).seed());
+  EXPECT_NE(parent.fork(1).seed(), parent.fork(2).seed());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(7), b(7);
+  (void)a.fork("child");
+  EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalZeroSigmaIsDegenerate) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.truncated_normal(10.0, 3.0, 8.0, 13.0);
+    EXPECT_GE(x, 8.0);
+    EXPECT_LE(x, 13.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateRangeClamps) {
+  Rng rng(11);
+  // Bounds far from the mean: resampling fails, result clamps to bounds.
+  const double x = rng.truncated_normal(0.0, 0.001, 100.0, 101.0);
+  EXPECT_GE(x, 100.0);
+  EXPECT_LE(x, 101.0);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, UniformDurationWithinRange) {
+  Rng rng(19);
+  const Duration lo = Duration::millis(2);
+  const Duration hi = Duration::millis(9);
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = rng.uniform_duration(lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+TEST(Rng, ContractViolations) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform(2, 1), ContractViolation);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), ContractViolation);
+  EXPECT_THROW((void)rng.normal(0, -1), ContractViolation);
+  EXPECT_THROW((void)rng.exponential(0), ContractViolation);
+  EXPECT_THROW((void)rng.bernoulli(1.5), ContractViolation);
+}
+
+// Property sweep: sample means of the latency-style distributions track
+// their parameters across a range of settings.
+struct MeanCase {
+  double mu;
+  double sigma;
+};
+
+class TruncatedNormalMean : public ::testing::TestWithParam<MeanCase> {};
+
+TEST_P(TruncatedNormalMean, SampleMeanNearMu) {
+  const auto [mu, sigma] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mu * 1000 + sigma));
+  double sum = 0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.truncated_normal(mu, sigma, mu - 3 * sigma, mu + 3 * sigma);
+  }
+  EXPECT_NEAR(sum / kSamples, mu, sigma * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TruncatedNormalMean,
+                         ::testing::Values(MeanCase{1.0, 0.2},
+                                           MeanCase{10.2, 1.0},
+                                           MeanCase{0.5, 0.1},
+                                           MeanCase{100.0, 5.0}));
+
+}  // namespace
+}  // namespace acute::sim

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/random.hpp"
+#include "stats/boxplot.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace acute::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> sample{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s(sample);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample (n-1) stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(Summary(std::vector<double>{1, 2, 3}).median(), 2.0);
+  EXPECT_DOUBLE_EQ(Summary(std::vector<double>{1, 2, 3, 4}).median(), 2.5);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  const std::vector<double> sample{10, 20, 30, 40};
+  const Summary s(sample);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);  // R type-7
+}
+
+TEST(Summary, SingleElement) {
+  const Summary s(std::vector<double>{42});
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Summary, Ci95MatchesHandComputation) {
+  // n=5, stddev=1 -> CI = t(4, .975) / sqrt(5) = 2.776 / 2.2360.
+  const std::vector<double> sample{-1, -0.5, 0, 0.5, 1};
+  const Summary s(sample);
+  const double expected = student_t_975(4) * s.stddev() / std::sqrt(5.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), expected);
+}
+
+TEST(Summary, MeanCiStringFormat) {
+  const std::vector<double> sample{1, 1, 1, 1};
+  EXPECT_EQ(Summary(sample).mean_ci_string(2), "1.00 ±0.00");
+}
+
+TEST(Summary, EmptySampleViolatesContract) {
+  EXPECT_THROW(Summary(std::vector<double>{}), sim::ContractViolation);
+}
+
+TEST(StudentT, KnownValuesAndInterpolation) {
+  EXPECT_DOUBLE_EQ(student_t_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t_975(10), 2.228);
+  EXPECT_DOUBLE_EQ(student_t_975(500), 1.960);
+  // Between table rows: monotone decreasing.
+  const double t13 = student_t_975(13);
+  EXPECT_LT(t13, student_t_975(12));
+  EXPECT_GT(t13, student_t_975(15));
+}
+
+TEST(BoxPlot, QuartilesAndWhiskers) {
+  const std::vector<double> sample{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto box = BoxPlot::from_sample(sample);
+  EXPECT_DOUBLE_EQ(box.median, 5.5);
+  EXPECT_DOUBLE_EQ(box.q1, 3.25);
+  EXPECT_DOUBLE_EQ(box.q3, 7.75);
+  EXPECT_DOUBLE_EQ(box.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 10.0);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(BoxPlot, OutliersBeyondFences) {
+  std::vector<double> sample{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100};
+  const auto box = BoxPlot::from_sample(sample);
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers.front(), 100.0);
+  EXPECT_LE(box.whisker_high, 10.0);
+}
+
+TEST(BoxPlot, ToStringMentionsAllParts) {
+  const auto box = BoxPlot::from_sample(std::vector<double>{1, 2, 3});
+  const std::string text = box.to_string();
+  EXPECT_NE(text.find("med="), std::string::npos);
+  EXPECT_NE(text.find("box=["), std::string::npos);
+  EXPECT_NE(text.find("out=0"), std::string::npos);
+}
+
+TEST(Cdf, EvaluatesEmpiricalFractions) {
+  const std::vector<double> sample{1, 2, 3, 4};
+  const Cdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(Cdf, QuantileIsInverse) {
+  const std::vector<double> sample{10, 20, 30, 40};
+  const Cdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 10.0);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  const std::vector<double> sample{1, 5, 5, 7, 12};
+  const auto points = Cdf(sample).curve(10);
+  ASSERT_EQ(points.size(), 10u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].x, points[i - 1].x);
+    EXPECT_GE(points[i].f, points[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(points.back().f, 1.0);
+}
+
+TEST(Cdf, KsDistanceIdenticalIsZero) {
+  const std::vector<double> sample{1, 2, 3, 4, 5};
+  const Cdf a(sample), b(sample);
+  EXPECT_DOUBLE_EQ(Cdf::ks_distance(a, b), 0.0);
+}
+
+TEST(Cdf, KsDistanceDisjointIsOne) {
+  const Cdf a(std::vector<double>{1, 2, 3});
+  const Cdf b(std::vector<double>{10, 11, 12});
+  EXPECT_DOUBLE_EQ(Cdf::ks_distance(a, b), 1.0);
+}
+
+TEST(Cdf, KsDistanceIsSymmetric) {
+  const Cdf a(std::vector<double>{1, 2, 3, 7});
+  const Cdf b(std::vector<double>{2, 3, 4});
+  EXPECT_DOUBLE_EQ(Cdf::ks_distance(a, b), Cdf::ks_distance(b, a));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name  | value"), std::string::npos);
+  EXPECT_NE(text.find("------+------"), std::string::npos);
+  EXPECT_NE(text.find("alpha | 1"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CellFormatsPrecision) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.0, 0), "3");
+}
+
+TEST(Table, RowWidthMismatchViolatesContract) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), sim::ContractViolation);
+}
+
+// Property: for any sample, quantile(q) equals percentile via Summary at
+// matching ranks for the extremes.
+class CdfSummaryAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfSummaryAgreement, MinMaxAgree) {
+  std::vector<double> sample;
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) sample.push_back(rng.uniform(0, 100));
+  const Summary summary(sample);
+  const Cdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), summary.max());
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.001), summary.min());
+  EXPECT_DOUBLE_EQ(cdf.at(summary.max()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfSummaryAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace acute::stats

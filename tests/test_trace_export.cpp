@@ -1,0 +1,71 @@
+// CSV trace export for captures and layer samples.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testbed/experiment.hpp"
+#include "testbed/trace_export.hpp"
+
+namespace acute::testbed {
+namespace {
+
+using namespace acute::sim::literals;
+
+TEST(TraceExport, CapturesCsvHasHeaderAndRows) {
+  wifi::Sniffer::Capture capture;
+  capture.time = sim::TimePoint::from_nanos(1'234'000);
+  capture.packet_id = 42;
+  capture.probe_id = 7;
+  capture.type = net::PacketType::tcp_syn;
+  capture.transmitter = 1;
+  capture.receiver = 2;
+  capture.size_bytes = 60;
+  capture.collided = false;
+
+  const std::string csv = TraceExport::captures_csv({capture});
+  EXPECT_NE(csv.find("time_us,packet_id,probe_id,type"), std::string::npos);
+  EXPECT_NE(csv.find("1234,42,7,tcp_syn,1,2,60,0"), std::string::npos);
+}
+
+TEST(TraceExport, SamplesCsvHasAllColumns) {
+  core::LayerSample sample;
+  sample.probe_id = 5;
+  sample.du_ms = 33.5;
+  sample.dk_ms = 33.0;
+  sample.dv_ms = 32.5;
+  sample.dn_ms = 31.0;
+  sample.dvsend_ms = 0.25;
+  sample.dvrecv_ms = 1.5;
+  const std::string csv = TraceExport::samples_csv({sample});
+  EXPECT_NE(csv.find("probe_id,du_ms,dk_ms,dv_ms,dn_ms"), std::string::npos);
+  EXPECT_NE(csv.find("5,33.5000,33.0000,32.5000,31.0000"), std::string::npos);
+  EXPECT_NE(csv.find(",2.5000\n"), std::string::npos);  // total overhead
+}
+
+TEST(TraceExport, EmptyInputsYieldHeaderOnly) {
+  const std::string captures = TraceExport::captures_csv({});
+  EXPECT_EQ(std::count(captures.begin(), captures.end(), '\n'), 1);
+  const std::string samples = TraceExport::samples_csv({});
+  EXPECT_EQ(std::count(samples.begin(), samples.end(), '\n'), 1);
+}
+
+TEST(TraceExport, RoundTripsARealExperiment) {
+  Experiment::AcuteMonSpec spec;
+  spec.probes = 10;
+  spec.emulated_rtt = 20_ms;
+  const auto result = Experiment::acutemon(spec);
+  const std::string csv = TraceExport::samples_csv(result.samples);
+  // Header + one line per sample.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            std::ptrdiff_t(result.samples.size()) + 1);
+  // Every data row has exactly 10 columns.
+  std::istringstream stream(csv);
+  std::string line;
+  std::getline(stream, line);  // header
+  while (std::getline(stream, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9) << line;
+  }
+}
+
+}  // namespace
+}  // namespace acute::testbed

@@ -1,0 +1,308 @@
+// AP + Station power-save machinery: adaptive-PSM doze timing, PM-bit
+// tracking, TIM / PS-Poll delivery, buffer flush on wake, gateway TTL.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "wifi/access_point.hpp"
+#include "wifi/channel.hpp"
+#include "wifi/station.hpp"
+
+namespace acute::wifi {
+namespace {
+
+using namespace acute::sim::literals;
+using net::Packet;
+using net::PacketType;
+using net::Protocol;
+using sim::Duration;
+using sim::Simulator;
+
+constexpr net::NodeId kSta = 1;
+constexpr net::NodeId kAp = 2;
+
+class WiredStub : public net::Node {
+ public:
+  explicit WiredStub(net::NodeId id) : id_(id) {}
+  void receive(Packet packet, net::Link*) override {
+    packets.push_back(std::move(packet));
+  }
+  [[nodiscard]] net::NodeId id() const override { return id_; }
+  std::vector<Packet> packets;
+
+ private:
+  net::NodeId id_;
+};
+
+struct PsmFixture {
+  Simulator sim;
+  Channel channel{sim, sim::Rng(7), phy_802_11g()};
+  AccessPoint ap;
+  Station sta;
+  WiredStub wired{3};
+  net::Link wired_link{sim, ap, wired, Duration::micros(5), 1e9};
+  std::vector<Packet> sta_received;
+
+  explicit PsmFixture(Duration tip = 100_ms, double miss_prob = 0.0)
+      : ap(sim, channel, sim::Rng(8), [] {
+          AccessPoint::Config config;
+          config.id = kAp;
+          return config;
+        }()),
+        sta(sim, channel, sim::Rng(9), [&] {
+          Station::Config config;
+          config.id = kSta;
+          config.ap = kAp;
+          config.psm_timeout = tip;
+          config.beacon_miss_probability = miss_prob;
+          config.associated_listen_interval = 10;
+          return config;
+        }()) {
+    ap.attach_wired(wired_link);
+    ap.associate(kSta, 10);
+    ap.start_beacons(50_ms);
+    sta.set_receiver([this](Packet pkt, const Frame&) {
+      sta_received.push_back(std::move(pkt));
+    });
+  }
+
+  /// Injects a downlink packet as if it came from the wired network.
+  void downlink(std::uint32_t size = 200) {
+    Packet pkt =
+        Packet::make(PacketType::udp_data, Protocol::udp, 99, kSta, size);
+    ap.receive(std::move(pkt), nullptr);
+  }
+};
+
+TEST(Station, StartsInCamAndDozesInQuantizedWindow) {
+  PsmFixture f(100_ms);
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::cam);
+  // Doze entry lands in [Tip - tick, Tip] (+ null-frame airtime).
+  f.sim.run_for(89_ms);
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::cam);
+  f.sim.run_for(13_ms);
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::dozing);
+  EXPECT_EQ(f.sta.doze_count(), 1u);
+}
+
+TEST(Station, SendingResetsTheDozeTimer) {
+  PsmFixture f(100_ms);
+  // Keep sending every 50 ms: the station must never doze.
+  for (int i = 0; i < 10; ++i) {
+    f.sim.schedule_in(Duration::millis(50 * i), [&f] {
+      f.sta.send(Packet::make(PacketType::udp_data, Protocol::udp, kSta, 99,
+                              100));
+    });
+  }
+  f.sim.run_for(540_ms);
+  EXPECT_EQ(f.sta.doze_count(), 0u);
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::cam);
+}
+
+TEST(Station, SendWakesADozingStation) {
+  PsmFixture f(100_ms);
+  f.sim.run_for(150_ms);
+  ASSERT_EQ(f.sta.power_state(), Station::PowerState::dozing);
+  f.sta.send(Packet::make(PacketType::udp_data, Protocol::udp, kSta, 99, 64));
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::cam);
+  EXPECT_EQ(f.sta.wake_count(), 1u);
+}
+
+TEST(Station, ApTracksPmStateFromFrames) {
+  PsmFixture f(100_ms);
+  EXPECT_FALSE(f.ap.station_dozing(kSta));
+  f.sim.run_for(150_ms);  // null frame with PM=1 reaches the AP
+  EXPECT_TRUE(f.ap.station_dozing(kSta));
+  f.sta.send(Packet::make(PacketType::udp_data, Protocol::udp, kSta, 99, 64));
+  f.sim.run_for(5_ms);  // the PM=0 data frame re-syncs the AP
+  EXPECT_FALSE(f.ap.station_dozing(kSta));
+}
+
+TEST(AccessPoint, DeliversImmediatelyToAwakeStation) {
+  PsmFixture f(500_ms);
+  f.downlink();
+  f.sim.run_for(10_ms);
+  ASSERT_EQ(f.sta_received.size(), 1u);
+  EXPECT_EQ(f.ap.buffered_count(kSta), 0u);
+}
+
+TEST(AccessPoint, BuffersForDozingStationUntilBeacon) {
+  PsmFixture f(100_ms);
+  f.sim.run_for(150_ms);
+  ASSERT_TRUE(f.ap.station_dozing(kSta));
+
+  f.downlink();
+  f.sim.run_for(1_ms);
+  EXPECT_EQ(f.ap.buffered_count(kSta), 1u);
+  EXPECT_TRUE(f.sta_received.empty());
+
+  // The next beacon carries the TIM; the station PS-Polls and drains.
+  f.sim.run_for(beacon_interval() + 10_ms);
+  ASSERT_EQ(f.sta_received.size(), 1u);
+  EXPECT_EQ(f.ap.buffered_count(kSta), 0u);
+  EXPECT_GE(f.sta.ps_polls_sent(), 1u);
+  EXPECT_GE(f.ap.ps_polls_served(), 1u);
+}
+
+TEST(AccessPoint, PsPollDrainsMultipleBufferedFrames) {
+  PsmFixture f(100_ms);
+  f.sim.run_for(150_ms);
+  ASSERT_TRUE(f.ap.station_dozing(kSta));
+  for (int i = 0; i < 3; ++i) f.downlink();
+  f.sim.run_for(1_ms);
+  EXPECT_EQ(f.ap.buffered_count(kSta), 3u);
+  f.sim.run_for(beacon_interval() + 20_ms);
+  EXPECT_EQ(f.sta_received.size(), 3u);
+  EXPECT_GE(f.sta.ps_polls_sent(), 3u);  // one poll per buffered frame
+}
+
+TEST(AccessPoint, ReceivingBufferedDataPromotesToCam) {
+  PsmFixture f(200_ms);
+  f.sim.run_for(250_ms);  // doze entry lands in [190, 200]
+  ASSERT_EQ(f.sta.power_state(), Station::PowerState::dozing);
+  f.downlink();
+  // Next beacon at ~255 ms delivers; t = 310 ms is well inside the fresh
+  // CAM window ([~447, ~457] is the earliest re-doze).
+  f.sim.run_for(60_ms);
+  ASSERT_EQ(f.sta_received.size(), 1u);
+  // Adaptive PSM: traffic re-arms the CAM timer.
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::cam);
+  EXPECT_EQ(f.sta.wake_count(), 1u);
+}
+
+TEST(AccessPoint, WakeFlushesPsBuffer) {
+  PsmFixture f(100_ms);
+  f.sim.run_for(150_ms);
+  f.downlink();
+  f.downlink();
+  f.sim.run_for(1_ms);
+  EXPECT_EQ(f.ap.buffered_count(kSta), 2u);
+  // The station wakes to send; its PM=0 frame makes the AP flush.
+  f.sta.send(Packet::make(PacketType::udp_data, Protocol::udp, kSta, 99, 64));
+  f.sim.run_for(10_ms);
+  EXPECT_EQ(f.sta_received.size(), 2u);
+  EXPECT_EQ(f.ap.buffered_count(kSta), 0u);
+}
+
+TEST(AccessPoint, PsmDelayIsBoundedByOneListenCycle) {
+  PsmFixture f(100_ms);
+  f.sim.run_for(150_ms);
+  const sim::TimePoint buffered_at = f.sim.now();
+  f.downlink();
+  f.sim.run_for(beacon_interval() + 20_ms);
+  ASSERT_EQ(f.sta_received.size(), 1u);
+  const Duration wait = *f.sta_received[0].stamps.air - buffered_at;
+  // Actual listen interval 0 and no missed TIMs: at most one beacon cycle.
+  EXPECT_LE(wait, beacon_interval() + 5_ms);
+  EXPECT_GE(wait, Duration{});
+}
+
+TEST(AccessPoint, BeaconsCarryTimOnlyWhenBuffered) {
+  PsmFixture f(100_ms);
+  std::vector<bool> tim_set;
+  // A second, always-awake station observes the beacons.
+  Station observer(f.sim, f.channel, sim::Rng(21), [] {
+    Station::Config config;
+    config.id = 77;
+    config.ap = kAp;
+    config.psm_enabled = false;
+    return config;
+  }());
+  f.ap.associate(77, 1);
+  observer.radio().set_receiver([&](Packet pkt, const Frame&) {
+    if (pkt.type == PacketType::wifi_beacon) {
+      tim_set.push_back(std::find(pkt.wifi.tim.begin(), pkt.wifi.tim.end(),
+                                  kSta) != pkt.wifi.tim.end());
+    }
+  });
+  f.sim.run_for(150_ms);  // STA dozes; first beacon at 50ms has no TIM
+  f.downlink();
+  f.sim.run_for(beacon_interval() * 2);
+  ASSERT_GE(tim_set.size(), 2u);
+  EXPECT_FALSE(tim_set.front());  // before anything was buffered
+  EXPECT_TRUE(std::find(tim_set.begin(), tim_set.end(), true) !=
+              tim_set.end());
+}
+
+TEST(AccessPoint, GatewayDropsTtlExpired) {
+  PsmFixture f(500_ms);
+  Packet warmup =
+      Packet::make(PacketType::udp_warmup, Protocol::udp, kSta, 99, 46);
+  warmup.ttl = 1;
+  f.sta.send(std::move(warmup));
+  f.sim.run_for(10_ms);
+  EXPECT_EQ(f.ap.ttl_drops(), 1u);
+  EXPECT_TRUE(f.wired.packets.empty());
+}
+
+TEST(AccessPoint, ForwardsAndDecrementsTtl) {
+  PsmFixture f(500_ms);
+  Packet pkt = Packet::make(PacketType::udp_data, Protocol::udp, kSta, 99, 64);
+  pkt.ttl = 64;
+  f.sta.send(std::move(pkt));
+  f.sim.run_for(10_ms);
+  ASSERT_EQ(f.wired.packets.size(), 1u);
+  EXPECT_EQ(f.wired.packets[0].ttl, 63);
+  EXPECT_EQ(f.ap.ttl_drops(), 0u);
+}
+
+TEST(AccessPoint, BeaconCadenceIsStandard) {
+  PsmFixture f(10_s);  // station never dozes
+  f.sim.run_for(1_s);
+  // First beacon at 50 ms, then every 102.4 ms: floor((1000-50)/102.4)+1.
+  EXPECT_EQ(f.ap.beacons_sent(), 10u);
+}
+
+TEST(AccessPoint, AssociationMetadata) {
+  PsmFixture f;
+  EXPECT_EQ(f.ap.associated_listen_interval(kSta), 10);
+  EXPECT_EQ(f.ap.associated_listen_interval(12345), -1);
+}
+
+TEST(Station, MissedTimWaitsForNextBeacon) {
+  // beacon_miss_probability = 1.0: the station never acts on a TIM, so a
+  // buffered frame is never fetched by polling (upper-bound behaviour).
+  PsmFixture f(100_ms, 1.0);
+  f.sim.run_for(150_ms);
+  f.downlink();
+  f.sim.run_for(beacon_interval() * 3);
+  EXPECT_TRUE(f.sta_received.empty());
+  EXPECT_EQ(f.ap.buffered_count(kSta), 1u);
+}
+
+TEST(Station, ConfigContractsChecked) {
+  Simulator sim;
+  Channel channel(sim, sim::Rng(1), phy_802_11g());
+  Station::Config bad;
+  bad.id = 1;
+  bad.ap = 2;
+  bad.psm_timeout = Duration{};
+  EXPECT_THROW(Station(sim, channel, sim::Rng(2), bad),
+               sim::ContractViolation);
+  bad.psm_timeout = 100_ms;
+  bad.beacon_miss_probability = 1.5;
+  EXPECT_THROW(Station(sim, channel, sim::Rng(2), bad),
+               sim::ContractViolation);
+}
+
+// Property sweep: for any Tip, the doze entry always lands within
+// [Tip - tick, Tip + transmission slack] after the last activity.
+class DozeWindow : public ::testing::TestWithParam<int> {};
+
+TEST_P(DozeWindow, EntryWithinQuantizationWindow) {
+  const Duration tip = Duration::millis(GetParam());
+  PsmFixture f(tip);
+  f.sim.run_for(tip - 11_ms);
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::cam);
+  f.sim.run_for(12_ms + 2_ms);
+  EXPECT_EQ(f.sta.power_state(), Station::PowerState::dozing);
+}
+
+INSTANTIATE_TEST_SUITE_P(TipSweep, DozeWindow,
+                         ::testing::Values(40, 45, 100, 205, 210, 400));
+
+}  // namespace
+}  // namespace acute::wifi
