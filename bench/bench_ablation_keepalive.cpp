@@ -32,7 +32,7 @@ CadenceResult measure_cadence(const phone::PhoneProfile& profile, int db_ms,
   constexpr double kEmulatedMs = 85.0;
   testbed::TestbedConfig config;
   config.profile = profile;
-  config.emulated_rtt = sim::Duration::from_ms(kEmulatedMs);
+  config.emulated_rtt = sim::Duration::millis(kEmulatedMs);
   config.seed = seed;
   testbed::Testbed testbed(config);
   testbed.settle(sim::Duration::millis(800));

@@ -7,11 +7,13 @@
 // Usage: ./build/examples/crowdsourced_campaign [probes_per_run]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/calibration.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "testbed/experiment.hpp"
+#include "tools/ping.hpp"
 
 using namespace acute;
 
@@ -101,5 +103,48 @@ int main(int argc, char** argv) {
       "energy-saving penalties differ (§1: \"two different smartphones may\n"
       "obtain quite different nRTTs for the same network path\");\n"
       "AcuteMon + calibration pins every handset to the network truth.\n");
+
+  // --- The same fleet on ONE channel (a ScenarioSpec with all five
+  // handsets contending at a single AP), probing concurrently.
+  std::printf("\nContended fleet: all 5 handsets on one channel, "
+              "probing concurrently\n\n");
+  testbed::ScenarioSpec scenario;
+  scenario.phones.clear();
+  for (const auto& profile : phone::PhoneProfile::all()) {
+    scenario.phones.push_back(testbed::PhoneSpec{profile, ""});
+  }
+  scenario.seed = seed;
+  scenario.emulated_rtt = sim::Duration::millis(kPathRttMs);
+  testbed::Testbed fleet(scenario);
+  fleet.settle(sim::Duration::millis(800));
+
+  std::vector<std::unique_ptr<tools::IcmpPing>> pings;
+  std::vector<tools::MeasurementTool*> running;
+  for (std::size_t i = 0; i < fleet.phone_count(); ++i) {
+    tools::MeasurementTool::Config config;
+    config.probe_count = probes;
+    config.interval = sim::Duration::millis(250);
+    config.timeout = sim::Duration::seconds(1);
+    config.target = testbed::Testbed::kServerId;
+    pings.push_back(std::make_unique<tools::IcmpPing>(fleet.phone(i), config));
+    pings.back()->start();
+    running.push_back(pings.back().get());
+  }
+  fleet.run_until_all_finished(running);
+
+  stats::Table fleet_table({"handset", "du median", "dn median"});
+  for (std::size_t i = 0; i < fleet.phone_count(); ++i) {
+    const auto samples = fleet.layer_samples(pings[i]->result());
+    fleet_table.add_row(
+        {fleet.phone(i).profile().name,
+         stats::Table::cell(stats::Summary(
+             core::extract(samples, &core::LayerSample::du_ms)).median()),
+         stats::Table::cell(stats::Summary(
+             core::extract(samples, &core::LayerSample::dn_ms)).median())});
+  }
+  std::printf("%s", fleet_table.to_string().c_str());
+  std::printf(
+      "\nEven sharing one medium, the per-handset du spread persists —\n"
+      "the inflation is in the phones, not the path.\n");
   return 0;
 }

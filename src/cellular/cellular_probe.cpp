@@ -14,28 +14,45 @@ using sim::TimePoint;
 
 CellularPath::CellularPath(sim::Simulator& sim, sim::Rng rng, RrcMachine& rrc,
                            Config config)
-    : sim_(&sim), rng_(std::move(rng)), rrc_(&rrc), config_(config) {}
+    : sim_(&sim),
+      rng_(std::move(rng)),
+      config_(config),
+      radio_(sim, rrc),
+      pipeline_(sim) {
+  pipeline_.append(radio_);
+  // Core network: echo every uplink packet back into the radio after the
+  // (per-probe) core RTT. The downlink state latency is paid by the radio
+  // layer at deliver() time, when the RRC state may have changed.
+  radio_.set_egress([this](net::Packet pkt) {
+    const auto it = pending_.find(pkt.probe_id);
+    if (it == pending_.end()) return;  // keep-alive, no echo expected
+    const Duration core = it->second.core;
+    sim_->schedule_in(core, [this, pkt = std::move(pkt)]() mutable {
+      radio_.deliver(std::move(pkt));
+    });
+  });
+  pipeline_.set_app_handler([this](net::Packet pkt) {
+    const auto it = pending_.find(pkt.probe_id);
+    if (it == pending_.end()) return;
+    Pending entry = std::move(it->second);
+    pending_.erase(it);
+    entry.done(sim_->now() - entry.sent);
+  });
+}
 
 void CellularPath::probe(std::uint32_t bytes,
                          std::function<void(Duration)> done) {
   expects(static_cast<bool>(done), "CellularPath::probe requires a callback");
-  const TimePoint sent = sim_->now();
-  const Duration promotion = rrc_->request_transmit(bytes);
-  // Uplink pays the state latency at send time; we sample the downlink
-  // latency after the core RTT elapses, when the state may have changed.
-  const Duration uplink = rrc_->state_latency();
+  net::Packet pkt = net::Packet::make(net::PacketType::udp_data,
+                                      net::Protocol::udp, 0, 0, bytes);
+  pkt.probe_id = net::Packet::allocate_id();
+  // Draw the core jitter now so the per-probe draw order is stable no
+  // matter when the packet clears the radio.
   const Duration core =
       config_.core_rtt +
       rng_.uniform_duration(-config_.core_jitter, config_.core_jitter);
-  sim_->schedule_in(promotion + uplink + core,
-                    [this, sent, done = std::move(done)] {
-                      rrc_->on_receive();
-                      const Duration downlink = rrc_->state_latency();
-                      sim_->schedule_in(downlink, [this, sent,
-                                                   done = std::move(done)] {
-                        done(sim_->now() - sent);
-                      });
-                    });
+  pending_[pkt.probe_id] = Pending{sim_->now(), core, std::move(done)};
+  pipeline_.transmit(std::move(pkt));
 }
 
 std::vector<double> CellularProbeSession::run(const Spec& spec) {

@@ -6,15 +6,21 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "cellular/rrc.hpp"
+#include "cellular/rrc_radio.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "stack/stack_pipeline.hpp"
 
 namespace acute::cellular {
 
 /// A point-to-point cellular path: RRC-gated radio + fixed core-network RTT.
+/// The radio is an RrcRadioLayer composed into a StackPipeline, so the same
+/// packet-flow interface the WiFi stack uses carries the cellular probes;
+/// the core network is the echo beyond the radio's egress.
 class CellularPath {
  public:
   struct Config {
@@ -33,11 +39,21 @@ class CellularPath {
   /// state latency, and the core-network RTT.
   void probe(std::uint32_t bytes, std::function<void(sim::Duration)> done);
 
+  [[nodiscard]] RrcRadioLayer& radio() { return radio_; }
+
  private:
+  struct Pending {
+    sim::TimePoint sent;
+    sim::Duration core;  // this probe's core-network RTT (jitter included)
+    std::function<void(sim::Duration)> done;
+  };
+
   sim::Simulator* sim_;
   sim::Rng rng_;
-  RrcMachine* rrc_;
   Config config_;
+  RrcRadioLayer radio_;
+  stack::StackPipeline pipeline_;
+  std::unordered_map<std::uint64_t, Pending> pending_;  // by probe_id
 };
 
 /// Experiment harness mirroring the paper's WiFi methodology on cellular.

@@ -1,0 +1,63 @@
+// Overflow-safe monotonic id allocation.
+//
+// Packet ids and flow ids use 0 as a sentinel ("no probe", "no app bound"),
+// so a naive `next_++` counter would hand out the sentinel — and collide
+// with live ids — once it wraps. Fleet-scale scenarios multiply packet
+// volume enough that wrap-around is a real (if distant) concern for 32-bit
+// counters, so both allocators skip 0 on wrap by construction.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <type_traits>
+
+namespace acute::net {
+
+/// Single-threaded wrapping id allocator that never returns 0.
+template <typename UInt>
+class IdAllocator {
+  static_assert(std::is_unsigned_v<UInt>, "IdAllocator requires an unsigned type");
+
+ public:
+  constexpr explicit IdAllocator(UInt first = 1) : next_(first ? first : 1) {}
+
+  /// Returns the next id and advances, wrapping max -> 1 (never 0).
+  [[nodiscard]] constexpr UInt next() {
+    const UInt id = next_;
+    next_ = id == std::numeric_limits<UInt>::max() ? UInt{1}
+                                                   : static_cast<UInt>(id + 1);
+    return id;
+  }
+
+  /// The id the next call to next() will return.
+  [[nodiscard]] constexpr UInt peek() const { return next_; }
+
+ private:
+  UInt next_;
+};
+
+/// Thread-safe variant (Packet::allocate_id is documented process-unique and
+/// tests may allocate from multiple threads).
+template <typename UInt>
+class AtomicIdAllocator {
+  static_assert(std::is_unsigned_v<UInt>,
+                "AtomicIdAllocator requires an unsigned type");
+
+ public:
+  constexpr explicit AtomicIdAllocator(UInt first = 1)
+      : next_(first ? first : 1) {}
+
+  /// Returns the next id, skipping 0 when the underlying counter wraps.
+  [[nodiscard]] UInt next() {
+    UInt id = next_.fetch_add(1, std::memory_order_relaxed);
+    while (id == 0) {
+      id = next_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return id;
+  }
+
+ private:
+  std::atomic<UInt> next_;
+};
+
+}  // namespace acute::net

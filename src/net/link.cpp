@@ -35,7 +35,7 @@ Link::Direction& Link::direction_from(NodeId from) {
 void Link::send(NodeId from, Packet packet) {
   Direction& dir = direction_from(from);
   const auto serialization =
-      Duration::from_seconds(double(packet.size_bytes) * 8.0 / bandwidth_bps_);
+      Duration::seconds(double(packet.size_bytes) * 8.0 / bandwidth_bps_);
   const TimePoint start = std::max(sim_->now(), dir.busy_until);
   const TimePoint tx_done = start + serialization;
   dir.busy_until = tx_done;

@@ -1,7 +1,8 @@
 #include "net/packet.hpp"
 
-#include <atomic>
 #include <sstream>
+
+#include "net/id_alloc.hpp"
 
 namespace acute::net {
 
@@ -54,8 +55,8 @@ const char* to_string(Protocol protocol) {
 }
 
 std::uint64_t Packet::allocate_id() {
-  static std::atomic<std::uint64_t> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
+  static AtomicIdAllocator<std::uint64_t> allocator{1};
+  return allocator.next();
 }
 
 Packet Packet::make(PacketType type, Protocol protocol, NodeId src, NodeId dst,

@@ -55,7 +55,7 @@ void EchoServer::respond(const Packet& request) {
   ++requests_served_;
   // Kernel service time, then out through the netem-shaped egress.
   const Duration service =
-      Duration::from_seconds(rng_.exponential(service_mean_.to_seconds()));
+      Duration::seconds(rng_.exponential(service_mean_.to_seconds()));
   sim_->schedule_in(service, [this, resp = std::move(*response)]() mutable {
     netem_.enqueue(std::move(resp));
   });

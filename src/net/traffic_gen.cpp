@@ -15,7 +15,7 @@ UdpCbrSource::UdpCbrSource(sim::Simulator& sim, sim::Rng rng, Config config,
       config_(config),
       transmit_(std::move(transmit)),
       timer_(sim,
-             Duration::from_seconds(double(config.datagram_bytes) * 8.0 /
+             Duration::seconds(double(config.datagram_bytes) * 8.0 /
                                     (config.rate_mbps * 1e6)),
              [this](std::uint64_t) {
                Packet pkt =

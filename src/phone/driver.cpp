@@ -7,23 +7,15 @@ namespace acute::phone {
 using net::Packet;
 using sim::Duration;
 using sim::TimePoint;
+using stack::StampPoint;
 
 WnicDriver::WnicDriver(sim::Simulator& sim, sim::Rng rng,
-                       const PhoneProfile& profile, SdioBus& bus,
-                       wifi::Station& station)
-    : sim_(&sim),
-      rng_(std::move(rng)),
-      profile_(&profile),
-      bus_(&bus),
-      station_(&station) {
-  station_->set_receiver([this](Packet pkt, const wifi::Frame& frame) {
-    on_station_receive(std::move(pkt), frame);
-  });
-}
+                       const PhoneProfile& profile, SdioBus& bus)
+    : sim_(&sim), rng_(std::move(rng)), profile_(&profile), bus_(&bus) {}
 
-void WnicDriver::start_xmit(Packet packet) {
+void WnicDriver::transmit(Packet packet) {
   const TimePoint xmit_entry = sim_->now();
-  packet.stamps.driver_xmit_entry = xmit_entry;
+  stamp(packet, StampPoint::driver_xmit_entry, xmit_entry);
 
   // dhd_sched_dpc + dpc wake-up, then the bus-sleep / clock checks.
   const Duration dispatch = profile_->driver_tx_base.sample(rng_);
@@ -31,33 +23,28 @@ void WnicDriver::start_xmit(Packet packet) {
 
   sim_->schedule_in(
       dispatch + bus_ready, [this, pkt = std::move(packet)]() mutable {
-        // dhdsdio_txpkt: write the frame over the bus.
-        pkt.stamps.driver_txpkt = sim_->now();
+        // dhdsdio_txpkt: hand the frame to the bus layer for the write.
+        stamp(pkt, StampPoint::driver_txpkt, sim_->now());
         dvsend_ms_.push_back(
             (sim_->now() - *pkt.stamps.driver_xmit_entry).to_ms());
-        const Duration transfer = bus_->transfer_time(pkt.size_bytes);
-        sim_->schedule_in(transfer, [this, pkt = std::move(pkt)]() mutable {
-          bus_->activity();
-          ++tx_packets_;
-          station_->send(std::move(pkt));
-        });
+        ++tx_packets_;
+        pass_down(std::move(pkt));
       });
 }
 
-void WnicDriver::on_station_receive(Packet packet, const wifi::Frame& frame) {
+void WnicDriver::deliver(Packet packet) {
   // The chip raises the interrupt shortly after the frame ends on air.
-  (void)frame;
   sim_->schedule_in(profile_->irq_latency, [this,
                                             pkt = std::move(packet)]() mutable {
     // dhdsdio_isr entry.
-    pkt.stamps.driver_isr = sim_->now();
+    stamp(pkt, StampPoint::driver_isr, sim_->now());
     const Duration bus_ready = bus_->acquire(SdioBus::Direction::receive);
     const Duration read_cost = profile_->driver_rx_base.sample(rng_) +
                                bus_->transfer_time(pkt.size_bytes);
     sim_->schedule_in(bus_ready + read_cost,
                       [this, pkt = std::move(pkt)]() mutable {
                         // dhd_rxf_enqueue.
-                        pkt.stamps.driver_rxf_enqueue = sim_->now();
+                        stamp(pkt, StampPoint::driver_rxf_enqueue, sim_->now());
                         dvrecv_ms_.push_back(
                             (sim_->now() - *pkt.stamps.driver_isr).to_ms());
                         bus_->activity();
@@ -69,7 +56,7 @@ void WnicDriver::on_station_receive(Packet packet, const wifi::Frame& frame) {
                                                        profile_->cpu_scale);
                         sim_->schedule_in(netif, [this, pkt = std::move(
                                                             pkt)]() mutable {
-                          if (on_receive_) on_receive_(std::move(pkt));
+                          pass_up(std::move(pkt));
                         });
                       });
   });

@@ -10,10 +10,16 @@
 // therefore capture the SDIO wake latency, exactly as the paper's modified
 // driver measures them (Table 3). The driver keeps a log of both, playing
 // the role of that kernel instrumentation.
+//
+// As a StackLayer the driver sits between the kernel and the SDIO/SMD bus.
+// It still calls the bus's arbitration services (acquire / transfer_time)
+// directly — that is the dhdsdio_bussleep/clkctl reality — while the packet
+// itself flows through the pipeline: downward the frame is passed to the bus
+// layer at dhdsdio_txpkt time; upward the bus forwards received frames into
+// deliver(), which models the isr -> rxf -> netif_rx_ni climb.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -21,24 +27,21 @@
 #include "phone/sdio_bus.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
-#include "wifi/station.hpp"
+#include "stack/stack_layer.hpp"
 
 namespace acute::phone {
 
-class WnicDriver {
+class WnicDriver : public stack::StackLayer {
  public:
   WnicDriver(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile,
-             SdioBus& bus, wifi::Station& station);
+             SdioBus& bus);
 
-  WnicDriver(const WnicDriver&) = delete;
-  WnicDriver& operator=(const WnicDriver&) = delete;
-
+  // StackLayer.
+  [[nodiscard]] const char* layer_name() const override { return "driver"; }
   /// Downward path: the kernel hands a packet to dhd_start_xmit.
-  void start_xmit(net::Packet packet);
-
-  /// Upward delivery into the kernel (after netif_rx_ni).
-  using RxFn = std::function<void(net::Packet)>;
-  void set_rx_handler(RxFn on_receive) { on_receive_ = std::move(on_receive); }
+  void transmit(net::Packet packet) override;
+  /// Upward path: a frame arrives from the bus (chip interrupt).
+  void deliver(net::Packet packet) override;
 
   /// The "modified driver" logs of §3.2.1.
   [[nodiscard]] const std::vector<double>& dvsend_log_ms() const {
@@ -51,16 +54,13 @@ class WnicDriver {
 
   [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
   [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
+  [[nodiscard]] SdioBus& bus() { return *bus_; }
 
  private:
-  void on_station_receive(net::Packet packet, const wifi::Frame& frame);
-
   sim::Simulator* sim_;
   sim::Rng rng_;
   const PhoneProfile* profile_;
   SdioBus* bus_;
-  wifi::Station* station_;
-  RxFn on_receive_;
   std::vector<double> dvsend_ms_;
   std::vector<double> dvrecv_ms_;
   std::uint64_t tx_packets_ = 0;

@@ -6,13 +6,11 @@ namespace acute::phone {
 
 using net::Packet;
 using sim::Duration;
+using stack::StampPoint;
 
 KernelStack::KernelStack(sim::Simulator& sim, sim::Rng rng,
-                         const PhoneProfile& profile, WnicDriver& driver)
-    : sim_(&sim), rng_(std::move(rng)), profile_(&profile), driver_(&driver) {
-  driver_->set_rx_handler(
-      [this](Packet pkt) { on_driver_receive(std::move(pkt)); });
-}
+                         const PhoneProfile& profile)
+    : sim_(&sim), rng_(std::move(rng)), profile_(&profile) {}
 
 void KernelStack::transmit(Packet packet) {
   // IP/transport processing down to the device queue.
@@ -20,15 +18,15 @@ void KernelStack::transmit(Packet packet) {
       profile_->kernel_tx.sample_scaled(rng_, profile_->cpu_scale);
   sim_->schedule_in(cost, [this, pkt = std::move(packet)]() mutable {
     // bpf tap right at dev_queue_xmit: t_k^o.
-    pkt.stamps.kernel_send = sim_->now();
+    stamp(pkt, StampPoint::kernel_send, sim_->now());
     ++tx_packets_;
-    driver_->start_xmit(std::move(pkt));
+    pass_down(std::move(pkt));
   });
 }
 
-void KernelStack::on_driver_receive(Packet packet) {
+void KernelStack::deliver(Packet packet) {
   // bpf tap at netif_rx: t_k^i.
-  packet.stamps.kernel_recv = sim_->now();
+  stamp(packet, StampPoint::kernel_recv, sim_->now());
   ++rx_packets_;
 
   // Inbound ICMP echo: the kernel answers it itself (this is what lets a
@@ -49,7 +47,7 @@ void KernelStack::on_driver_receive(Packet packet) {
   const Duration cost =
       profile_->kernel_rx.sample_scaled(rng_, profile_->cpu_scale);
   sim_->schedule_in(cost, [this, pkt = std::move(packet)]() mutable {
-    if (on_receive_) on_receive_(std::move(pkt));
+    pass_up(std::move(pkt));
   });
 }
 

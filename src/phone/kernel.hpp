@@ -5,31 +5,28 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/packet.hpp"
-#include "phone/driver.hpp"
 #include "phone/profile.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "stack/stack_layer.hpp"
 
 namespace acute::phone {
 
-class KernelStack {
+class KernelStack : public stack::StackLayer {
  public:
-  KernelStack(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile,
-              WnicDriver& driver);
+  KernelStack(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile);
 
-  KernelStack(const KernelStack&) = delete;
-  KernelStack& operator=(const KernelStack&) = delete;
-
+  // StackLayer.
+  [[nodiscard]] const char* layer_name() const override { return "kernel"; }
   /// Downward: a packet entering the kernel from a socket write. The bpf
   /// tap (kernel_send) is stamped just before the driver hand-off.
-  void transmit(net::Packet packet);
-
-  /// Upward delivery to the socket layer.
-  using RxFn = std::function<void(net::Packet)>;
-  void set_rx_handler(RxFn on_receive) { on_receive_ = std::move(on_receive); }
+  void transmit(net::Packet packet) override;
+  /// Upward: a packet climbing from the driver (netif_rx). ICMP echo
+  /// requests are answered in place; everything else ascends to the socket
+  /// layer after protocol processing.
+  void deliver(net::Packet packet) override;
 
   [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
   [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
@@ -39,13 +36,9 @@ class KernelStack {
   }
 
  private:
-  void on_driver_receive(net::Packet packet);
-
   sim::Simulator* sim_;
   sim::Rng rng_;
   const PhoneProfile* profile_;
-  WnicDriver* driver_;
-  RxFn on_receive_;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;
   std::uint64_t icmp_echoes_served_ = 0;

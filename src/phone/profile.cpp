@@ -87,7 +87,7 @@ PhoneProfile PhoneProfile::nexus4() {
   // entry lands in [Tip-10, Tip]; 39.5 ms makes a 30 ms path race the doze
   // entry on ~1 probe in 6, reproducing Table 2's partial external
   // inflation (mean +11 ms with a wide CI) at that cell.
-  p.psm_timeout = Duration::from_ms(39.5);
+  p.psm_timeout = Duration::millis(39.5);
   p.associated_listen_interval = 1;      // wcnss default
   p.ping_integer_ms_above_100 = true;
   // adb-shell ping on this handset shows a slightly larger user-space cost

@@ -30,7 +30,7 @@ struct LatencyDist {
                                    lo_ms * scale, hi_ms * scale);
   }
   [[nodiscard]] sim::Duration mean() const {
-    return sim::Duration::from_ms(mu_ms);
+    return sim::Duration::millis(mu_ms);
   }
 };
 
@@ -68,7 +68,7 @@ struct PhoneProfile {
   /// with this mean interval. It occasionally leaves the bus awake when a
   /// probe arrives after a long idle gap — the source of the small minima
   /// in Table 3's "enabled / 1000 ms" rows. Zero disables it.
-  sim::Duration system_traffic_mean_interval = sim::Duration::from_ms(2500);
+  sim::Duration system_traffic_mean_interval = sim::Duration::millis(2500);
   std::uint32_t system_traffic_bytes = 120;
 
   // Driver stage costs (bus awake).

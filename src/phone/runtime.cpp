@@ -2,9 +2,14 @@
 
 #include <utility>
 
+#include "sim/contracts.hpp"
+
 namespace acute::phone {
 
+using net::Packet;
 using sim::Duration;
+using sim::expects;
+using stack::StampPoint;
 
 const char* to_string(ExecMode mode) {
   switch (mode) {
@@ -35,6 +40,50 @@ Duration ExecEnv::recv_overhead(ExecMode mode) {
     cost += profile_->dvm_gc_pause.sample(rng_);
   }
   return cost;
+}
+
+ExecEnvLayer::ExecEnvLayer(sim::Simulator& sim, sim::Rng rng,
+                           const PhoneProfile& profile)
+    : sim_(&sim), env_(std::move(rng), profile) {}
+
+void ExecEnvLayer::send(Packet packet, ExecMode mode) {
+  stamp(packet, StampPoint::app_send, sim_->now());  // t_u^o
+  const Duration overhead = env_.send_overhead(mode);
+  sim_->schedule_in(overhead, [this, pkt = std::move(packet)]() mutable {
+    pass_down(std::move(pkt));
+  });
+}
+
+void ExecEnvLayer::deliver(Packet packet) {
+  const auto it = flows_.find(packet.flow_id);
+  if (it == flows_.end()) return;  // no app bound to this flow
+  const Duration overhead = env_.recv_overhead(it->second.mode);
+  const std::uint32_t flow_id = packet.flow_id;
+  sim_->schedule_in(overhead, [this, flow_id,
+                               pkt = std::move(packet)]() mutable {
+    stamp(pkt, StampPoint::app_recv, sim_->now());  // t_u^i
+    // Re-look-up: the app may have unregistered while the packet climbed.
+    const auto handler_it = flows_.find(flow_id);
+    if (handler_it == flows_.end()) return;
+    handler_it->second.handler(pkt);
+  });
+}
+
+void ExecEnvLayer::register_flow(std::uint32_t flow_id, AppRxFn handler,
+                                 ExecMode mode) {
+  expects(static_cast<bool>(handler),
+          "ExecEnvLayer::register_flow requires a handler");
+  flows_[flow_id] = FlowEntry{std::move(handler), mode};
+}
+
+void ExecEnvLayer::unregister_flow(std::uint32_t flow_id) {
+  flows_.erase(flow_id);
+}
+
+std::uint32_t ExecEnvLayer::allocate_flow_id() {
+  std::uint32_t id = flow_ids_.next();
+  while (flows_.count(id) != 0) id = flow_ids_.next();
+  return id;
 }
 
 }  // namespace acute::phone

@@ -5,11 +5,24 @@
 // AcuteMon's measurement thread is such a binary (§4.1), while Java-based
 // tools (MobiPerf's InetAddress method) pay DVM costs plus occasional GC
 // pauses.
+//
+// ExecEnv is the pure cost model; ExecEnvLayer is the top StackLayer of a
+// phone pipeline — it pays the runtime's send/receive overheads, writes the
+// t_u stamps, and demultiplexes ascending packets to the apps registered on
+// its flows.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/id_alloc.hpp"
+#include "net/packet.hpp"
 #include "phone/profile.hpp"
 #include "sim/random.hpp"
+#include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "stack/stack_layer.hpp"
 
 namespace acute::phone {
 
@@ -32,6 +45,49 @@ class ExecEnv {
  private:
   sim::Rng rng_;
   const PhoneProfile* profile_;
+};
+
+class ExecEnvLayer : public stack::StackLayer {
+ public:
+  ExecEnvLayer(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile);
+
+  // StackLayer.
+  [[nodiscard]] const char* layer_name() const override { return "exec-env"; }
+  /// Downward entry with the default (native C) runtime. Apps normally call
+  /// send() to choose their runtime explicitly.
+  void transmit(net::Packet packet) override {
+    send(std::move(packet), ExecMode::native_c);
+  }
+  /// Upward: socket readiness -> runtime receive overhead -> t_u^i stamp ->
+  /// the app registered on the packet's flow (dropped if none).
+  void deliver(net::Packet packet) override;
+
+  /// Sends a packet from an app. Stamps app_send (t_u^o) now; the packet
+  /// enters the kernel after the runtime's send overhead.
+  void send(net::Packet packet, ExecMode mode);
+
+  /// App-level receive callback, demultiplexed by the packet's flow id.
+  /// `mode` determines the runtime whose receive overhead the app pays.
+  using AppRxFn = std::function<void(const net::Packet&)>;
+  void register_flow(std::uint32_t flow_id, AppRxFn handler,
+                     ExecMode mode = ExecMode::native_c);
+  void unregister_flow(std::uint32_t flow_id);
+
+  /// Allocates a flow id no other app on this layer uses. Wrap-safe: skips
+  /// 0 (the "no app" sentinel) and ids still registered.
+  [[nodiscard]] std::uint32_t allocate_flow_id();
+
+  [[nodiscard]] ExecEnv& env() { return env_; }
+
+ private:
+  sim::Simulator* sim_;
+  ExecEnv env_;
+  struct FlowEntry {
+    AppRxFn handler;
+    ExecMode mode = ExecMode::native_c;
+  };
+  std::unordered_map<std::uint32_t, FlowEntry> flows_;
+  net::IdAllocator<std::uint32_t> flow_ids_;
 };
 
 }  // namespace acute::phone

@@ -39,6 +39,16 @@ void SdioBus::on_watchdog_tick() {
   }
 }
 
+void SdioBus::transmit(net::Packet packet) {
+  const Duration transfer = transfer_time(packet.size_bytes);
+  sim_->schedule_in(transfer, [this, pkt = std::move(packet)]() mutable {
+    activity();
+    pass_down(std::move(pkt));
+  });
+}
+
+void SdioBus::deliver(net::Packet packet) { pass_up(std::move(packet)); }
+
 Duration SdioBus::acquire(Direction direction) {
   const TimePoint now = sim_->now();
   if (state_ == State::sleeping) {
@@ -68,7 +78,7 @@ void SdioBus::activity() {
 }
 
 Duration SdioBus::transfer_time(std::uint32_t bytes) const {
-  return Duration::from_us(double(bytes) * 8.0 / transfer_mbps_);
+  return Duration::micros(double(bytes) * 8.0 / transfer_mbps_);
 }
 
 void SdioBus::set_sleep_enabled(bool enabled) {

@@ -17,18 +17,30 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stack/stack_layer.hpp"
 
 namespace acute::phone {
 
-class SdioBus {
+/// As a StackLayer the bus sits between the WNIC driver and the station: the
+/// downward path models the frame write over the bus (transfer time, then an
+/// activity mark that resets the idle counter). On the upward path the bus is
+/// transparent — in bcmdhd the RX bus read happens inside the driver's dpc
+/// thread between dhdsdio_isr and dhd_rxf_enqueue, so the driver accounts for
+/// it via acquire() + transfer_time() and the ascent passes straight through.
+class SdioBus : public stack::StackLayer {
  public:
   enum class State { awake, sleeping };
   enum class Direction { transmit, receive };
 
   SdioBus(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile);
 
-  SdioBus(const SdioBus&) = delete;
-  SdioBus& operator=(const SdioBus&) = delete;
+  // StackLayer.
+  [[nodiscard]] const char* layer_name() const override { return "sdio-bus"; }
+  /// Downward: the driver hands a frame over at dhdsdio_txpkt time; the bus
+  /// spends the transfer time, marks activity, and passes to the station.
+  void transmit(net::Packet packet) override;
+  /// Upward: transparent (see class comment).
+  void deliver(net::Packet packet) override;
 
   /// Acquires the bus for a transfer. Returns the latency before the bus is
   /// usable: ~0 when awake and recently active, the backplane-clock ramp

@@ -2,13 +2,10 @@
 
 #include <utility>
 
-#include "sim/contracts.hpp"
-
 namespace acute::phone {
 
 using net::Packet;
 using sim::Duration;
-using sim::expects;
 
 namespace {
 wifi::Station::Config station_config(const PhoneProfile& profile,
@@ -35,12 +32,16 @@ Smartphone::Smartphone(sim::Simulator& sim, wifi::Channel& channel,
       station_(sim, channel, rng.fork("station"),
                station_config(profile_, id, ap_id)),
       bus_(sim, rng.fork("bus"), profile_),
-      driver_(sim, rng.fork("driver"), profile_, bus_, station_),
-      kernel_(sim, rng.fork("kernel"), profile_, driver_),
-      env_(rng.fork("env"), profile_),
+      driver_(sim, rng.fork("driver"), profile_, bus_),
+      kernel_(sim, rng.fork("kernel"), profile_),
+      exec_(sim, rng.fork("env"), profile_),
+      pipeline_(sim),
       ap_id_(ap_id) {
-  kernel_.set_rx_handler(
-      [this](Packet pkt) { on_kernel_receive(std::move(pkt)); });
+  pipeline_.append(exec_);
+  pipeline_.append(kernel_);
+  pipeline_.append(driver_);
+  pipeline_.append(bus_);
+  pipeline_.append(station_);
   if (profile_.system_traffic_mean_interval > Duration{}) {
     schedule_system_traffic();
   }
@@ -50,7 +51,7 @@ void Smartphone::schedule_system_traffic() {
   // Sync services and keep-alives chatter at Poisson intervals. The
   // packets die at the gateway (TTL = 1) but wake the bus and the radio on
   // the way out — the source of Table 3's occasional already-awake probes.
-  const Duration next = Duration::from_seconds(rng_.exponential(
+  const Duration next = Duration::seconds(rng_.exponential(
       profile_.system_traffic_mean_interval.to_seconds()));
   sim_->schedule_in(next, [this] {
     if (system_traffic_enabled_) {
@@ -66,39 +67,9 @@ void Smartphone::schedule_system_traffic() {
   });
 }
 
-void Smartphone::register_flow(std::uint32_t flow_id, AppRxFn handler,
-                               ExecMode mode) {
-  expects(static_cast<bool>(handler),
-          "Smartphone::register_flow requires a handler");
-  flows_[flow_id] = FlowEntry{std::move(handler), mode};
-}
-
-void Smartphone::unregister_flow(std::uint32_t flow_id) {
-  flows_.erase(flow_id);
-}
-
 void Smartphone::send(Packet packet, ExecMode mode) {
   packet.src = id_;
-  packet.stamps.app_send = sim_->now();  // t_u^o
-  const Duration overhead = env_.send_overhead(mode);
-  sim_->schedule_in(overhead, [this, pkt = std::move(packet)]() mutable {
-    kernel_.transmit(std::move(pkt));
-  });
-}
-
-void Smartphone::on_kernel_receive(Packet packet) {
-  const auto it = flows_.find(packet.flow_id);
-  if (it == flows_.end()) return;  // no app bound to this flow
-  const Duration overhead = env_.recv_overhead(it->second.mode);
-  const std::uint32_t flow_id = packet.flow_id;
-  sim_->schedule_in(overhead, [this, flow_id,
-                               pkt = std::move(packet)]() mutable {
-    pkt.stamps.app_recv = sim_->now();  // t_u^i
-    // Re-look-up: the app may have unregistered while the packet climbed.
-    const auto handler_it = flows_.find(flow_id);
-    if (handler_it == flows_.end()) return;
-    handler_it->second.handler(pkt);
-  });
+  exec_.send(std::move(packet), mode);
 }
 
 }  // namespace acute::phone

@@ -1,12 +1,17 @@
-// The composed handset: execution environment over kernel over WNIC driver
-// over SDIO/SMD bus over 802.11 station. Measurement apps talk to the
-// socket-like flow API; everything below reproduces the latency structure
-// the paper dissects.
+// The composed handset: a PhoneProfile plus a StackPipeline of the five
+// stack layers the paper dissects —
+//
+//   exec-env -> kernel -> driver -> sdio-bus -> station
+//
+// Measurement apps talk to the socket-like flow API; everything below
+// reproduces the latency structure the paper decomposes into du/dk/dv/dn.
+// The Smartphone itself no longer wires layer-to-layer callbacks: the
+// pipeline owns the descent/ascent plumbing, and the phone only contributes
+// identity (node id), the background system chatter, and subsystem access
+// for ablations.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 
 #include "net/packet.hpp"
 #include "phone/driver.hpp"
@@ -16,6 +21,7 @@
 #include "phone/sdio_bus.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "stack/stack_pipeline.hpp"
 #include "wifi/channel.hpp"
 #include "wifi/station.hpp"
 
@@ -36,19 +42,25 @@ class Smartphone {
 
   /// App-level receive callback, demultiplexed by the packet's flow id.
   /// `mode` determines the runtime whose receive overhead the app pays.
-  using AppRxFn = std::function<void(const net::Packet&)>;
+  using AppRxFn = ExecEnvLayer::AppRxFn;
   void register_flow(std::uint32_t flow_id, AppRxFn handler,
-                     ExecMode mode = ExecMode::native_c);
-  void unregister_flow(std::uint32_t flow_id);
+                     ExecMode mode = ExecMode::native_c) {
+    exec_.register_flow(flow_id, std::move(handler), mode);
+  }
+  void unregister_flow(std::uint32_t flow_id) { exec_.unregister_flow(flow_id); }
 
-  /// Allocates a flow id no other app on this phone uses.
-  [[nodiscard]] std::uint32_t allocate_flow_id() { return next_flow_id_++; }
+  /// Allocates a flow id no other app on this phone uses (wrap-safe).
+  [[nodiscard]] std::uint32_t allocate_flow_id() {
+    return exec_.allocate_flow_id();
+  }
 
   /// Sends a packet from an app. Stamps app_send (t_u^o) now; the packet
-  /// then descends runtime -> kernel -> driver -> bus -> station.
+  /// then descends the pipeline.
   void send(net::Packet packet, ExecMode mode);
 
   // Subsystem access (ablations, instrumentation, tests).
+  [[nodiscard]] stack::StackPipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] ExecEnvLayer& exec_env() { return exec_; }
   [[nodiscard]] wifi::Station& station() { return station_; }
   [[nodiscard]] SdioBus& bus() { return bus_; }
   [[nodiscard]] WnicDriver& driver() { return driver_; }
@@ -65,7 +77,6 @@ class Smartphone {
   }
 
  private:
-  void on_kernel_receive(net::Packet packet);
   void schedule_system_traffic();
 
   sim::Simulator* sim_;
@@ -76,13 +87,8 @@ class Smartphone {
   SdioBus bus_;
   WnicDriver driver_;
   KernelStack kernel_;
-  ExecEnv env_;
-  struct FlowEntry {
-    AppRxFn handler;
-    ExecMode mode = ExecMode::native_c;
-  };
-  std::unordered_map<std::uint32_t, FlowEntry> flows_;
-  std::uint32_t next_flow_id_ = 1;
+  ExecEnvLayer exec_;
+  stack::StackPipeline pipeline_;
   net::NodeId ap_id_ = 0;
   bool system_traffic_enabled_ = true;
   std::uint64_t system_packets_ = 0;

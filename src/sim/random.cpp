@@ -81,7 +81,7 @@ Duration Rng::uniform_duration(Duration lo, Duration hi) {
 
 Duration Rng::truncated_normal_ms(double mu_ms, double sigma_ms, double lo_ms,
                                   double hi_ms) {
-  return Duration::from_ms(truncated_normal(mu_ms, sigma_ms, lo_ms, hi_ms));
+  return Duration::millis(truncated_normal(mu_ms, sigma_ms, lo_ms, hi_ms));
 }
 
 }  // namespace acute::sim

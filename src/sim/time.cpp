@@ -6,15 +6,15 @@
 
 namespace acute::sim {
 
-Duration Duration::from_ms(double ms) {
-  return Duration{static_cast<std::int64_t>(std::llround(ms * 1e6))};
-}
-
-Duration Duration::from_us(double us) {
+Duration Duration::micros(double us) {
   return Duration{static_cast<std::int64_t>(std::llround(us * 1e3))};
 }
 
-Duration Duration::from_seconds(double s) {
+Duration Duration::millis(double ms) {
+  return Duration{static_cast<std::int64_t>(std::llround(ms * 1e6))};
+}
+
+Duration Duration::seconds(double s) {
   return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <compare>
+#include <concepts>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -21,21 +22,23 @@ class Duration {
   [[nodiscard]] static constexpr Duration nanos(std::int64_t n) {
     return Duration{n};
   }
-  [[nodiscard]] static constexpr Duration micros(std::int64_t us) {
-    return Duration{us * 1'000};
+  // The unit factories take any integral count, or a floating-point count
+  // that is rounded to the nearest nanosecond — millis(10) and millis(1.5)
+  // are both canonical; there is no separate from_ms() family. (The
+  // integral overloads are constrained templates so that e.g. `int`
+  // arguments bind to them exactly instead of tying with `double`.)
+  [[nodiscard]] static constexpr Duration micros(std::integral auto us) {
+    return Duration{static_cast<std::int64_t>(us) * 1'000};
   }
-  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
-    return Duration{ms * 1'000'000};
+  [[nodiscard]] static constexpr Duration millis(std::integral auto ms) {
+    return Duration{static_cast<std::int64_t>(ms) * 1'000'000};
   }
-  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) {
-    return Duration{s * 1'000'000'000};
+  [[nodiscard]] static constexpr Duration seconds(std::integral auto s) {
+    return Duration{static_cast<std::int64_t>(s) * 1'000'000'000};
   }
-  /// Builds a duration from a fractional millisecond count (rounded to ns).
-  [[nodiscard]] static Duration from_ms(double ms);
-  /// Builds a duration from a fractional microsecond count (rounded to ns).
-  [[nodiscard]] static Duration from_us(double us);
-  /// Builds a duration from a fractional second count (rounded to ns).
-  [[nodiscard]] static Duration from_seconds(double s);
+  [[nodiscard]] static Duration micros(double us);
+  [[nodiscard]] static Duration millis(double ms);
+  [[nodiscard]] static Duration seconds(double s);
 
   [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
   [[nodiscard]] constexpr double to_ms() const { return double(ns_) / 1e6; }

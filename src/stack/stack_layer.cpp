@@ -1,0 +1,93 @@
+#include "stack/stack_layer.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+#include "stack/stack_pipeline.hpp"
+
+namespace acute::stack {
+
+using sim::expects;
+
+const char* to_string(StampPoint point) {
+  switch (point) {
+    case StampPoint::app_send:
+      return "app_send";
+    case StampPoint::kernel_send:
+      return "kernel_send";
+    case StampPoint::driver_xmit_entry:
+      return "driver_xmit_entry";
+    case StampPoint::driver_txpkt:
+      return "driver_txpkt";
+    case StampPoint::air:
+      return "air";
+    case StampPoint::driver_isr:
+      return "driver_isr";
+    case StampPoint::driver_rxf_enqueue:
+      return "driver_rxf_enqueue";
+    case StampPoint::kernel_recv:
+      return "kernel_recv";
+    case StampPoint::app_recv:
+      return "app_recv";
+  }
+  return "?";
+}
+
+void write_stamp(net::LayerStamps& stamps, StampPoint point,
+                 sim::TimePoint when) {
+  switch (point) {
+    case StampPoint::app_send:
+      stamps.app_send = when;
+      break;
+    case StampPoint::kernel_send:
+      stamps.kernel_send = when;
+      break;
+    case StampPoint::driver_xmit_entry:
+      stamps.driver_xmit_entry = when;
+      break;
+    case StampPoint::driver_txpkt:
+      stamps.driver_txpkt = when;
+      break;
+    case StampPoint::air:
+      stamps.air = when;
+      break;
+    case StampPoint::driver_isr:
+      stamps.driver_isr = when;
+      break;
+    case StampPoint::driver_rxf_enqueue:
+      stamps.driver_rxf_enqueue = when;
+      break;
+    case StampPoint::kernel_recv:
+      stamps.kernel_recv = when;
+      break;
+    case StampPoint::app_recv:
+      stamps.app_recv = when;
+      break;
+  }
+}
+
+void StackLayer::pass_down(net::Packet packet) {
+  expects(below_ != nullptr,
+          "StackLayer::pass_down called on the bottom layer");
+  below_->transmit(std::move(packet));
+}
+
+void StackLayer::pass_up(net::Packet packet) {
+  if (above_ != nullptr) {
+    above_->deliver(std::move(packet));
+    return;
+  }
+  expects(pipeline_ != nullptr,
+          "StackLayer::pass_up on a free-standing layer");
+  pipeline_->deliver_to_app(std::move(packet));
+}
+
+void StackLayer::stamp(net::Packet& packet, StampPoint point,
+                       sim::TimePoint when) {
+  write_stamp(packet.stamps, point, when);
+  if (pipeline_ != nullptr && pipeline_->stamp_observer_) {
+    pipeline_->stamp_observer_(*this, point, packet);
+  }
+}
+
+}  // namespace acute::stack

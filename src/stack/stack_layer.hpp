@@ -1,0 +1,92 @@
+// The uniform stack-layer interface.
+//
+// The paper's method is to decompose a probe's RTT across the phone's stack
+// (user runtime -> kernel -> WNIC driver -> host bus -> 802.11 station,
+// Fig. 1) and attribute the inflated delay to individual hops. This module
+// turns that stack into a first-class, reorderable pipeline: every layer
+// implements the same two-verb interface — `transmit` carries a packet
+// downward toward the radio, `deliver` carries one upward toward the app —
+// and records its vantage-point timestamps through a shared stamp hook that
+// writes into net::LayerStamps.
+//
+// Layers never know their neighbours' concrete types; composition is owned
+// by StackPipeline, which wires the above/below links and the app-side sink.
+// This is what lets a Testbed scenario swap stacks per phone (e.g. the
+// cellular RRC radio instead of SDIO + station) without touching any layer.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace acute::stack {
+
+class StackPipeline;
+
+/// The per-layer timestamp vantage points of Fig. 1. Layers stamp through
+/// this enum (via StackLayer::stamp) rather than poking LayerStamps fields
+/// directly, so instrumentation can observe every stamp uniformly.
+enum class StampPoint {
+  app_send,            // t_u^o
+  kernel_send,         // t_k^o (bpf/tcpdump tap)
+  driver_xmit_entry,   // dhd_start_xmit entry
+  driver_txpkt,        // dhdsdio_txpkt entry
+  air,                 // t_n: frame TX start on the medium
+  driver_isr,          // dhdsdio_isr entry
+  driver_rxf_enqueue,  // dhd_rxf_enqueue
+  kernel_recv,         // t_k^i (bpf tap)
+  app_recv,            // t_u^i
+};
+
+[[nodiscard]] const char* to_string(StampPoint point);
+
+/// Writes `when` into the stamp slot `point` of `stamps`.
+void write_stamp(net::LayerStamps& stamps, StampPoint point,
+                 sim::TimePoint when);
+
+/// One layer of a phone's stack. Concrete layers (ExecEnvLayer, KernelStack,
+/// WnicDriver, SdioBus, wifi::Station, cellular::RrcRadioLayer) model their
+/// own processing latency with the simulator and then hand the packet to the
+/// next layer via pass_down() / pass_up(). Hand-offs are synchronous; all
+/// time passes inside the layers themselves.
+class StackLayer {
+ public:
+  StackLayer() = default;
+  StackLayer(const StackLayer&) = delete;
+  StackLayer& operator=(const StackLayer&) = delete;
+  virtual ~StackLayer() = default;
+
+  /// Short diagnostic name, e.g. "kernel", "sdio-bus".
+  [[nodiscard]] virtual const char* layer_name() const = 0;
+
+  /// Downward path: a packet descending toward the radio enters this layer.
+  virtual void transmit(net::Packet packet) = 0;
+
+  /// Upward path: a packet ascending toward the app enters this layer.
+  virtual void deliver(net::Packet packet) = 0;
+
+  [[nodiscard]] StackLayer* above() const { return above_; }
+  [[nodiscard]] StackLayer* below() const { return below_; }
+  /// The pipeline this layer is composed into (null when free-standing).
+  [[nodiscard]] StackPipeline* pipeline() const { return pipeline_; }
+
+ protected:
+  /// Hands the packet to the layer below (its transmit runs synchronously).
+  /// Must not be called on the bottom layer of a pipeline.
+  void pass_down(net::Packet packet);
+
+  /// Hands the packet to the layer above, or — on the top layer — to the
+  /// pipeline's app handler.
+  void pass_up(net::Packet packet);
+
+  /// Stamp hook: writes `point` at time `when` into the packet's stamps and
+  /// notifies the pipeline's stamp observer (if any).
+  void stamp(net::Packet& packet, StampPoint point, sim::TimePoint when);
+
+ private:
+  friend class StackPipeline;
+  StackLayer* above_ = nullptr;
+  StackLayer* below_ = nullptr;
+  StackPipeline* pipeline_ = nullptr;
+};
+
+}  // namespace acute::stack

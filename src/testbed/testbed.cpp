@@ -1,5 +1,6 @@
 #include "testbed/testbed.hpp"
 
+#include <set>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -20,6 +21,21 @@ wifi::Station::Config load_gen_station_config(net::NodeId id,
   config.associated_listen_interval = 1;
   return config;
 }
+
+std::string phone_label(const PhoneSpec& spec, std::size_t index) {
+  if (!spec.label.empty()) return spec.label;
+  if (index == 0) return "phone";
+  return "phone-" + std::to_string(index);
+}
+
+std::string sniffer_label(std::size_t index) {
+  // The paper's three sniffers keep their historical names (and therefore
+  // their rng streams); bigger arrays extend numerically.
+  static constexpr const char* kNamed[] = {"sniffer-A", "sniffer-B",
+                                           "sniffer-C"};
+  if (index < 3) return kNamed[index];
+  return "sniffer-" + std::to_string(index);
+}
 }  // namespace
 
 WirelessHost::WirelessHost(sim::Simulator& sim, wifi::Channel& channel,
@@ -33,23 +49,41 @@ WirelessHost::WirelessHost(sim::Simulator& sim, wifi::Channel& channel,
 void WirelessHost::transmit(Packet packet) {
   packet.src = id_;
   // Desktop host stack: tens of microseconds, no phone-style quirks.
-  const Duration stack = Duration::from_us(rng_.uniform(20.0, 60.0));
+  const Duration stack = Duration::micros(rng_.uniform(20.0, 60.0));
   sim_->schedule_in(stack, [this, pkt = std::move(packet)]() mutable {
     station_.send(std::move(pkt));
   });
 }
 
-Testbed::Testbed(TestbedConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
-  const wifi::PhyParams phy = config_.congested_phy
-                                  ? wifi::phy_802_11g_mixed()
-                                  : wifi::phy_802_11g();
+ScenarioSpec ScenarioSpec::fig2(const TestbedConfig& config) {
+  ScenarioSpec spec;
+  spec.phones = {PhoneSpec{config.profile, ""}};
+  spec.seed = config.seed;
+  spec.emulated_rtt = config.emulated_rtt;
+  spec.netem_jitter = config.netem_jitter;
+  spec.congested_phy = config.congested_phy;
+  spec.cross_connections = config.cross_connections;
+  spec.cross_flow_mbps = config.cross_flow_mbps;
+  spec.send_ttl_exceeded = config.send_ttl_exceeded;
+  spec.sniffer_noise = config.sniffer_noise;
+  spec.sniffer_count = 3;
+  return spec;
+}
+
+Testbed::Testbed(TestbedConfig config) : Testbed(ScenarioSpec::fig2(config)) {}
+
+Testbed::Testbed(ScenarioSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  expects(!spec_.phones.empty(), "ScenarioSpec requires at least one phone");
+
+  const wifi::PhyParams phy = spec_.congested_phy ? wifi::phy_802_11g_mixed()
+                                                  : wifi::phy_802_11g();
   channel_ =
       std::make_unique<wifi::Channel>(sim_, rng_.fork("channel"), phy);
 
   wifi::AccessPoint::Config ap_config;
   ap_config.id = kApId;
-  ap_config.send_ttl_exceeded = config_.send_ttl_exceeded;
+  ap_config.send_ttl_exceeded = spec_.send_ttl_exceeded;
   ap_ = std::make_unique<wifi::AccessPoint>(sim_, *channel_, rng_.fork("ap"),
                                             ap_config);
 
@@ -59,7 +93,7 @@ Testbed::Testbed(TestbedConfig config)
   load_sink_ = std::make_unique<net::UdpSink>(sim_, kLoadSinkId);
 
   // Gigabit wired fabric with ~5 us propagation per hop.
-  const Duration wire_prop = Duration::from_us(5.0);
+  const Duration wire_prop = Duration::micros(5.0);
   const double gigabit = 1e9;
   ap_switch_link_ =
       std::make_unique<net::Link>(sim_, *ap_, *switch_, wire_prop, gigabit);
@@ -73,30 +107,44 @@ Testbed::Testbed(TestbedConfig config)
   switch_->attach_port(*switch_sink_link_);
   server_->attach_link(*switch_server_link_);
 
-  server_->netem().set_delay(config_.emulated_rtt);
-  server_->netem().set_jitter(config_.netem_jitter);
+  server_->netem().set_delay(spec_.emulated_rtt);
+  server_->netem().set_jitter(spec_.netem_jitter);
 
-  // Wireless side: phone under test + load generator.
-  phone_ = std::make_unique<phone::Smartphone>(sim_, *channel_,
-                                               rng_.fork("phone"),
-                                               config_.profile, kPhoneId,
-                                               kApId);
+  // Wireless side: the phones under test + the load generator, all
+  // contending on the one channel. Rng streams are forked by label, so a
+  // duplicate label would silently give two "independent" handsets
+  // byte-identical latency draws — reject it up front.
+  std::set<std::string> used_labels = {"channel", "ap",     "server",
+                                       "loadgen", "iperf",  "tbtt",
+                                       "sniffer-A", "sniffer-B", "sniffer-C"};
+  phones_.reserve(spec_.phones.size());
+  for (std::size_t i = 0; i < spec_.phones.size(); ++i) {
+    const PhoneSpec& phone_spec = spec_.phones[i];
+    const std::string label = phone_label(phone_spec, i);
+    expects(used_labels.insert(label).second,
+            "ScenarioSpec phone labels must be unique (and must not reuse "
+            "an infrastructure rng tag)");
+    const net::NodeId id = phone_id(i);
+    phones_.push_back(std::make_unique<phone::Smartphone>(
+        sim_, *channel_, rng_.fork(label), phone_spec.profile, id, kApId));
+    ap_->associate(id, phone_spec.profile.associated_listen_interval);
+  }
   load_gen_ = std::make_unique<WirelessHost>(sim_, *channel_,
                                              rng_.fork("loadgen"), kLoadGenId,
                                              kApId);
-  ap_->associate(kPhoneId, config_.profile.associated_listen_interval);
   ap_->associate(kLoadGenId, 1);
 
   iperf_ = std::make_unique<net::IperfLoadGenerator>(
       sim_, rng_.fork("iperf"), kLoadGenId, kLoadSinkId,
-      config_.cross_connections, config_.cross_flow_mbps,
+      spec_.cross_connections, spec_.cross_flow_mbps,
       [this](Packet pkt) { load_gen_->transmit(std::move(pkt)); });
 
-  // Three sniffers within 0.5 m of the phone (§2.2): they all see every
-  // frame; each has an independent timestamp-noise stream.
-  for (const char* name : {"sniffer-A", "sniffer-B", "sniffer-C"}) {
+  // Sniffers within 0.5 m of the phones (§2.2): they all see every frame;
+  // each has an independent timestamp-noise stream.
+  for (std::size_t i = 0; i < spec_.sniffer_count; ++i) {
+    const std::string name = sniffer_label(i);
     auto sniffer = std::make_unique<wifi::Sniffer>(
-        name, rng_.fork(name), config_.sniffer_noise);
+        name, rng_.fork(name), spec_.sniffer_noise);
     channel_->attach_observer(*sniffer);
     sniffers_.push_back(std::move(sniffer));
   }
@@ -134,12 +182,23 @@ void Testbed::settle(Duration span) { sim_.run_for(span); }
 
 void Testbed::run_until_finished(tools::MeasurementTool& tool,
                                  Duration max_sim_time) {
+  run_until_all_finished({&tool}, max_sim_time);
+}
+
+void Testbed::run_until_all_finished(
+    const std::vector<tools::MeasurementTool*>& tools, Duration max_sim_time) {
+  const auto all_finished = [&tools] {
+    for (const tools::MeasurementTool* tool : tools) {
+      if (!tool->finished()) return false;
+    }
+    return true;
+  };
   const sim::TimePoint deadline = sim_.now() + max_sim_time;
-  while (!tool.finished() && sim_.now() < deadline) {
+  while (!all_finished() && sim_.now() < deadline) {
     sim_.run_for(Duration::millis(50));
   }
-  expects(tool.finished(),
-          "Testbed::run_until_finished hit the simulated-time guard");
+  expects(all_finished(),
+          "Testbed::run_until_all_finished hit the simulated-time guard");
 }
 
 std::vector<core::LayerSample> Testbed::layer_samples(

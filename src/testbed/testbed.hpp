@@ -1,17 +1,24 @@
-// The multiple-sniffer WiFi testbed of Fig. 2.
+// The multiple-sniffer WiFi testbed of Fig. 2, generalised to a
+// scenario-driven builder.
 //
-//   [phone]~~~\                         /---[measurement server + netem]
-//   [load gen]~~~ (802.11g channel) [AP]---[switch]
-//   [sniffer A/B/C observe the channel]    \---[load server (UDP sink)]
+//   [phone 0..N-1]~~~\                   /---[measurement server + netem]
+//   [load gen]~~~~~~~~ (802.11 channel) [AP]---[switch]
+//   [sniffers observe the channel]           \---[load server (UDP sink)]
 //
-// Everything is wired exactly as in the paper: the measurement server's
-// netem qdisc emulates the path RTT; the load generator is wireless and
-// pushes ten 2.5 Mbit/s UDP flows at the load server to congest the WLAN;
-// three sniffers capture every frame for the t_n vantage point.
+// A ScenarioSpec describes everything the builder needs: the set of phones
+// (each with its own PhoneProfile, i.e. heterogeneous handsets contending on
+// one channel), the emulated path RTT, the PHY mode, the cross-traffic load
+// and the sniffer array. The paper's Fig. 2 single-phone topology is the
+// default spec, so `Testbed{}` (and the TestbedConfig compatibility struct)
+// reproduce the original testbed bit for bit: the measurement server's
+// netem qdisc emulates the path RTT; the wireless load generator pushes ten
+// 2.5 Mbit/s UDP flows at the load server to congest the WLAN; three
+// sniffers capture every frame for the t_n vantage point.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/layer_sample.hpp"
@@ -51,12 +58,15 @@ class WirelessHost {
   wifi::Station station_;
 };
 
+/// Single-phone testbed knobs — the original Fig. 2 configuration surface,
+/// kept as the convenience front-end for the common case. Converted into a
+/// one-phone ScenarioSpec by the Testbed constructor.
 struct TestbedConfig {
   phone::PhoneProfile profile = phone::PhoneProfile::nexus5();
   std::uint64_t seed = 42;
   /// tc-netem delay on the measurement server (one-way, on its egress).
   sim::Duration emulated_rtt = sim::Duration{};
-  sim::Duration netem_jitter = sim::Duration::from_ms(1.5);
+  sim::Duration netem_jitter = sim::Duration::millis(1.5);
   /// Use the mixed-mode PHY (protection, degraded rate) — the §4.3
   /// congested-WLAN configuration. Enable whenever cross traffic runs.
   bool congested_phy = false;
@@ -67,20 +77,65 @@ struct TestbedConfig {
   sim::Duration sniffer_noise = sim::Duration::micros(2);
 };
 
+/// One phone under test in a scenario.
+struct PhoneSpec {
+  phone::PhoneProfile profile = phone::PhoneProfile::nexus5();
+  /// Rng-stream / diagnostics label. Empty picks "phone" for phone 0 (the
+  /// paper's device under test) and "phone-<i>" beyond — phone 0's streams
+  /// are therefore identical to the pre-scenario testbed's.
+  std::string label;
+};
+
+/// Full scenario description: N heterogeneous phones contending on one
+/// channel plus the wired fabric and load infrastructure of Fig. 2.
+struct ScenarioSpec {
+  std::vector<PhoneSpec> phones{PhoneSpec{}};
+  std::uint64_t seed = 42;
+  sim::Duration emulated_rtt = sim::Duration{};
+  sim::Duration netem_jitter = sim::Duration::millis(1.5);
+  bool congested_phy = false;
+  std::size_t cross_connections = 10;
+  double cross_flow_mbps = 2.5;
+  bool send_ttl_exceeded = false;
+  sim::Duration sniffer_noise = sim::Duration::micros(2);
+  std::size_t sniffer_count = 3;
+
+  /// The paper's Fig. 2 defaults as a scenario (what TestbedConfig maps to).
+  [[nodiscard]] static ScenarioSpec fig2(const TestbedConfig& config = {});
+};
+
 class Testbed {
  public:
-  // Flat addresses of the Fig. 2 devices.
+  // Flat addresses of the Fig. 2 devices. Additional phones beyond the
+  // first are numbered from kExtraPhoneBaseId upward.
   static constexpr net::NodeId kPhoneId = 1;
   static constexpr net::NodeId kApId = 2;
   static constexpr net::NodeId kSwitchId = 3;
   static constexpr net::NodeId kServerId = 4;
   static constexpr net::NodeId kLoadGenId = 5;
   static constexpr net::NodeId kLoadSinkId = 6;
+  static constexpr net::NodeId kExtraPhoneBaseId = 7;
 
+  /// Node id of the `index`-th phone of a scenario.
+  [[nodiscard]] static constexpr net::NodeId phone_id(std::size_t index) {
+    return index == 0 ? kPhoneId
+                      : kExtraPhoneBaseId +
+                            static_cast<net::NodeId>(index - 1);
+  }
+
+  /// Builds the scenario described by `spec` (requires >= 1 phone).
+  explicit Testbed(ScenarioSpec spec);
+  /// Fig. 2 compatibility front-end: a single-phone scenario.
   explicit Testbed(TestbedConfig config = {});
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] phone::Smartphone& phone() { return *phone_; }
+  /// The (first) phone under test.
+  [[nodiscard]] phone::Smartphone& phone() { return *phones_.front(); }
+  /// The `index`-th phone of the scenario.
+  [[nodiscard]] phone::Smartphone& phone(std::size_t index) {
+    return *phones_.at(index);
+  }
+  [[nodiscard]] std::size_t phone_count() const { return phones_.size(); }
   [[nodiscard]] net::EchoServer& server() { return *server_; }
   [[nodiscard]] wifi::AccessPoint& ap() { return *ap_; }
   [[nodiscard]] wifi::Channel& channel() { return *channel_; }
@@ -89,7 +144,7 @@ class Testbed {
     return *sniffers_.at(index);
   }
   [[nodiscard]] std::size_t sniffer_count() const { return sniffers_.size(); }
-  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
 
   /// Reconfigures the emulated path RTT (tc on the server).
   void set_emulated_rtt(sim::Duration rtt);
@@ -110,6 +165,10 @@ class Testbed {
   void run_until_finished(tools::MeasurementTool& tool,
                           sim::Duration max_sim_time =
                               sim::Duration::seconds(3600));
+  /// As above for several concurrently-running tools (multi-phone runs).
+  void run_until_all_finished(
+      const std::vector<tools::MeasurementTool*>& tools,
+      sim::Duration max_sim_time = sim::Duration::seconds(3600));
 
   /// Folds a tool run into per-probe multi-layer samples. Probes that timed
   /// out or lack stamps are skipped. The reported (tool-level) RTT is used
@@ -118,7 +177,7 @@ class Testbed {
       const tools::ToolRun& run) const;
 
  private:
-  TestbedConfig config_;
+  ScenarioSpec spec_;
   sim::Simulator sim_;
   sim::Rng rng_;
   std::unique_ptr<wifi::Channel> channel_;
@@ -131,7 +190,7 @@ class Testbed {
   std::unique_ptr<net::Link> switch_sink_link_;
   std::unique_ptr<WirelessHost> load_gen_;
   std::unique_ptr<net::IperfLoadGenerator> iperf_;
-  std::unique_ptr<phone::Smartphone> phone_;
+  std::vector<std::unique_ptr<phone::Smartphone>> phones_;
   std::vector<std::unique_ptr<wifi::Sniffer>> sniffers_;
   bool cross_running_ = false;
 };

@@ -60,7 +60,7 @@ struct PhyParams {
 /// Transmission time of `size_bytes` at `rate_mbps`, excluding the preamble.
 [[nodiscard]] inline sim::Duration payload_airtime(std::uint32_t size_bytes,
                                                    double rate_mbps) {
-  return sim::Duration::from_us(double(size_bytes) * 8.0 / rate_mbps);
+  return sim::Duration::micros(double(size_bytes) * 8.0 / rate_mbps);
 }
 
 /// Full frame airtime: preamble + payload at the given rate.

@@ -172,6 +172,25 @@ void Station::send_ps_poll() {
   radio_.enqueue(std::move(poll), config_.ap);
 }
 
+void Station::deliver_up(Packet packet, const Frame& frame) {
+  if (above() != nullptr) {
+    pass_up(std::move(packet));
+    return;
+  }
+  if (on_receive_) on_receive_(std::move(packet), frame);
+}
+
+void Station::deliver(Packet packet) {
+  if (above() != nullptr) {
+    pass_up(std::move(packet));
+    return;
+  }
+  if (!on_receive_) return;
+  Frame frame{packet, packet.src, config_.id, sim_->now(), sim_->now(),
+              false};
+  on_receive_(std::move(packet), frame);
+}
+
 void Station::on_radio_receive(Packet packet, const Frame& frame) {
   if (packet.type == PacketType::wifi_beacon) {
     handle_beacon(packet);
@@ -181,7 +200,7 @@ void Station::on_radio_receive(Packet packet, const Frame& frame) {
 
   // Unicast data for us.
   const bool more = packet.wifi.more_data;
-  if (on_receive_) on_receive_(std::move(packet), frame);
+  deliver_up(std::move(packet), frame);
 
   if (state_ == PowerState::dozing) {
     if (more && draining_) {

@@ -21,12 +21,17 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "stack/stack_layer.hpp"
 #include "wifi/channel.hpp"
 #include "wifi/radio.hpp"
 
 namespace acute::wifi {
 
-class Station {
+/// The station is the bottom StackLayer of a WiFi phone stack: transmit()
+/// puts frames on the medium (waking a dozing STA), and frames received from
+/// the channel ascend via the pipeline. Free-standing stations (the load
+/// generator, unit fixtures) can instead use set_receiver().
+class Station : public stack::StackLayer {
  public:
   enum class PowerState { cam, dozing };
 
@@ -52,16 +57,22 @@ class Station {
 
   Station(sim::Simulator& sim, Channel& channel, sim::Rng rng, Config config);
 
-  Station(const Station&) = delete;
-  Station& operator=(const Station&) = delete;
-
-  /// Upward delivery (to the WNIC driver): payload + air metadata.
+  /// Upward delivery (to the WNIC driver): payload + air metadata. Used when
+  /// the station is not composed into a StackPipeline.
   using RxFn = std::function<void(net::Packet, const Frame&)>;
   void set_receiver(RxFn on_receive) { on_receive_ = std::move(on_receive); }
 
   /// Transmits a data packet toward the AP. Wakes the station (a dozing STA
   /// can always transmit; the PM=0 bit tells the AP it is awake again).
   void send(net::Packet packet);
+
+  // StackLayer.
+  [[nodiscard]] const char* layer_name() const override { return "station"; }
+  /// Downward entry from the bus layer: same as send().
+  void transmit(net::Packet packet) override { send(std::move(packet)); }
+  /// Upward injection point (the medium normally feeds the station through
+  /// its radio; this lets tests and alternate PHYs push a frame up directly).
+  void deliver(net::Packet packet) override;
 
   [[nodiscard]] PowerState power_state() const { return state_; }
   [[nodiscard]] const Config& config() const { return config_; }
@@ -75,6 +86,7 @@ class Station {
 
  private:
   void on_radio_receive(net::Packet packet, const Frame& frame);
+  void deliver_up(net::Packet packet, const Frame& frame);
   void mark_activity();
   void arm_doze_timer();
   void enter_doze();

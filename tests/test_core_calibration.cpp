@@ -20,19 +20,19 @@ Packet stamped_response(double du_ms, double dk_ms, double dn_ms) {
                                 1, 4, 60);
   auto& tx = request.stamps;
   tx.app_send = TimePoint::epoch();
-  tx.kernel_send = TimePoint::epoch() + Duration::from_ms((du_ms - dk_ms) / 2);
-  tx.driver_xmit_entry = *tx.kernel_send + Duration::from_ms(0.05);
-  tx.driver_txpkt = *tx.driver_xmit_entry + Duration::from_ms(0.2);
-  tx.air = TimePoint::epoch() + Duration::from_ms((du_ms - dn_ms) / 2);
+  tx.kernel_send = TimePoint::epoch() + Duration::millis((du_ms - dk_ms) / 2);
+  tx.driver_xmit_entry = *tx.kernel_send + Duration::millis(0.05);
+  tx.driver_txpkt = *tx.driver_xmit_entry + Duration::millis(0.2);
+  tx.air = TimePoint::epoch() + Duration::millis((du_ms - dn_ms) / 2);
 
   Packet response =
       Packet::make_response(request, net::PacketType::tcp_syn_ack, 60);
   auto& rx = response.stamps;
-  rx.air = *tx.air + Duration::from_ms(dn_ms);
-  rx.driver_isr = *rx.air + Duration::from_ms(0.05);
-  rx.driver_rxf_enqueue = *rx.driver_isr + Duration::from_ms(1.5);
-  rx.kernel_recv = *tx.kernel_send + Duration::from_ms(dk_ms);
-  rx.app_recv = TimePoint::epoch() + Duration::from_ms(du_ms);
+  rx.air = *tx.air + Duration::millis(dn_ms);
+  rx.driver_isr = *rx.air + Duration::millis(0.05);
+  rx.driver_rxf_enqueue = *rx.driver_isr + Duration::millis(1.5);
+  rx.kernel_recv = *tx.kernel_send + Duration::millis(dk_ms);
+  rx.app_recv = TimePoint::epoch() + Duration::millis(du_ms);
   response.probe_id = 7;
   return response;
 }

@@ -1,0 +1,74 @@
+// Overflow safety of the id allocators: packet ids and per-phone flow ids
+// use 0 as a sentinel, so wrap-around must skip it (fleet-scale scenarios
+// multiply packet volume enough to make this a real invariant).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "net/id_alloc.hpp"
+#include "net/packet.hpp"
+#include "phone/profile.hpp"
+#include "phone/runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace acute::net {
+namespace {
+
+TEST(IdAllocator, CountsUpFromOne) {
+  IdAllocator<std::uint32_t> alloc;
+  EXPECT_EQ(alloc.next(), 1u);
+  EXPECT_EQ(alloc.next(), 2u);
+  EXPECT_EQ(alloc.peek(), 3u);
+}
+
+TEST(IdAllocator, WrapSkipsTheZeroSentinel) {
+  IdAllocator<std::uint32_t> alloc(std::numeric_limits<std::uint32_t>::max() -
+                                   1);
+  EXPECT_EQ(alloc.next(), std::numeric_limits<std::uint32_t>::max() - 1);
+  EXPECT_EQ(alloc.next(), std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(alloc.next(), 1u);  // not 0
+  EXPECT_EQ(alloc.next(), 2u);
+}
+
+TEST(IdAllocator, FullCycleNeverYieldsZero) {
+  IdAllocator<std::uint8_t> alloc;
+  for (int i = 0; i < 3 * 255; ++i) {
+    EXPECT_NE(alloc.next(), 0u);
+  }
+}
+
+TEST(IdAllocator, ZeroStartIsCoercedToOne) {
+  IdAllocator<std::uint8_t> alloc(0);
+  EXPECT_EQ(alloc.next(), 1u);
+}
+
+TEST(AtomicIdAllocator, WrapSkipsTheZeroSentinel) {
+  AtomicIdAllocator<std::uint8_t> alloc(254);
+  EXPECT_EQ(alloc.next(), 254u);
+  EXPECT_EQ(alloc.next(), 255u);
+  EXPECT_EQ(alloc.next(), 1u);  // the wrapped 0 is skipped
+}
+
+TEST(AtomicIdAllocator, PacketIdsAreNonZeroAndUnique) {
+  const std::uint64_t a = Packet::allocate_id();
+  const std::uint64_t b = Packet::allocate_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(FlowIdAllocation, SkipsIdsStillRegistered) {
+  sim::Simulator sim;
+  const phone::PhoneProfile profile = phone::PhoneProfile::nexus5();
+  phone::ExecEnvLayer exec(sim, sim::Rng(1), profile);
+  // Occupy the id the allocator would hand out second.
+  exec.register_flow(2, [](const Packet&) {});
+  EXPECT_EQ(exec.allocate_flow_id(), 1u);
+  EXPECT_EQ(exec.allocate_flow_id(), 3u);  // 2 is in use
+  exec.unregister_flow(2);
+  EXPECT_EQ(exec.allocate_flow_id(), 4u);
+}
+
+}  // namespace
+}  // namespace acute::net

@@ -38,17 +38,26 @@ wifi::Station::Config always_awake(net::NodeId id, net::NodeId ap) {
   return config;
 }
 
+// Driver-topped pipeline: driver -> sdio-bus -> station. Upward deliveries
+// leaving the driver land in `up_received` via the pipeline's app handler.
 struct StackFixture {
   Simulator sim;
   wifi::Channel channel{sim, sim::Rng(5), wifi::phy_802_11g()};
   PhoneProfile profile = PhoneProfile::nexus5();
   wifi::Station station{sim, channel, sim::Rng(6), always_awake(kSta, kPeer)};
   SdioBus bus{sim, sim::Rng(7), profile};
-  WnicDriver driver{sim, sim::Rng(8), profile, bus, station};
+  WnicDriver driver{sim, sim::Rng(8), profile, bus};
+  stack::StackPipeline pipeline{sim};
   wifi::Radio peer{channel, kPeer};
   std::vector<Packet> peer_received;
+  std::vector<Packet> up_received;
 
   StackFixture() {
+    pipeline.append(driver);
+    pipeline.append(bus);
+    pipeline.append(station);
+    pipeline.set_app_handler(
+        [this](Packet pkt) { up_received.push_back(std::move(pkt)); });
     peer.set_receiver([this](Packet pkt, const wifi::Frame&) {
       peer_received.push_back(std::move(pkt));
     });
@@ -62,7 +71,7 @@ struct StackFixture {
 
 TEST(WnicDriver, TxPathStampsInOrder) {
   StackFixture f;
-  f.driver.start_xmit(f.data());
+  f.driver.transmit(f.data());
   f.sim.run_for(50_ms);
   ASSERT_EQ(f.peer_received.size(), 1u);
   const net::LayerStamps& s = f.peer_received[0].stamps;
@@ -76,7 +85,7 @@ TEST(WnicDriver, TxPathStampsInOrder) {
 TEST(WnicDriver, DvsendLogMatchesStamps) {
   StackFixture f;
   f.bus.set_sleep_enabled(false);
-  f.driver.start_xmit(f.data());
+  f.driver.transmit(f.data());
   f.sim.run_for(50_ms);
   ASSERT_EQ(f.driver.dvsend_log_ms().size(), 1u);
   const net::LayerStamps& s = f.peer_received[0].stamps;
@@ -88,7 +97,7 @@ TEST(WnicDriver, DvsendLogMatchesStamps) {
 TEST(WnicDriver, SleepingBusInflatesDvsend) {
   StackFixture f;
   f.sim.run_for(200_ms);  // bus sleeps
-  f.driver.start_xmit(f.data());
+  f.driver.transmit(f.data());
   f.sim.run_for(50_ms);
   ASSERT_EQ(f.driver.dvsend_log_ms().size(), 1u);
   // Wake ~8.4-13.4 ms (Nexus 5) + dispatch.
@@ -100,7 +109,7 @@ TEST(WnicDriver, AwakeBusKeepsDvsendSmall) {
   StackFixture f;
   f.bus.set_sleep_enabled(false);
   f.bus.activity();
-  f.driver.start_xmit(f.data());
+  f.driver.transmit(f.data());
   f.sim.run_for(50_ms);
   ASSERT_EQ(f.driver.dvsend_log_ms().size(), 1u);
   EXPECT_LT(f.driver.dvsend_log_ms()[0], 1.0);  // Table 3 disabled rows
@@ -109,14 +118,12 @@ TEST(WnicDriver, AwakeBusKeepsDvsendSmall) {
 TEST(WnicDriver, RxPathStampsAndDvrecv) {
   StackFixture f;
   f.bus.set_sleep_enabled(false);
-  std::optional<Packet> up;
-  f.driver.set_rx_handler([&](Packet pkt) { up = std::move(pkt); });
   f.peer.enqueue(Packet::make(PacketType::udp_data, Protocol::udp, kPeer,
                               kSta, 300),
                  kSta);
   f.sim.run_for(50_ms);
-  ASSERT_TRUE(up.has_value());
-  const net::LayerStamps& s = up->stamps;
+  ASSERT_EQ(f.up_received.size(), 1u);
+  const net::LayerStamps& s = f.up_received[0].stamps;
   ASSERT_TRUE(s.air.has_value());
   ASSERT_TRUE(s.driver_isr.has_value());
   ASSERT_TRUE(s.driver_rxf_enqueue.has_value());
@@ -130,7 +137,6 @@ TEST(WnicDriver, RxPathStampsAndDvrecv) {
 
 TEST(WnicDriver, SleepingBusInflatesDvrecv) {
   StackFixture f;
-  f.driver.set_rx_handler([](Packet) {});
   f.sim.run_for(200_ms);  // bus sleeps
   f.peer.enqueue(Packet::make(PacketType::udp_data, Protocol::udp, kPeer,
                               kSta, 300),
@@ -144,7 +150,7 @@ TEST(WnicDriver, SleepingBusInflatesDvrecv) {
 
 TEST(WnicDriver, ClearLogsEmptiesBoth) {
   StackFixture f;
-  f.driver.start_xmit(f.data());
+  f.driver.transmit(f.data());
   f.sim.run_for(50_ms);
   EXPECT_FALSE(f.driver.dvsend_log_ms().empty());
   f.driver.clear_logs();
@@ -152,14 +158,39 @@ TEST(WnicDriver, ClearLogsEmptiesBoth) {
   EXPECT_TRUE(f.driver.dvrecv_log_ms().empty());
 }
 
-TEST(KernelStack, StampsBpfTapsOnBothPaths) {
-  StackFixture f;
-  f.bus.set_sleep_enabled(false);
-  KernelStack kernel(f.sim, sim::Rng(9), f.profile, f.driver);
-  std::optional<Packet> up;
-  kernel.set_rx_handler([&](Packet pkt) { up = std::move(pkt); });
+// Kernel-topped pipeline: kernel -> driver -> sdio-bus -> station.
+struct KernelFixture {
+  Simulator sim;
+  wifi::Channel channel{sim, sim::Rng(5), wifi::phy_802_11g()};
+  PhoneProfile profile = PhoneProfile::nexus5();
+  wifi::Station station{sim, channel, sim::Rng(6), always_awake(kSta, kPeer)};
+  SdioBus bus{sim, sim::Rng(7), profile};
+  WnicDriver driver{sim, sim::Rng(8), profile, bus};
+  KernelStack kernel{sim, sim::Rng(9), profile};
+  stack::StackPipeline pipeline{sim};
+  wifi::Radio peer{channel, kPeer};
+  std::vector<Packet> peer_received;
+  std::vector<Packet> up_received;
 
-  kernel.transmit(f.data());
+  KernelFixture() {
+    pipeline.append(kernel);
+    pipeline.append(driver);
+    pipeline.append(bus);
+    pipeline.append(station);
+    pipeline.set_app_handler(
+        [this](Packet pkt) { up_received.push_back(std::move(pkt)); });
+    peer.set_receiver([this](Packet pkt, const wifi::Frame&) {
+      peer_received.push_back(std::move(pkt));
+    });
+  }
+};
+
+TEST(KernelStack, StampsBpfTapsOnBothPaths) {
+  KernelFixture f;
+  f.bus.set_sleep_enabled(false);
+
+  f.kernel.transmit(Packet::make(PacketType::udp_data, Protocol::udp, kSta,
+                                 kPeer, 200));
   f.sim.run_for(50_ms);
   ASSERT_EQ(f.peer_received.size(), 1u);
   const net::LayerStamps& tx = f.peer_received[0].stamps;
@@ -171,11 +202,12 @@ TEST(KernelStack, StampsBpfTapsOnBothPaths) {
                               kSta, 300),
                  kSta);
   f.sim.run_for(50_ms);
-  ASSERT_TRUE(up.has_value());
-  ASSERT_TRUE(up->stamps.kernel_recv.has_value());
-  EXPECT_GT(*up->stamps.kernel_recv, *up->stamps.driver_rxf_enqueue);
-  EXPECT_EQ(kernel.tx_packets(), 1u);
-  EXPECT_EQ(kernel.rx_packets(), 1u);
+  ASSERT_EQ(f.up_received.size(), 1u);
+  const Packet& up = f.up_received[0];
+  ASSERT_TRUE(up.stamps.kernel_recv.has_value());
+  EXPECT_GT(*up.stamps.kernel_recv, *up.stamps.driver_rxf_enqueue);
+  EXPECT_EQ(f.kernel.tx_packets(), 1u);
+  EXPECT_EQ(f.kernel.rx_packets(), 1u);
 }
 
 TEST(ExecEnv, NativeIsCheaperThanDalvik) {

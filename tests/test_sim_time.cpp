@@ -24,14 +24,14 @@ TEST(Duration, LiteralsMatchFactories) {
 }
 
 TEST(Duration, FromMsRoundsToNanos) {
-  EXPECT_EQ(Duration::from_ms(1.5).count_nanos(), 1'500'000);
-  EXPECT_EQ(Duration::from_ms(0.0001).count_nanos(), 100);
-  EXPECT_EQ(Duration::from_us(2.5).count_nanos(), 2'500);
-  EXPECT_EQ(Duration::from_seconds(0.25).count_nanos(), 250'000'000);
+  EXPECT_EQ(Duration::millis(1.5).count_nanos(), 1'500'000);
+  EXPECT_EQ(Duration::millis(0.0001).count_nanos(), 100);
+  EXPECT_EQ(Duration::micros(2.5).count_nanos(), 2'500);
+  EXPECT_EQ(Duration::seconds(0.25).count_nanos(), 250'000'000);
 }
 
 TEST(Duration, ConversionRoundTrip) {
-  const Duration d = Duration::from_ms(12.345);
+  const Duration d = Duration::millis(12.345);
   EXPECT_DOUBLE_EQ(d.to_ms(), 12.345);
   EXPECT_DOUBLE_EQ(d.to_us(), 12'345.0);
   EXPECT_NEAR(d.to_seconds(), 0.012345, 1e-12);

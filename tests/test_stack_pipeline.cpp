@@ -1,0 +1,252 @@
+// The generic stack-layer pipeline: composition order, descent/ascent
+// wiring, the stamp hook, and the concrete stacks built on it (the five
+// WiFi phone layers and the cellular RRC radio).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cellular/rrc_radio.hpp"
+#include "net/packet.hpp"
+#include "phone/profile.hpp"
+#include "phone/smartphone.hpp"
+#include "sim/contracts.hpp"
+#include "sim/simulator.hpp"
+#include "stack/stack_layer.hpp"
+#include "stack/stack_pipeline.hpp"
+#include "wifi/access_point.hpp"
+#include "wifi/channel.hpp"
+
+namespace acute::stack {
+namespace {
+
+using namespace acute::sim::literals;
+using net::Packet;
+using net::PacketType;
+using net::Protocol;
+using sim::Duration;
+using sim::Simulator;
+
+Packet data_packet() {
+  return Packet::make(PacketType::udp_data, Protocol::udp, 1, 2, 100);
+}
+
+/// A zero-latency layer that logs every traversal. The bottom of a
+/// recording pipeline echoes the packet back up, exercising both verbs.
+class RecordingLayer : public StackLayer {
+ public:
+  RecordingLayer(std::string name, std::vector<std::string>& log)
+      : name_(std::move(name)), log_(&log) {}
+
+  [[nodiscard]] const char* layer_name() const override {
+    return name_.c_str();
+  }
+
+  void transmit(Packet packet) override {
+    log_->push_back(name_ + ":tx");
+    if (below() != nullptr) {
+      pass_down(std::move(packet));
+    } else {
+      pass_up(std::move(packet));  // bottom: echo
+    }
+  }
+
+  void deliver(Packet packet) override {
+    log_->push_back(name_ + ":rx");
+    pass_up(std::move(packet));
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+TEST(StackPipeline, TransmitDescendsThenEchoAscendsInOrder) {
+  Simulator sim;
+  std::vector<std::string> log;
+  RecordingLayer a("a", log), b("b", log), c("c", log);
+  StackPipeline pipeline(sim);
+  pipeline.append(a);
+  pipeline.append(b);
+  pipeline.append(c);
+  int delivered = 0;
+  pipeline.set_app_handler([&](Packet) { ++delivered; });
+
+  pipeline.transmit(data_packet());
+  const std::vector<std::string> expected = {"a:tx", "b:tx", "c:tx",
+                                             "b:rx", "a:rx"};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(StackPipeline, InjectEntersAtTheBottom) {
+  Simulator sim;
+  std::vector<std::string> log;
+  RecordingLayer a("a", log), b("b", log);
+  StackPipeline pipeline(sim);
+  pipeline.append(a);
+  pipeline.append(b);
+  pipeline.set_app_handler([](Packet) {});
+
+  pipeline.inject(data_packet());
+  const std::vector<std::string> expected = {"b:rx", "a:rx"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(StackPipeline, DescribesLayersTopToBottom) {
+  Simulator sim;
+  std::vector<std::string> log;
+  RecordingLayer a("top", log), b("mid", log), c("bottom", log);
+  StackPipeline pipeline(sim);
+  pipeline.append(a);
+  pipeline.append(b);
+  pipeline.append(c);
+  EXPECT_EQ(pipeline.describe(), "top/mid/bottom");
+  EXPECT_EQ(pipeline.size(), 3u);
+  EXPECT_EQ(&pipeline.top(), &a);
+  EXPECT_EQ(&pipeline.bottom(), &c);
+  EXPECT_EQ(a.below(), &b);
+  EXPECT_EQ(c.above(), &b);
+}
+
+TEST(StackPipeline, LayerCannotJoinTwoPipelines) {
+  Simulator sim;
+  std::vector<std::string> log;
+  RecordingLayer a("a", log);
+  StackPipeline first(sim);
+  first.append(a);
+  StackPipeline second(sim);
+  EXPECT_THROW(second.append(a), sim::ContractViolation);
+}
+
+/// A layer whose only job is to exercise the stamp hook.
+class StampingLayer : public StackLayer {
+ public:
+  explicit StampingLayer(Simulator& sim) : sim_(&sim) {}
+  [[nodiscard]] const char* layer_name() const override { return "stamper"; }
+  void transmit(Packet packet) override {
+    stamp(packet, StampPoint::kernel_send, sim_->now());
+    pass_up(std::move(packet));
+  }
+  void deliver(Packet packet) override { pass_up(std::move(packet)); }
+
+ private:
+  Simulator* sim_;
+};
+
+TEST(StackPipeline, StampHookWritesStampsAndNotifiesObserver) {
+  Simulator sim;
+  StampingLayer stamper(sim);
+  StackPipeline pipeline(sim);
+  pipeline.append(stamper);
+  std::vector<std::string> observed;
+  pipeline.set_stamp_observer(
+      [&](const StackLayer& layer, StampPoint point, const Packet&) {
+        observed.push_back(std::string(layer.layer_name()) + ":" +
+                           to_string(point));
+      });
+  Packet out;
+  pipeline.set_app_handler([&](Packet pkt) { out = std::move(pkt); });
+
+  pipeline.transmit(data_packet());
+  ASSERT_TRUE(out.stamps.kernel_send.has_value());
+  EXPECT_EQ(*out.stamps.kernel_send, sim.now());
+  const std::vector<std::string> expected = {"stamper:kernel_send"};
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(StackPipeline, WriteStampCoversEveryPoint) {
+  net::LayerStamps stamps;
+  const sim::TimePoint when = sim::TimePoint::from_nanos(123);
+  for (const StampPoint point :
+       {StampPoint::app_send, StampPoint::kernel_send,
+        StampPoint::driver_xmit_entry, StampPoint::driver_txpkt,
+        StampPoint::air, StampPoint::driver_isr,
+        StampPoint::driver_rxf_enqueue, StampPoint::kernel_recv,
+        StampPoint::app_recv}) {
+    write_stamp(stamps, point, when);
+    EXPECT_STRNE(to_string(point), "?");
+  }
+  EXPECT_EQ(stamps.app_send, when);
+  EXPECT_EQ(stamps.kernel_send, when);
+  EXPECT_EQ(stamps.driver_xmit_entry, when);
+  EXPECT_EQ(stamps.driver_txpkt, when);
+  EXPECT_EQ(stamps.air, when);
+  EXPECT_EQ(stamps.driver_isr, when);
+  EXPECT_EQ(stamps.driver_rxf_enqueue, when);
+  EXPECT_EQ(stamps.kernel_recv, when);
+  EXPECT_EQ(stamps.app_recv, when);
+}
+
+TEST(StackPipeline, SmartphoneComposesTheFiveFigOneLayers) {
+  Simulator sim;
+  wifi::Channel channel(sim, sim::Rng(1), wifi::phy_802_11g());
+  phone::Smartphone phone(sim, channel, sim::Rng(2),
+                          phone::PhoneProfile::nexus5(), 1, 2);
+  EXPECT_EQ(phone.pipeline().size(), 5u);
+  EXPECT_EQ(phone.pipeline().describe(),
+            "exec-env/kernel/driver/sdio-bus/station");
+  EXPECT_EQ(&phone.pipeline().top(), &phone.exec_env());
+  EXPECT_EQ(&phone.pipeline().bottom(), &phone.station());
+}
+
+TEST(StackPipeline, SmartphoneStampObserverSeesTheDescent) {
+  Simulator sim;
+  wifi::Channel channel(sim, sim::Rng(1), wifi::phy_802_11g());
+  wifi::AccessPoint ap(sim, channel, sim::Rng(3), [] {
+    wifi::AccessPoint::Config config;
+    config.id = 2;
+    return config;
+  }());
+  phone::Smartphone phone(sim, channel, sim::Rng(2),
+                          phone::PhoneProfile::nexus5(), 1, 2);
+  ap.associate(1, 10);
+
+  std::vector<StampPoint> points;
+  phone.pipeline().set_stamp_observer(
+      [&](const StackLayer&, StampPoint point, const Packet&) {
+        points.push_back(point);
+      });
+  Packet pkt = data_packet();
+  pkt.ttl = 1;  // die at the AP
+  phone.send(std::move(pkt), phone::ExecMode::native_c);
+  sim.run_for(100_ms);
+  const std::vector<StampPoint> expected = {
+      StampPoint::app_send, StampPoint::kernel_send,
+      StampPoint::driver_xmit_entry, StampPoint::driver_txpkt};
+  EXPECT_EQ(points, expected);
+}
+
+TEST(RrcRadioLayer, UplinkPaysPromotionDownlinkPaysStateLatency) {
+  Simulator sim;
+  cellular::RrcConfig config = cellular::RrcConfig::umts_3g();
+  cellular::RrcMachine rrc(sim, sim::Rng(4), config);
+  cellular::RrcRadioLayer radio(sim, rrc);
+  StackPipeline pipeline(sim);
+  pipeline.append(radio);
+
+  std::vector<sim::TimePoint> egress_times;
+  radio.set_egress([&](Packet) { egress_times.push_back(sim.now()); });
+  std::vector<sim::TimePoint> up_times;
+  pipeline.set_app_handler([&](Packet) { up_times.push_back(sim.now()); });
+
+  // First uplink out of IDLE: promotion (~2 s) + DCH latency.
+  pipeline.transmit(data_packet());
+  sim.run_for(5_s);
+  ASSERT_EQ(egress_times.size(), 1u);
+  EXPECT_GE(egress_times[0] - sim::TimePoint::epoch(),
+            config.idle_to_dch - config.promotion_jitter);
+  EXPECT_EQ(radio.uplink_packets(), 1u);
+  EXPECT_EQ(rrc.state(), cellular::RrcState::cell_dch);
+
+  // Downlink in DCH: only the (1 ms) DCH latency before the ascent.
+  const sim::TimePoint injected_at = sim.now();
+  radio.deliver(data_packet());
+  sim.run_for(1_s);
+  ASSERT_EQ(up_times.size(), 1u);
+  EXPECT_EQ(up_times[0] - injected_at, config.dch_latency);
+  EXPECT_EQ(radio.downlink_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace acute::stack

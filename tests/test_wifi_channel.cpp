@@ -28,7 +28,7 @@ Packet data_packet(net::NodeId src, net::NodeId dst, std::uint32_t size) {
 TEST(Airtime, PayloadScalesWithSizeAndRate) {
   EXPECT_EQ(payload_airtime(54 * 125, 54.0), Duration::micros(1000));
   EXPECT_EQ(payload_airtime(1500, 54.0).count_nanos(),
-            Duration::from_us(1500 * 8 / 54.0).count_nanos());
+            Duration::micros(1500 * 8 / 54.0).count_nanos());
   // Halving the rate doubles the airtime.
   EXPECT_EQ(payload_airtime(900, 27.0), payload_airtime(1800, 54.0));
 }
