@@ -1,0 +1,220 @@
+// Campaign-engine throughput: scenarios/sec and packets/sec through the
+// sharded worker pool, plus the zero-copy packet-path micro numbers, written
+// to BENCH_campaign.json so future PRs can track the perf trajectory.
+//
+// Usage: bench_campaign_throughput [--smoke] [--workers N] [--json PATH]
+//   --smoke    2 shards on 2 workers (CI: drives the threaded pool path on
+//              every push, cheaply)
+//   --workers  max worker count to scale to (default: hardware concurrency)
+//   --json     output path (default: BENCH_campaign.json in the cwd)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/experiment.hpp"
+
+using namespace acute;
+using sim::Duration;
+
+namespace {
+
+// Pre-refactor baselines, measured at the commit before the move-based
+// packet path landed (same container, Release, g++ 12): the 20-probe Fig. 2
+// round trip of bench_micro_simcore and the Packet copies per ping probe.
+constexpr double kPreRefactorRoundTripNs = 318776.0;
+constexpr double kPreRefactorCopiesPerProbe = 25.1;
+
+double wall_seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct PoolRun {
+  std::size_t workers = 0;
+  double wall_seconds = 0;
+  double scenarios_per_sec = 0;
+  double probes_per_sec = 0;
+  double frames_per_sec = 0;
+  double events_per_sec = 0;
+  std::size_t probes = 0;
+  std::size_t lost = 0;
+};
+
+PoolRun run_pool(const testbed::CampaignSpec& spec, std::size_t workers) {
+  testbed::Campaign campaign(spec);
+  const auto start = std::chrono::steady_clock::now();
+  const testbed::CampaignReport report = campaign.run(workers);
+  PoolRun run;
+  run.workers = workers;
+  run.wall_seconds = wall_seconds_since(start);
+  run.scenarios_per_sec = double(report.shards.size()) / run.wall_seconds;
+  run.probes_per_sec = double(report.total_probes()) / run.wall_seconds;
+  run.frames_per_sec = double(report.total_frames()) / run.wall_seconds;
+  run.events_per_sec = double(report.total_events()) / run.wall_seconds;
+  run.probes = report.total_probes();
+  run.lost = report.total_lost();
+  return run;
+}
+
+struct PacketPath {
+  double roundtrip_ns = 0;       // 20-probe Fig. 2 run, amortized
+  double copies_per_probe = 0;   // Packet copy constructions per probe
+};
+
+PacketPath measure_packet_path() {
+  // Mirrors bench_micro_simcore's BM_FullProbeRoundTrip without requiring
+  // google-benchmark: repeat 20-probe AcuteMon-style runs and amortize.
+  constexpr int kRuns = 40;
+  net::Packet::reset_op_counters();
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t samples = 0;
+  for (int i = 0; i < kRuns; ++i) {
+    testbed::Experiment::AcuteMonSpec spec;
+    spec.probes = 20;
+    spec.emulated_rtt = Duration::millis(10);
+    samples += testbed::Experiment::acutemon(spec).samples.size();
+  }
+  PacketPath path;
+  path.roundtrip_ns = wall_seconds_since(start) * 1e9 / kRuns;
+  path.copies_per_probe =
+      double(net::Packet::op_counters().copies) / double(kRuns * 20);
+  if (samples == 0) std::fprintf(stderr, "warning: no samples collected\n");
+  return path;
+}
+
+testbed::CampaignSpec default_campaign() {
+  testbed::ScenarioGrid grid;
+  grid.phone_counts = {1, 2, 4};
+  grid.profiles = {phone::PhoneProfile::nexus5(),
+                   phone::PhoneProfile::nexus4()};
+  grid.radios = {phone::RadioKind::wifi, phone::RadioKind::cellular};
+  grid.emulated_rtts = {Duration::millis(10), Duration::millis(30)};
+  grid.cross_traffic = {false, true};
+  testbed::CampaignSpec spec;
+  spec.seed = 42;
+  spec.scenarios = grid.expand();
+  spec.probes_per_phone = 10;
+  spec.probe_interval = Duration::millis(200);
+  return spec;
+}
+
+testbed::CampaignSpec smoke_campaign() {
+  // Two shards so the 2-worker smoke run actually enters the threaded pool
+  // (one shard would clamp the worker count to 1 and take the serial path).
+  testbed::CampaignSpec spec;
+  spec.scenarios = {testbed::ScenarioSpec::fig2(),
+                    testbed::ScenarioSpec::fig2()};
+  spec.scenarios[1].emulated_rtt = Duration::millis(20);
+  spec.probes_per_phone = 5;
+  spec.probe_interval = Duration::millis(200);
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t max_workers = std::thread::hardware_concurrency();
+  if (max_workers == 0) max_workers = 1;
+  std::string json_path = "BENCH_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      max_workers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--workers N] [--json PATH]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (max_workers == 0) max_workers = 1;
+
+  const testbed::CampaignSpec spec =
+      smoke ? smoke_campaign() : default_campaign();
+  std::printf("campaign: %zu scenarios, %d probes/phone%s\n",
+              spec.scenarios.size(), spec.probes_per_phone,
+              smoke ? " (smoke)" : "");
+
+  std::vector<PoolRun> runs;
+  // Smoke mode runs the pool with 2 workers so the threaded claim loop is
+  // exercised on every push; full mode measures serial vs max scaling.
+  std::vector<std::size_t> worker_counts;
+  if (smoke) {
+    worker_counts.push_back(2);
+  } else {
+    worker_counts.push_back(1);
+    if (max_workers > 1) worker_counts.push_back(max_workers);
+  }
+  for (const std::size_t workers : worker_counts) {
+    const PoolRun run = run_pool(spec, workers);
+    runs.push_back(run);
+    std::printf(
+        "  workers=%zu  wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
+        "frames/s=%.0f  events/s=%.0f  (lost %zu/%zu)\n",
+        run.workers, run.wall_seconds, run.scenarios_per_sec,
+        run.probes_per_sec, run.frames_per_sec, run.events_per_sec, run.lost,
+        run.probes);
+  }
+
+  std::printf("packet path: measuring...\n");
+  const PacketPath path = measure_packet_path();
+  std::printf(
+      "  roundtrip=%.0f ns/20-probe run (pre-refactor %.0f, %.1fx)\n"
+      "  copies/probe=%.1f (pre-refactor %.1f)\n",
+      path.roundtrip_ns, kPreRefactorRoundTripNs,
+      kPreRefactorRoundTripNs / path.roundtrip_ns, path.copies_per_probe,
+      kPreRefactorCopiesPerProbe);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"campaign\": {\n"
+               "    \"smoke\": %s,\n"
+               "    \"scenarios\": %zu,\n"
+               "    \"probes_per_phone\": %d,\n"
+               "    \"pool_runs\": [\n",
+               smoke ? "true" : "false", spec.scenarios.size(),
+               spec.probes_per_phone);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const PoolRun& run = runs[i];
+    std::fprintf(json,
+                 "      {\"workers\": %zu, \"wall_seconds\": %.4f, "
+                 "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
+                 "\"frames_per_sec\": %.1f, \"events_per_sec\": %.1f, "
+                 "\"probes\": %zu, \"lost\": %zu}%s\n",
+                 run.workers, run.wall_seconds, run.scenarios_per_sec,
+                 run.probes_per_sec, run.frames_per_sec, run.events_per_sec,
+                 run.probes, run.lost, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "    ]\n"
+               "  },\n"
+               "  \"packet_path\": {\n"
+               "    \"roundtrip_ns_per_20probe_run\": %.1f,\n"
+               "    \"copies_per_probe\": %.2f,\n"
+               "    \"pre_refactor_roundtrip_ns\": %.1f,\n"
+               "    \"pre_refactor_copies_per_probe\": %.1f\n"
+               "  }\n"
+               "}\n",
+               path.roundtrip_ns, path.copies_per_probe,
+               kPreRefactorRoundTripNs, kPreRefactorCopiesPerProbe);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -57,6 +57,33 @@ void BM_RngTruncatedNormal(benchmark::State& state) {
 }
 BENCHMARK(BM_RngTruncatedNormal);
 
+void BM_StackPipelineTransit(benchmark::State& state) {
+  // One packet descending the full five-layer phone stack onto the medium,
+  // amortized — the move-based hot path the zero-copy refactor targets.
+  testbed::Testbed testbed{testbed::TestbedConfig{}};
+  testbed.phone().set_system_traffic_enabled(false);
+  testbed.phone().bus().set_sleep_enabled(false);
+  testbed.settle(sim::Duration::millis(700));
+  auto& sim = testbed.simulator();
+  net::Packet::reset_op_counters();
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      net::Packet pkt = net::Packet::make(
+          net::PacketType::udp_data, net::Protocol::udp, 0,
+          testbed::Testbed::kServerId, net::packet_size::udp_small);
+      pkt.ttl = 1;  // dies at the AP: isolates the descent
+      testbed.phone().send(std::move(pkt), phone::ExecMode::native_c);
+      ++sent;
+    }
+    sim.run_for(sim::Duration::millis(30));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.counters["copies_per_pkt"] = benchmark::Counter(
+      double(net::Packet::op_counters().copies) / double(sent));
+}
+BENCHMARK(BM_StackPipelineTransit);
+
 void BM_FullProbeRoundTrip(benchmark::State& state) {
   // One complete AcuteMon probe (SYN/SYN-ACK through phone stack, channel,
   // AP, switch, netem server and back), amortized.

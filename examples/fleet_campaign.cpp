@@ -1,0 +1,92 @@
+// Fleet campaign walkthrough: sweep a scenario grid across every core.
+//
+// This is the Campaign-engine counterpart of crowdsourced_campaign: instead
+// of hand-rolling one Testbed per condition, describe the sweep as a
+// ScenarioGrid (phone count x handset x radio x path RTT x load), hand the
+// expanded scenarios to testbed::Campaign, and let the sharded worker pool
+// execute them — bit-identically for any worker count.
+//
+// Usage: ./build/example_fleet_campaign [workers]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "stats/table.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace acute;
+using sim::Duration;
+
+int main(int argc, char** argv) {
+  std::size_t workers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+               : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+
+  // The sweep: every handset profile, WiFi and cellular stacks, two path
+  // RTTs, quiet and congested WLAN — 1 and 3 phones contending.
+  testbed::ScenarioGrid grid;
+  grid.phone_counts = {1, 3};
+  grid.profiles = {phone::PhoneProfile::nexus5(), phone::PhoneProfile::nexus4(),
+                   phone::PhoneProfile::htc_one()};
+  grid.radios = {phone::RadioKind::wifi, phone::RadioKind::cellular};
+  grid.emulated_rtts = {Duration::millis(20), Duration::millis(60)};
+  grid.cross_traffic = {false, true};
+
+  testbed::CampaignSpec spec;
+  spec.seed = 2016;  // the paper's vintage
+  spec.scenarios = grid.expand();
+  spec.probes_per_phone = 15;
+  spec.probe_interval = Duration::millis(250);
+
+  std::printf("fleet campaign: %zu scenarios on %zu workers...\n",
+              spec.scenarios.size(), workers);
+  testbed::Campaign campaign(spec);
+  const testbed::CampaignReport report = campaign.run(workers);
+
+  // Per-shard view: one row per scenario, in deterministic scenario order.
+  stats::Table table({"scenario", "phones", "radio", "nRTT", "load",
+                      "median du", "median dn", "lost"});
+  for (const testbed::ShardResult& shard : report.shards) {
+    const testbed::ScenarioSpec& scenario =
+        spec.scenarios[shard.scenario_index];
+    const bool cellular = scenario.count_radio(phone::RadioKind::cellular) > 0;
+    table.add_row(
+        {std::to_string(shard.scenario_index) + " " +
+             scenario.phones.front().profile.name,
+         std::to_string(shard.phone_count), cellular ? "cell" : "wifi",
+         stats::Table::cell(scenario.emulated_rtt.to_ms()) + " ms",
+         scenario.congested_phy ? "iperf" : "quiet",
+         shard.reported_rtt_ms.empty()
+             ? std::string("-")
+             : stats::Table::cell(
+                   stats::Summary(shard.reported_rtt_ms).median()),
+         shard.dn_ms.empty()
+             ? std::string("-")
+             : stats::Table::cell(stats::Summary(shard.dn_ms).median()),
+         std::to_string(shard.probes_lost)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Fleet-wide merge (what a crowdsourcing backend would aggregate).
+  if (report.total_probes() == report.total_lost()) {
+    std::printf("\nevery probe was lost; no fleet summary\n");
+    return 1;
+  }
+  const stats::Summary fleet = report.rtt_summary();
+  const stats::Cdf cdf = report.rtt_cdf();
+  std::printf(
+      "\nfleet: %zu probes (%zu lost), user-level RTT median %.2f ms, "
+      "p95 %.2f ms\n"
+      "work: %llu frames on air, %llu simulator events, %.0f simulated s\n",
+      report.total_probes(), report.total_lost(), fleet.median(),
+      cdf.quantile(0.95),
+      static_cast<unsigned long long>(report.total_frames()),
+      static_cast<unsigned long long>(report.total_events()),
+      report.total_sim_seconds());
+  std::printf(
+      "\nThe spread between the wifi rows' du and dn columns is the paper's\n"
+      "inflated delay at fleet scale; cellular rows trade PSM/SDIO wake for\n"
+      "RRC promotion. Re-run with any worker count: rows are bit-identical.\n");
+  return 0;
+}

@@ -12,7 +12,7 @@ using sim::expects;
 RrcRadioLayer::RrcRadioLayer(sim::Simulator& sim, RrcMachine& rrc)
     : sim_(&sim), rrc_(&rrc) {}
 
-void RrcRadioLayer::transmit(net::Packet packet) {
+void RrcRadioLayer::transmit(net::Packet&& packet) {
   expects(static_cast<bool>(egress_),
           "RrcRadioLayer::transmit requires an egress hand-off");
   const Duration promotion = rrc_->request_transmit(packet.size_bytes);
@@ -24,7 +24,7 @@ void RrcRadioLayer::transmit(net::Packet packet) {
                     });
 }
 
-void RrcRadioLayer::deliver(net::Packet packet) {
+void RrcRadioLayer::deliver(net::Packet&& packet) {
   rrc_->on_receive();
   const Duration downlink = rrc_->state_latency();
   sim_->schedule_in(downlink, [this, pkt = std::move(packet)]() mutable {

@@ -25,7 +25,7 @@ class RrcRadioLayer : public stack::StackLayer {
   /// Uplink hand-off: invoked when a packet actually leaves the radio
   /// (after promotion + state latency). Plays the role the wireless channel
   /// plays for wifi::Station.
-  using EgressFn = std::function<void(net::Packet)>;
+  using EgressFn = std::function<void(net::Packet&&)>;
 
   RrcRadioLayer(sim::Simulator& sim, RrcMachine& rrc);
 
@@ -35,10 +35,10 @@ class RrcRadioLayer : public stack::StackLayer {
   [[nodiscard]] const char* layer_name() const override { return "rrc-radio"; }
   /// Downward: RRC promotion (state transition + demotion-timer reset) and
   /// the uplink state latency, then the egress hand-off.
-  void transmit(net::Packet packet) override;
+  void transmit(net::Packet&& packet) override;
   /// Upward: a downlink packet from the core network. Resets the inactivity
   /// timers and pays the current state's latency before ascending.
-  void deliver(net::Packet packet) override;
+  void deliver(net::Packet&& packet) override;
 
   [[nodiscard]] RrcMachine& rrc() { return *rrc_; }
   [[nodiscard]] std::uint64_t uplink_packets() const { return uplink_; }

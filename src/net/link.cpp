@@ -32,7 +32,7 @@ Link::Direction& Link::direction_from(NodeId from) {
   return from == a_->id() ? a_to_b_ : b_to_a_;
 }
 
-void Link::send(NodeId from, Packet packet) {
+void Link::send(NodeId from, Packet&& packet) {
   Direction& dir = direction_from(from);
   const auto serialization =
       Duration::seconds(double(packet.size_bytes) * 8.0 / bandwidth_bps_);

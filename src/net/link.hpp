@@ -23,7 +23,7 @@ class Link {
   /// Transmits `packet` from the endpoint whose id is `from`.
   /// The packet is serialized after any in-flight packet in that direction,
   /// then delivered to the opposite endpoint after the propagation delay.
-  void send(NodeId from, Packet packet);
+  void send(NodeId from, Packet&& packet);
 
   /// The endpoint opposite to `from`.
   [[nodiscard]] Node& peer_of(NodeId from) const;

@@ -22,7 +22,7 @@ void NetemQdisc::set_loss(double probability) {
   loss_ = probability;
 }
 
-void NetemQdisc::enqueue(Packet packet) {
+void NetemQdisc::enqueue(Packet&& packet) {
   if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
     ++dropped_count_;
     return;

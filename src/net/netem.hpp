@@ -16,7 +16,7 @@ namespace acute::net {
 
 class NetemQdisc {
  public:
-  using ForwardFn = std::function<void(Packet)>;
+  using ForwardFn = std::function<void(Packet&&)>;
 
   /// `forward` receives packets after the configured delay.
   NetemQdisc(sim::Simulator& sim, sim::Rng rng, ForwardFn forward);
@@ -42,7 +42,7 @@ class NetemQdisc {
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_count_; }
 
   /// Enqueues a packet; it is forwarded after the emulated delay.
-  void enqueue(Packet packet);
+  void enqueue(Packet&& packet);
 
  private:
   sim::Simulator* sim_;

@@ -21,7 +21,7 @@ class Node {
 
   /// Delivery of `packet` arriving over `ingress` (never null for wired
   /// delivery; implementations may use it to learn topology).
-  virtual void receive(Packet packet, Link* ingress) = 0;
+  virtual void receive(Packet&& packet, Link* ingress) = 0;
 
   /// The node's flat address.
   [[nodiscard]] virtual NodeId id() const = 0;

@@ -54,6 +54,28 @@ const char* to_string(Protocol protocol) {
   return "?";
 }
 
+namespace {
+thread_local PacketOpCounters g_packet_ops;
+}  // namespace
+
+namespace detail {
+PacketCopyProbe::PacketCopyProbe(const PacketCopyProbe&) noexcept {
+  ++g_packet_ops.copies;
+}
+PacketCopyProbe& PacketCopyProbe::operator=(const PacketCopyProbe&) noexcept {
+  ++g_packet_ops.copies;
+  return *this;
+}
+}  // namespace detail
+
+PayloadBuffer Packet::make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+const PacketOpCounters& Packet::op_counters() { return g_packet_ops; }
+
+void Packet::reset_op_counters() { g_packet_ops = PacketOpCounters{}; }
+
 std::uint64_t Packet::allocate_id() {
   static AtomicIdAllocator<std::uint64_t> allocator{1};
   return allocator.next();

@@ -19,6 +19,32 @@ namespace acute::net {
 /// Flat node address (plays the role of both MAC and IP in the testbed).
 using NodeId = std::uint32_t;
 
+/// Application payload bytes, held in a shared immutable buffer so that
+/// forwarding, buffering and broadcast fan-out never duplicate the bytes:
+/// copying a Packet bumps a refcount, moving it is a pointer swap.
+using PayloadBuffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Per-thread accounting of Packet copies/moves. The zero-copy packet path
+/// is a hard invariant benches and tests assert on, not a hope: every copy
+/// construction/assignment of a Packet increments `copies` on the thread
+/// that performed it (campaign shards therefore count independently).
+struct PacketOpCounters {
+  std::uint64_t copies = 0;
+};
+
+namespace detail {
+/// Empty tag member embedded in Packet: its copy operations increment the
+/// thread-local counter while its (defaulted) move operations stay free, so
+/// Packet itself keeps all special members defaulted.
+struct PacketCopyProbe {
+  PacketCopyProbe() = default;
+  PacketCopyProbe(const PacketCopyProbe&) noexcept;
+  PacketCopyProbe& operator=(const PacketCopyProbe&) noexcept;
+  PacketCopyProbe(PacketCopyProbe&&) noexcept = default;
+  PacketCopyProbe& operator=(PacketCopyProbe&&) noexcept = default;
+};
+}  // namespace detail
+
 /// Broadcast address (beacons).
 inline constexpr NodeId kBroadcastId = 0xffff'ffff;
 
@@ -95,10 +121,32 @@ struct Packet {
   WifiHeader wifi;
   LayerStamps stamps;
 
+  /// Application payload (HTTP bodies, iPerf datagram fill). Immutable and
+  /// shared: many in-flight packets may reference one buffer. Null for the
+  /// (common) headers-only packets; `size_bytes` stays the on-the-wire size
+  /// either way.
+  PayloadBuffer payload;
+
   /// Simulation instrumentation: servers echo the request's stamps here so
   /// the testbed can decompose RTTs per layer. This substitutes for the
   /// paper's modified driver + tcpdump logs; measurement tools never read it.
   std::shared_ptr<const LayerStamps> request_stamps;
+
+  [[no_unique_address]] detail::PacketCopyProbe copy_probe;
+
+  /// Number of payload bytes attached (0 when payload is null).
+  [[nodiscard]] std::size_t payload_size() const {
+    return payload == nullptr ? 0 : payload->size();
+  }
+
+  /// Wraps `bytes` into a shared immutable payload buffer.
+  [[nodiscard]] static PayloadBuffer make_payload(
+      std::vector<std::uint8_t> bytes);
+
+  /// This thread's Packet copy accounting (see PacketOpCounters).
+  [[nodiscard]] static const PacketOpCounters& op_counters();
+  /// Resets this thread's Packet copy accounting.
+  static void reset_op_counters();
 
   /// Allocates a process-unique packet id.
   [[nodiscard]] static std::uint64_t allocate_id();

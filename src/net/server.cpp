@@ -26,7 +26,7 @@ void EchoServer::attach_link(Link& link) {
   link_ = &link;
 }
 
-void EchoServer::receive(Packet packet, Link* /*ingress*/) {
+void EchoServer::receive(Packet&& packet, Link* /*ingress*/) {
   if (packet.dst != id_) return;  // not ours (switch flooding)
   if (observer_) observer_(packet);
   respond(packet);
@@ -48,6 +48,13 @@ void EchoServer::respond(const Packet& request) {
     case PacketType::http_request:
       response = Packet::make_response(request, PacketType::http_response,
                                        http_size_);
+      // The body is one immutable buffer shared by every response in
+      // flight; rebuilding only happens when the configured size changes.
+      if (http_body_ == nullptr || http_body_->size() != http_size_) {
+        http_body_ = Packet::make_payload(
+            std::vector<std::uint8_t>(http_size_, std::uint8_t{0x42}));
+      }
+      response->payload = http_body_;
       break;
     default:
       return;  // UDP warm-up/background or unknown: silently absorbed
@@ -61,7 +68,7 @@ void EchoServer::respond(const Packet& request) {
   });
 }
 
-void UdpSink::receive(Packet packet, Link* /*ingress*/) {
+void UdpSink::receive(Packet&& packet, Link* /*ingress*/) {
   if (packet.dst != id_) return;
   if (packet.protocol != Protocol::udp) return;
   ++packets_;

@@ -28,7 +28,7 @@ class EchoServer : public Node {
   /// Connects the server's NIC. Must be called exactly once before traffic.
   void attach_link(Link& link);
 
-  void receive(Packet packet, Link* ingress) override;
+  void receive(Packet&& packet, Link* ingress) override;
   [[nodiscard]] NodeId id() const override { return id_; }
 
   /// The emulated extra delay on the server's egress (tc netem).
@@ -44,7 +44,7 @@ class EchoServer : public Node {
 
   /// Server-side measurement support (ping2 [34] runs *on* the server):
   /// originates a packet through the netem-shaped egress...
-  void originate(Packet packet) { netem_.enqueue(std::move(packet)); }
+  void originate(Packet&& packet) { netem_.enqueue(std::move(packet)); }
   /// ...and observes otherwise-unhandled inbound packets (echo replies).
   using ObserverFn = std::function<void(const Packet&)>;
   void set_packet_observer(ObserverFn observer) {
@@ -70,6 +70,8 @@ class EchoServer : public Node {
   bool tcp_port_closed_ = false;
   ObserverFn observer_;
   std::uint32_t http_size_;
+  /// Shared immutable HTTP body attached to every http_response.
+  PayloadBuffer http_body_;
   std::uint64_t requests_served_ = 0;
 };
 
@@ -79,7 +81,7 @@ class UdpSink : public Node {
  public:
   UdpSink(sim::Simulator& sim, NodeId id) : sim_(&sim), id_(id) {}
 
-  void receive(Packet packet, Link* ingress) override;
+  void receive(Packet&& packet, Link* ingress) override;
   [[nodiscard]] NodeId id() const override { return id_; }
 
   [[nodiscard]] std::uint64_t packets_received() const { return packets_; }

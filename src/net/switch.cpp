@@ -14,7 +14,7 @@ void Switch::attach_port(Link& link) {
   ports_.push_back(&link);
 }
 
-void Switch::receive(Packet packet, Link* ingress) {
+void Switch::receive(Packet&& packet, Link* ingress) {
   expects(ingress != nullptr, "Switch requires wired ingress");
   // Learn the sender's port.
   table_[packet.src] = ingress;
@@ -27,11 +27,13 @@ void Switch::receive(Packet packet, Link* ingress) {
       return;
     }
   }
-  // Unknown destination or broadcast: flood all ports except ingress.
+  // Unknown destination or broadcast: flood all ports except ingress (each
+  // egress owns its copy; payload bytes stay shared).
   ++flooded_count_;
   for (Link* port : ports_) {
     if (port == ingress) continue;
-    port->send(id_, packet);
+    Packet copy = packet;
+    port->send(id_, std::move(copy));
   }
 }
 

@@ -18,7 +18,7 @@ class Switch : public Node {
   /// switch as one endpoint.
   void attach_port(Link& link);
 
-  void receive(Packet packet, Link* ingress) override;
+  void receive(Packet&& packet, Link* ingress) override;
 
   [[nodiscard]] NodeId id() const override { return id_; }
 

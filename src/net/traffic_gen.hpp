@@ -18,7 +18,7 @@ namespace acute::net {
 /// a small randomized phase so parallel flows do not phase-lock.
 class UdpCbrSource {
  public:
-  using TransmitFn = std::function<void(Packet)>;
+  using TransmitFn = std::function<void(Packet&&)>;
 
   struct Config {
     NodeId src = 0;

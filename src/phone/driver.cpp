@@ -13,7 +13,7 @@ WnicDriver::WnicDriver(sim::Simulator& sim, sim::Rng rng,
                        const PhoneProfile& profile, SdioBus& bus)
     : sim_(&sim), rng_(std::move(rng)), profile_(&profile), bus_(&bus) {}
 
-void WnicDriver::transmit(Packet packet) {
+void WnicDriver::transmit(Packet&& packet) {
   const TimePoint xmit_entry = sim_->now();
   stamp(packet, StampPoint::driver_xmit_entry, xmit_entry);
 
@@ -32,7 +32,7 @@ void WnicDriver::transmit(Packet packet) {
       });
 }
 
-void WnicDriver::deliver(Packet packet) {
+void WnicDriver::deliver(Packet&& packet) {
   // The chip raises the interrupt shortly after the frame ends on air.
   sim_->schedule_in(profile_->irq_latency, [this,
                                             pkt = std::move(packet)]() mutable {

@@ -39,9 +39,9 @@ class WnicDriver : public stack::StackLayer {
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "driver"; }
   /// Downward path: the kernel hands a packet to dhd_start_xmit.
-  void transmit(net::Packet packet) override;
+  void transmit(net::Packet&& packet) override;
   /// Upward path: a frame arrives from the bus (chip interrupt).
-  void deliver(net::Packet packet) override;
+  void deliver(net::Packet&& packet) override;
 
   /// The "modified driver" logs of §3.2.1.
   [[nodiscard]] const std::vector<double>& dvsend_log_ms() const {

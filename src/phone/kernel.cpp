@@ -12,7 +12,7 @@ KernelStack::KernelStack(sim::Simulator& sim, sim::Rng rng,
                          const PhoneProfile& profile)
     : sim_(&sim), rng_(std::move(rng)), profile_(&profile) {}
 
-void KernelStack::transmit(Packet packet) {
+void KernelStack::transmit(Packet&& packet) {
   // IP/transport processing down to the device queue.
   const Duration cost =
       profile_->kernel_tx.sample_scaled(rng_, profile_->cpu_scale);
@@ -24,7 +24,7 @@ void KernelStack::transmit(Packet packet) {
   });
 }
 
-void KernelStack::deliver(Packet packet) {
+void KernelStack::deliver(Packet&& packet) {
   // bpf tap at netif_rx: t_k^i.
   stamp(packet, StampPoint::kernel_recv, sim_->now());
   ++rx_packets_;

@@ -22,11 +22,11 @@ class KernelStack : public stack::StackLayer {
   [[nodiscard]] const char* layer_name() const override { return "kernel"; }
   /// Downward: a packet entering the kernel from a socket write. The bpf
   /// tap (kernel_send) is stamped just before the driver hand-off.
-  void transmit(net::Packet packet) override;
+  void transmit(net::Packet&& packet) override;
   /// Upward: a packet climbing from the driver (netif_rx). ICMP echo
   /// requests are answered in place; everything else ascends to the socket
   /// layer after protocol processing.
-  void deliver(net::Packet packet) override;
+  void deliver(net::Packet&& packet) override;
 
   [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
   [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }

@@ -46,7 +46,7 @@ ExecEnvLayer::ExecEnvLayer(sim::Simulator& sim, sim::Rng rng,
                            const PhoneProfile& profile)
     : sim_(&sim), env_(std::move(rng), profile) {}
 
-void ExecEnvLayer::send(Packet packet, ExecMode mode) {
+void ExecEnvLayer::send(Packet&& packet, ExecMode mode) {
   stamp(packet, StampPoint::app_send, sim_->now());  // t_u^o
   const Duration overhead = env_.send_overhead(mode);
   sim_->schedule_in(overhead, [this, pkt = std::move(packet)]() mutable {
@@ -54,7 +54,7 @@ void ExecEnvLayer::send(Packet packet, ExecMode mode) {
   });
 }
 
-void ExecEnvLayer::deliver(Packet packet) {
+void ExecEnvLayer::deliver(Packet&& packet) {
   const auto it = flows_.find(packet.flow_id);
   if (it == flows_.end()) return;  // no app bound to this flow
   const Duration overhead = env_.recv_overhead(it->second.mode);
@@ -65,7 +65,7 @@ void ExecEnvLayer::deliver(Packet packet) {
     // Re-look-up: the app may have unregistered while the packet climbed.
     const auto handler_it = flows_.find(flow_id);
     if (handler_it == flows_.end()) return;
-    handler_it->second.handler(pkt);
+    handler_it->second.handler(std::move(pkt));
   });
 }
 

@@ -55,20 +55,22 @@ class ExecEnvLayer : public stack::StackLayer {
   [[nodiscard]] const char* layer_name() const override { return "exec-env"; }
   /// Downward entry with the default (native C) runtime. Apps normally call
   /// send() to choose their runtime explicitly.
-  void transmit(net::Packet packet) override {
+  void transmit(net::Packet&& packet) override {
     send(std::move(packet), ExecMode::native_c);
   }
   /// Upward: socket readiness -> runtime receive overhead -> t_u^i stamp ->
   /// the app registered on the packet's flow (dropped if none).
-  void deliver(net::Packet packet) override;
+  void deliver(net::Packet&& packet) override;
 
   /// Sends a packet from an app. Stamps app_send (t_u^o) now; the packet
   /// enters the kernel after the runtime's send overhead.
-  void send(net::Packet packet, ExecMode mode);
+  void send(net::Packet&& packet, ExecMode mode);
 
   /// App-level receive callback, demultiplexed by the packet's flow id.
   /// `mode` determines the runtime whose receive overhead the app pays.
-  using AppRxFn = std::function<void(const net::Packet&)>;
+  /// The packet is handed over as an rvalue: apps that keep it take it by
+  /// value (a move), apps that only read it bind a const reference.
+  using AppRxFn = std::function<void(net::Packet&&)>;
   void register_flow(std::uint32_t flow_id, AppRxFn handler,
                      ExecMode mode = ExecMode::native_c);
   void unregister_flow(std::uint32_t flow_id);

@@ -39,7 +39,7 @@ void SdioBus::on_watchdog_tick() {
   }
 }
 
-void SdioBus::transmit(net::Packet packet) {
+void SdioBus::transmit(net::Packet&& packet) {
   const Duration transfer = transfer_time(packet.size_bytes);
   sim_->schedule_in(transfer, [this, pkt = std::move(packet)]() mutable {
     activity();
@@ -47,7 +47,7 @@ void SdioBus::transmit(net::Packet packet) {
   });
 }
 
-void SdioBus::deliver(net::Packet packet) { pass_up(std::move(packet)); }
+void SdioBus::deliver(net::Packet&& packet) { pass_up(std::move(packet)); }
 
 Duration SdioBus::acquire(Direction direction) {
   const TimePoint now = sim_->now();

@@ -38,9 +38,9 @@ class SdioBus : public stack::StackLayer {
   [[nodiscard]] const char* layer_name() const override { return "sdio-bus"; }
   /// Downward: the driver hands a frame over at dhdsdio_txpkt time; the bus
   /// spends the transfer time, marks activity, and passes to the station.
-  void transmit(net::Packet packet) override;
+  void transmit(net::Packet&& packet) override;
   /// Upward: transparent (see class comment).
-  void deliver(net::Packet packet) override;
+  void deliver(net::Packet&& packet) override;
 
   /// Acquires the bus for a transfer. Returns the latency before the bus is
   /// usable: ~0 when awake and recently active, the backplane-clock ramp

@@ -2,10 +2,13 @@
 
 #include <utility>
 
+#include "sim/contracts.hpp"
+
 namespace acute::phone {
 
 using net::Packet;
 using sim::Duration;
+using sim::expects;
 
 namespace {
 wifi::Station::Config station_config(const PhoneProfile& profile,
@@ -22,29 +25,91 @@ wifi::Station::Config station_config(const PhoneProfile& profile,
 }
 }  // namespace
 
+const char* to_string(RadioKind kind) {
+  switch (kind) {
+    case RadioKind::wifi:
+      return "wifi";
+    case RadioKind::cellular:
+      return "cellular";
+  }
+  return "?";
+}
+
 Smartphone::Smartphone(sim::Simulator& sim, wifi::Channel& channel,
                        sim::Rng rng, PhoneProfile profile, net::NodeId id,
                        net::NodeId ap_id)
     : sim_(&sim),
       profile_(std::move(profile)),
       id_(id),
+      radio_kind_(RadioKind::wifi),
       rng_(rng.fork("smartphone")),
-      station_(sim, channel, rng.fork("station"),
-               station_config(profile_, id, ap_id)),
-      bus_(sim, rng.fork("bus"), profile_),
-      driver_(sim, rng.fork("driver"), profile_, bus_),
+      station_(std::make_unique<wifi::Station>(
+          sim, channel, rng.fork("station"),
+          station_config(profile_, id, ap_id))),
+      bus_(std::make_unique<SdioBus>(sim, rng.fork("bus"), profile_)),
+      driver_(std::make_unique<WnicDriver>(sim, rng.fork("driver"), profile_,
+                                           *bus_)),
       kernel_(sim, rng.fork("kernel"), profile_),
       exec_(sim, rng.fork("env"), profile_),
       pipeline_(sim),
       ap_id_(ap_id) {
   pipeline_.append(exec_);
   pipeline_.append(kernel_);
-  pipeline_.append(driver_);
-  pipeline_.append(bus_);
-  pipeline_.append(station_);
+  pipeline_.append(*driver_);
+  pipeline_.append(*bus_);
+  pipeline_.append(*station_);
   if (profile_.system_traffic_mean_interval > Duration{}) {
     schedule_system_traffic();
   }
+}
+
+Smartphone::Smartphone(sim::Simulator& sim, sim::Rng rng, PhoneProfile profile,
+                       net::NodeId id, net::NodeId gateway_id,
+                       const cellular::RrcConfig& rrc_config)
+    : sim_(&sim),
+      profile_(std::move(profile)),
+      id_(id),
+      radio_kind_(RadioKind::cellular),
+      rng_(rng.fork("smartphone")),
+      rrc_(std::make_unique<cellular::RrcMachine>(sim, rng.fork("rrc"),
+                                                  rrc_config)),
+      rrc_radio_(std::make_unique<cellular::RrcRadioLayer>(sim, *rrc_)),
+      kernel_(sim, rng.fork("kernel"), profile_),
+      exec_(sim, rng.fork("env"), profile_),
+      pipeline_(sim),
+      ap_id_(gateway_id) {
+  pipeline_.append(exec_);
+  pipeline_.append(kernel_);
+  pipeline_.append(*rrc_radio_);
+  if (profile_.system_traffic_mean_interval > Duration{}) {
+    schedule_system_traffic();
+  }
+}
+
+wifi::Station& Smartphone::station() {
+  expects(station_ != nullptr, "Smartphone::station on a cellular phone");
+  return *station_;
+}
+
+SdioBus& Smartphone::bus() {
+  expects(bus_ != nullptr, "Smartphone::bus on a cellular phone");
+  return *bus_;
+}
+
+WnicDriver& Smartphone::driver() {
+  expects(driver_ != nullptr, "Smartphone::driver on a cellular phone");
+  return *driver_;
+}
+
+cellular::RrcMachine& Smartphone::rrc() {
+  expects(rrc_ != nullptr, "Smartphone::rrc on a WiFi phone");
+  return *rrc_;
+}
+
+cellular::RrcRadioLayer& Smartphone::cellular_radio() {
+  expects(rrc_radio_ != nullptr,
+          "Smartphone::cellular_radio on a WiFi phone");
+  return *rrc_radio_;
 }
 
 void Smartphone::schedule_system_traffic() {
@@ -67,7 +132,7 @@ void Smartphone::schedule_system_traffic() {
   });
 }
 
-void Smartphone::send(Packet packet, ExecMode mode) {
+void Smartphone::send(Packet&& packet, ExecMode mode) {
   packet.src = id_;
   exec_.send(std::move(packet), mode);
 }

@@ -1,10 +1,17 @@
-// The composed handset: a PhoneProfile plus a StackPipeline of the five
-// stack layers the paper dissects —
+// The composed handset: a PhoneProfile plus a StackPipeline.
+//
+// A WiFi phone runs the five stack layers the paper dissects —
 //
 //   exec-env -> kernel -> driver -> sdio-bus -> station
 //
-// Measurement apps talk to the socket-like flow API; everything below
-// reproduces the latency structure the paper decomposes into du/dk/dv/dn.
+// — while a cellular phone bottoms out in the RRC-gated radio instead
+// (§4.1's cellular extension):
+//
+//   exec-env -> kernel -> rrc-radio
+//
+// Measurement apps talk to the socket-like flow API either way; everything
+// below reproduces the latency structure the paper decomposes into
+// du/dk/dv/dn (WiFi) or the RRC promotion/state latencies (cellular).
 // The Smartphone itself no longer wires layer-to-layer callbacks: the
 // pipeline owns the descent/ascent plumbing, and the phone only contributes
 // identity (node id), the background system chatter, and subsystem access
@@ -12,7 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "cellular/rrc.hpp"
+#include "cellular/rrc_radio.hpp"
 #include "net/packet.hpp"
 #include "phone/driver.hpp"
 #include "phone/kernel.hpp"
@@ -27,18 +37,31 @@
 
 namespace acute::phone {
 
+/// Which radio a phone's pipeline bottoms out in.
+enum class RadioKind { wifi, cellular };
+
+[[nodiscard]] const char* to_string(RadioKind kind);
+
 class Smartphone {
  public:
-  /// Builds a phone with the given profile, attached to `channel` and
+  /// Builds a WiFi phone with the given profile, attached to `channel` and
   /// associated with the AP at `ap_id`.
   Smartphone(sim::Simulator& sim, wifi::Channel& channel, sim::Rng rng,
              PhoneProfile profile, net::NodeId id, net::NodeId ap_id);
+
+  /// Builds a cellular phone: exec-env -> kernel -> rrc-radio. The radio's
+  /// egress must be wired to the serving gateway (testbed::CellularGateway
+  /// does this on attach); `gateway_id` is where system chatter is aimed.
+  Smartphone(sim::Simulator& sim, sim::Rng rng, PhoneProfile profile,
+             net::NodeId id, net::NodeId gateway_id,
+             const cellular::RrcConfig& rrc_config);
 
   Smartphone(const Smartphone&) = delete;
   Smartphone& operator=(const Smartphone&) = delete;
 
   [[nodiscard]] net::NodeId id() const { return id_; }
   [[nodiscard]] const PhoneProfile& profile() const { return profile_; }
+  [[nodiscard]] RadioKind radio_kind() const { return radio_kind_; }
 
   /// App-level receive callback, demultiplexed by the packet's flow id.
   /// `mode` determines the runtime whose receive overhead the app pays.
@@ -56,16 +79,20 @@ class Smartphone {
 
   /// Sends a packet from an app. Stamps app_send (t_u^o) now; the packet
   /// then descends the pipeline.
-  void send(net::Packet packet, ExecMode mode);
+  void send(net::Packet&& packet, ExecMode mode);
 
   // Subsystem access (ablations, instrumentation, tests).
   [[nodiscard]] stack::StackPipeline& pipeline() { return pipeline_; }
   [[nodiscard]] ExecEnvLayer& exec_env() { return exec_; }
-  [[nodiscard]] wifi::Station& station() { return station_; }
-  [[nodiscard]] SdioBus& bus() { return bus_; }
-  [[nodiscard]] WnicDriver& driver() { return driver_; }
   [[nodiscard]] KernelStack& kernel() { return kernel_; }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  // WiFi-stack subsystems (contract violation on a cellular phone).
+  [[nodiscard]] wifi::Station& station();
+  [[nodiscard]] SdioBus& bus();
+  [[nodiscard]] WnicDriver& driver();
+  // Cellular-stack subsystems (contract violation on a WiFi phone).
+  [[nodiscard]] cellular::RrcMachine& rrc();
+  [[nodiscard]] cellular::RrcRadioLayer& cellular_radio();
 
   /// Packets emitted by the phone's own system services so far.
   [[nodiscard]] std::uint64_t system_packets_sent() const {
@@ -82,10 +109,15 @@ class Smartphone {
   sim::Simulator* sim_;
   PhoneProfile profile_;
   net::NodeId id_;
+  RadioKind radio_kind_;
   sim::Rng rng_;
-  wifi::Station station_;
-  SdioBus bus_;
-  WnicDriver driver_;
+  // WiFi bottom (null on cellular phones).
+  std::unique_ptr<wifi::Station> station_;
+  std::unique_ptr<SdioBus> bus_;
+  std::unique_ptr<WnicDriver> driver_;
+  // Cellular bottom (null on WiFi phones).
+  std::unique_ptr<cellular::RrcMachine> rrc_;
+  std::unique_ptr<cellular::RrcRadioLayer> rrc_radio_;
   KernelStack kernel_;
   ExecEnvLayer exec_;
   stack::StackPipeline pipeline_;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -11,39 +12,54 @@ EventHandle EventQueue::push(TimePoint when, EventFn fn) {
   auto state = std::make_shared<detail::CancelState>();
   state->live_counter = live_count_;
   EventHandle handle{state};
-  heap_.push(Entry{when, next_seq_++, std::move(fn), std::move(state)});
+  heap_.push_back(Entry{when, next_seq_++, std::move(fn), std::move(state)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++*live_count_;
+  maybe_compact();
   return handle;
 }
 
 void EventQueue::drop_cancelled_prefix() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().state->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
+}
+
+void EventQueue::maybe_compact() {
+  // Compact when cancelled entries dominate: the O(n) sweep is then paid at
+  // most every n/2 cancellations, i.e. amortized O(1) per event.
+  if (heap_.size() < kCompactMinEntries) return;
+  if (heap_.size() < 2 * *live_count_) return;
+  heap_.erase(std::remove_if(
+                  heap_.begin(), heap_.end(),
+                  [](const Entry& entry) { return entry.state->cancelled; }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  ++compactions_;
 }
 
 TimePoint EventQueue::next_time() const {
   expects(!empty(), "EventQueue::next_time on empty queue");
   drop_cancelled_prefix();
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 EventQueue::Fired EventQueue::pop() {
   expects(!empty(), "EventQueue::pop on empty queue");
   drop_cancelled_prefix();
-  const Entry& top = heap_.top();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry& top = heap_.back();
   // Fired events can no longer be cancelled; mark so handles report done.
   top.state->cancelled = true;
   Fired fired{top.when, std::move(top.fn)};
-  heap_.pop();
+  heap_.pop_back();
   --*live_count_;
   return fired;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) {
-    heap_.pop();
-  }
+  heap_.clear();
   *live_count_ = 0;
 }
 

@@ -1,11 +1,15 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
 // and O(1) lazy cancellation.
+//
+// Cancellation leaves the entry in the heap to be skipped when popped; long
+// campaigns (every probe arms a timeout that is almost always cancelled)
+// would otherwise accumulate unbounded dead entries, so the queue compacts
+// itself whenever cancelled entries outnumber live ones (amortized O(1)).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -85,12 +89,21 @@ class EventQueue {
   /// Drops every queued event.
   void clear();
 
+  /// Raw heap entries, cancelled ones included (compaction introspection).
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
+  /// Times the heap was compacted (cancelled entries physically removed).
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
+  /// Below this many raw entries compaction is never attempted (the scan
+  /// would cost more than the dead entries do).
+  static constexpr std::size_t kCompactMinEntries = 64;
+
  private:
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
-    // Mutable so pop() can move the callback out of the heap's const top().
-    mutable EventFn fn;
+    EventFn fn;
     std::shared_ptr<detail::CancelState> state;
   };
   struct Later {
@@ -101,10 +114,14 @@ class EventQueue {
   };
 
   void drop_cancelled_prefix() const;
+  void maybe_compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // A binary heap over (when, seq) maintained with the std heap algorithms
+  // (an explicit vector so compaction can erase dead entries in place).
+  mutable std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
   std::shared_ptr<std::size_t> live_count_;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace acute::sim

@@ -21,6 +21,7 @@ void Simulator::fire_next() {
   auto fired = queue_.pop();
   ensures(fired.when >= now_, "event queue returned an event from the past");
   now_ = fired.when;
+  ++events_fired_;
   fired.fn();
 }
 

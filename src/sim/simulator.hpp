@@ -45,6 +45,13 @@ class Simulator {
   /// Number of live pending events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Total events fired over this simulator's lifetime (work accounting for
+  /// campaign throughput benches).
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+
+  /// The underlying event queue (compaction introspection).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
   /// Drops all pending events without firing them.
   void clear() { queue_.clear(); }
 
@@ -57,6 +64,7 @@ class Simulator {
 
   EventQueue queue_;
   TimePoint now_;
+  std::uint64_t events_fired_ = 0;
   std::uint64_t event_limit_ = 500'000'000;
 };
 

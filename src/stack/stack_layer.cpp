@@ -66,13 +66,13 @@ void write_stamp(net::LayerStamps& stamps, StampPoint point,
   }
 }
 
-void StackLayer::pass_down(net::Packet packet) {
+void StackLayer::pass_down(net::Packet&& packet) {
   expects(below_ != nullptr,
           "StackLayer::pass_down called on the bottom layer");
   below_->transmit(std::move(packet));
 }
 
-void StackLayer::pass_up(net::Packet packet) {
+void StackLayer::pass_up(net::Packet&& packet) {
   if (above_ != nullptr) {
     above_->deliver(std::move(packet));
     return;

@@ -48,6 +48,11 @@ void write_stamp(net::LayerStamps& stamps, StampPoint point,
 /// own processing latency with the simulator and then hand the packet to the
 /// next layer via pass_down() / pass_up(). Hand-offs are synchronous; all
 /// time passes inside the layers themselves.
+///
+/// The packet flow is move-based: both verbs take the packet by rvalue
+/// reference and layers std::move it through their scheduled events, so a
+/// packet descends and ascends the whole stack without a single copy (the
+/// thread-local Packet::op_counters() accounting enforces this in tests).
 class StackLayer {
  public:
   StackLayer() = default;
@@ -59,10 +64,10 @@ class StackLayer {
   [[nodiscard]] virtual const char* layer_name() const = 0;
 
   /// Downward path: a packet descending toward the radio enters this layer.
-  virtual void transmit(net::Packet packet) = 0;
+  virtual void transmit(net::Packet&& packet) = 0;
 
   /// Upward path: a packet ascending toward the app enters this layer.
-  virtual void deliver(net::Packet packet) = 0;
+  virtual void deliver(net::Packet&& packet) = 0;
 
   [[nodiscard]] StackLayer* above() const { return above_; }
   [[nodiscard]] StackLayer* below() const { return below_; }
@@ -72,11 +77,11 @@ class StackLayer {
  protected:
   /// Hands the packet to the layer below (its transmit runs synchronously).
   /// Must not be called on the bottom layer of a pipeline.
-  void pass_down(net::Packet packet);
+  void pass_down(net::Packet&& packet);
 
   /// Hands the packet to the layer above, or — on the top layer — to the
   /// pipeline's app handler.
-  void pass_up(net::Packet packet);
+  void pass_up(net::Packet&& packet);
 
   /// Stamp hook: writes `point` at time `when` into the packet's stamps and
   /// notifies the pipeline's stamp observer (if any).

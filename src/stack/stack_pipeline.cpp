@@ -29,17 +29,17 @@ void StackPipeline::append(StackLayer& layer) {
   layers_.push_back(&layer);
 }
 
-void StackPipeline::transmit(net::Packet packet) {
+void StackPipeline::transmit(net::Packet&& packet) {
   expects(!layers_.empty(), "StackPipeline::transmit on an empty pipeline");
   layers_.front()->transmit(std::move(packet));
 }
 
-void StackPipeline::inject(net::Packet packet) {
+void StackPipeline::inject(net::Packet&& packet) {
   expects(!layers_.empty(), "StackPipeline::inject on an empty pipeline");
   layers_.back()->deliver(std::move(packet));
 }
 
-void StackPipeline::deliver_to_app(net::Packet packet) {
+void StackPipeline::deliver_to_app(net::Packet&& packet) {
   if (app_handler_) app_handler_(std::move(packet));
 }
 

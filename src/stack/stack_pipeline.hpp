@@ -23,8 +23,10 @@ namespace acute::stack {
 
 class StackPipeline {
  public:
-  /// App-side sink: invoked when the top layer passes a packet up.
-  using DeliverFn = std::function<void(net::Packet)>;
+  /// App-side sink: invoked when the top layer passes a packet up. The
+  /// packet arrives as an rvalue; handlers that keep it take it by value
+  /// (one move), handlers that only read it can bind a const reference.
+  using DeliverFn = std::function<void(net::Packet&&)>;
   /// Cross-layer stamp hook (fires on every StackLayer::stamp call).
   using StampObserver =
       std::function<void(const StackLayer&, StampPoint, const net::Packet&)>;
@@ -40,10 +42,10 @@ class StackPipeline {
   void append(StackLayer& layer);
 
   /// Sends a packet down from the app side (enters the top layer).
-  void transmit(net::Packet packet);
+  void transmit(net::Packet&& packet);
 
   /// Injects a packet at the bottom layer's deliver() — the medium side.
-  void inject(net::Packet packet);
+  void inject(net::Packet&& packet);
 
   void set_app_handler(DeliverFn handler) { app_handler_ = std::move(handler); }
   void set_stamp_observer(StampObserver observer) {
@@ -64,7 +66,7 @@ class StackPipeline {
 
  private:
   friend class StackLayer;
-  void deliver_to_app(net::Packet packet);
+  void deliver_to_app(net::Packet&& packet);
 
   sim::Simulator* sim_;
   std::vector<StackLayer*> layers_;

@@ -1,0 +1,215 @@
+#include "testbed/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/layer_sample.hpp"
+#include "sim/contracts.hpp"
+#include "sim/random.hpp"
+#include "tools/ping.hpp"
+
+namespace acute::testbed {
+
+using sim::Duration;
+using sim::expects;
+
+std::vector<ScenarioSpec> ScenarioGrid::expand() const {
+  expects(!phone_counts.empty() && !profiles.empty() && !radios.empty() &&
+              !emulated_rtts.empty() && !cross_traffic.empty(),
+          "ScenarioGrid axes must all be non-empty");
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(size());
+  for (const std::size_t count : phone_counts) {
+    expects(count > 0, "ScenarioGrid phone counts must be positive");
+    for (const phone::PhoneProfile& profile : profiles) {
+      for (const phone::RadioKind radio : radios) {
+        for (const Duration rtt : emulated_rtts) {
+          for (const bool cross : cross_traffic) {
+            ScenarioSpec scenario;
+            scenario.phones.assign(count, PhoneSpec{profile, "", radio});
+            scenario.emulated_rtt = rtt;
+            scenario.congested_phy = cross;
+            scenarios.push_back(std::move(scenario));
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::size_t ScenarioGrid::size() const {
+  return phone_counts.size() * profiles.size() * radios.size() *
+         emulated_rtts.size() * cross_traffic.size();
+}
+
+std::vector<double> CampaignReport::merged(
+    std::vector<double> ShardResult::*field) const {
+  std::vector<double> all;
+  for (const ShardResult& shard : shards) {
+    const std::vector<double>& samples = shard.*field;
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  return all;
+}
+
+stats::Summary CampaignReport::rtt_summary() const {
+  return stats::Summary(merged(&ShardResult::reported_rtt_ms));
+}
+
+stats::Cdf CampaignReport::rtt_cdf() const {
+  return stats::Cdf(merged(&ShardResult::reported_rtt_ms));
+}
+
+std::size_t CampaignReport::total_probes() const {
+  std::size_t total = 0;
+  for (const ShardResult& shard : shards) total += shard.probes_sent;
+  return total;
+}
+
+std::size_t CampaignReport::total_lost() const {
+  std::size_t total = 0;
+  for (const ShardResult& shard : shards) total += shard.probes_lost;
+  return total;
+}
+
+std::uint64_t CampaignReport::total_frames() const {
+  std::uint64_t total = 0;
+  for (const ShardResult& shard : shards) total += shard.frames_on_air;
+  return total;
+}
+
+std::uint64_t CampaignReport::total_events() const {
+  std::uint64_t total = 0;
+  for (const ShardResult& shard : shards) total += shard.events_fired;
+  return total;
+}
+
+double CampaignReport::total_sim_seconds() const {
+  double total = 0;
+  for (const ShardResult& shard : shards) total += shard.sim_seconds;
+  return total;
+}
+
+Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
+  expects(!spec_.scenarios.empty(), "Campaign requires at least one scenario");
+  expects(spec_.probes_per_phone > 0,
+          "Campaign requires probes_per_phone > 0");
+  expects(spec_.probe_timeout > Duration{},
+          "Campaign requires a positive probe timeout");
+}
+
+std::uint64_t Campaign::shard_seed(std::uint64_t campaign_seed,
+                                   std::size_t shard_index) {
+  return sim::Rng(campaign_seed)
+      .fork(static_cast<std::uint64_t>(shard_index))
+      .seed();
+}
+
+ShardResult Campaign::run_shard(std::size_t scenario_index) const {
+  expects(scenario_index < spec_.scenarios.size(),
+          "Campaign::run_shard index out of range");
+  ScenarioSpec scenario = spec_.scenarios[scenario_index];
+  scenario.seed = shard_seed(spec_.seed, scenario_index);
+
+  ShardResult result;
+  result.scenario_index = scenario_index;
+  result.shard_seed = scenario.seed;
+  result.phone_count = scenario.phones.size();
+
+  Testbed testbed(std::move(scenario));
+  testbed.settle(spec_.settle);
+  if (testbed.spec().congested_phy) {
+    testbed.start_cross_traffic();
+    testbed.settle(Duration::seconds(2));  // reach saturation
+  }
+
+  std::vector<std::unique_ptr<tools::IcmpPing>> pings;
+  std::vector<tools::MeasurementTool*> running;
+  pings.reserve(testbed.phone_count());
+  for (std::size_t i = 0; i < testbed.phone_count(); ++i) {
+    tools::MeasurementTool::Config config;
+    config.probe_count = spec_.probes_per_phone;
+    config.interval = spec_.probe_interval;
+    config.timeout = spec_.probe_timeout;
+    config.target = Testbed::kServerId;
+    pings.push_back(
+        std::make_unique<tools::IcmpPing>(testbed.phone(i), config));
+    pings.back()->start();
+    running.push_back(pings.back().get());
+  }
+  testbed.run_until_all_finished(running);
+
+  for (const auto& ping : pings) {
+    const tools::ToolRun& run = ping->result();
+    result.probes_sent += run.probes.size();
+    result.probes_lost += run.loss_count();
+    const std::vector<double> rtts = run.reported_rtts_ms();
+    result.reported_rtt_ms.insert(result.reported_rtt_ms.end(), rtts.begin(),
+                                  rtts.end());
+    for (const core::LayerSample& sample : testbed.layer_samples(run)) {
+      result.du_ms.push_back(sample.du_ms);
+      result.dk_ms.push_back(sample.dk_ms);
+      result.dv_ms.push_back(sample.dv_ms);
+      result.dn_ms.push_back(sample.dn_ms);
+    }
+  }
+  if (testbed.cross_traffic_running()) testbed.stop_cross_traffic();
+  result.frames_on_air = testbed.channel().frames_transmitted();
+  result.events_fired = testbed.simulator().events_fired();
+  result.sim_seconds =
+      (testbed.simulator().now() - sim::TimePoint::epoch()).to_seconds();
+  return result;
+}
+
+CampaignReport Campaign::run(std::size_t workers) {
+  const std::size_t shard_count = spec_.scenarios.size();
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers = std::min(workers, shard_count);
+
+  CampaignReport report;
+  report.shards.resize(shard_count);
+  std::vector<std::exception_ptr> failures(shard_count);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      report.shards[i] = run_shard(i);
+    }
+    return report;
+  }
+
+  // Work-stealing by atomic index: each worker owns the slots it claims, so
+  // no locking is needed; determinism comes from per-shard seeding, not
+  // from the claim order.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([this, &next, &report, &failures, shard_count] {
+      while (true) {
+        const std::size_t index =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= shard_count) return;
+        try {
+          report.shards[index] = run_shard(index);
+        } catch (...) {
+          failures[index] = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  for (const std::exception_ptr& failure : failures) {
+    if (failure != nullptr) std::rethrow_exception(failure);
+  }
+  return report;
+}
+
+}  // namespace acute::testbed

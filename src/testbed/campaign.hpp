@@ -1,0 +1,127 @@
+// Fleet-scale measurement campaigns: many scenarios, many cores, one report.
+//
+// The paper's methodology pays off at scale — the du/dk/dv/dn decomposition
+// must be swept across handsets, loads and stack configurations the way
+// crowdsourced systems (MopEye-style per-app measurement) sweep device
+// fleets. Campaign is that sweep engine:
+//
+//   * One *shard* = one ScenarioSpec executed on its own sim::Simulator
+//     (fully independent state) with one IcmpPing per phone.
+//   * A pool of worker threads pulls shard indices from an atomic counter.
+//   * Shard i runs its scenario with seed Rng(campaign_seed).fork(i), so a
+//     shard's result is a pure function of (spec, campaign seed, i) — the
+//     merged report is bit-identical for ANY worker count.
+//   * After the pool joins, per-shard results are merged in scenario-index
+//     order into campaign-wide sample vectors and summaries.
+//
+// ScenarioGrid expands axis lists (phone count x profile x radio x RTT x
+// cross traffic) into the scenario vector, in a fixed nesting order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phone/profile.hpp"
+#include "phone/smartphone.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "testbed/testbed.hpp"
+
+namespace acute::testbed {
+
+/// Axis lists expanded into a scenario vector (cross product). Empty axes
+/// are contract violations — an empty grid is almost certainly a bug.
+struct ScenarioGrid {
+  std::vector<std::size_t> phone_counts{1};
+  std::vector<phone::PhoneProfile> profiles{phone::PhoneProfile::nexus5()};
+  std::vector<phone::RadioKind> radios{phone::RadioKind::wifi};
+  std::vector<sim::Duration> emulated_rtts{sim::Duration::millis(30)};
+  /// true = congested PHY + iPerf cross traffic running during probing.
+  std::vector<bool> cross_traffic{false};
+
+  /// The cross product, nesting (outer to inner): phone count, profile,
+  /// radio, emulated RTT, cross traffic. All phones of a scenario share the
+  /// profile and radio; seeds are assigned by Campaign, not here.
+  [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+
+  /// Number of scenarios expand() will produce.
+  [[nodiscard]] std::size_t size() const;
+};
+
+struct CampaignSpec {
+  std::uint64_t seed = 42;
+  std::vector<ScenarioSpec> scenarios;
+  /// Per-phone IcmpPing schedule.
+  int probes_per_phone = 20;
+  sim::Duration probe_interval = sim::Duration::millis(200);
+  sim::Duration probe_timeout = sim::Duration::seconds(8);
+  /// Idle time before probing starts (power-save machinery steady state).
+  sim::Duration settle = sim::Duration::millis(800);
+};
+
+/// One scenario's outcome. Sample vectors hold the scenario's phones in
+/// phone-index order (per-phone probe order within each phone).
+struct ShardResult {
+  std::size_t scenario_index = 0;
+  std::uint64_t shard_seed = 0;
+  std::size_t phone_count = 0;
+  std::size_t probes_sent = 0;
+  std::size_t probes_lost = 0;
+  /// Tool-reported RTTs of every successful probe.
+  std::vector<double> reported_rtt_ms;
+  /// Fig. 1 decomposition of every fully-stamped probe (WiFi phones; a
+  /// cellular phone's probes lack driver/air stamps and appear only in
+  /// reported_rtt_ms).
+  std::vector<double> du_ms, dk_ms, dv_ms, dn_ms;
+  /// Work accounting (throughput benches).
+  std::uint64_t frames_on_air = 0;
+  std::uint64_t events_fired = 0;
+  double sim_seconds = 0;
+};
+
+/// Merged campaign outcome; shards are ordered by scenario index.
+struct CampaignReport {
+  std::vector<ShardResult> shards;
+
+  /// Concatenation of a per-shard sample vector across shards, in scenario
+  /// index order (the canonical merge used by the summaries below).
+  [[nodiscard]] std::vector<double> merged(
+      std::vector<double> ShardResult::*field) const;
+
+  [[nodiscard]] stats::Summary rtt_summary() const;
+  [[nodiscard]] stats::Cdf rtt_cdf() const;
+
+  [[nodiscard]] std::size_t total_probes() const;
+  [[nodiscard]] std::size_t total_lost() const;
+  [[nodiscard]] std::uint64_t total_frames() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] double total_sim_seconds() const;
+};
+
+class Campaign {
+ public:
+  /// Requires at least one scenario and a positive probe count.
+  explicit Campaign(CampaignSpec spec);
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+
+  /// The deterministic seed shard `shard_index` runs its scenario with:
+  /// Rng(campaign_seed).fork(shard_index). Depends only on the arguments,
+  /// never on thread scheduling.
+  [[nodiscard]] static std::uint64_t shard_seed(std::uint64_t campaign_seed,
+                                                std::size_t shard_index);
+
+  /// Runs every scenario across `workers` threads (0 = hardware
+  /// concurrency) and merges the results. Deterministic for any worker
+  /// count; a shard's failure (contract violation, deadlock guard) is
+  /// rethrown after the pool joins, lowest shard index first.
+  [[nodiscard]] CampaignReport run(std::size_t workers = 0);
+
+  /// Runs a single shard synchronously (what each worker executes).
+  [[nodiscard]] ShardResult run_shard(std::size_t scenario_index) const;
+
+ private:
+  CampaignSpec spec_;
+};
+
+}  // namespace acute::testbed

@@ -46,13 +46,61 @@ WirelessHost::WirelessHost(sim::Simulator& sim, wifi::Channel& channel,
       station_(sim, channel, rng_.fork("station"),
                load_gen_station_config(id, ap_id)) {}
 
-void WirelessHost::transmit(Packet packet) {
+void WirelessHost::transmit(Packet&& packet) {
   packet.src = id_;
   // Desktop host stack: tens of microseconds, no phone-style quirks.
   const Duration stack = Duration::micros(rng_.uniform(20.0, 60.0));
   sim_->schedule_in(stack, [this, pkt = std::move(packet)]() mutable {
     station_.send(std::move(pkt));
   });
+}
+
+void CellularGateway::attach_link(net::Link& link) {
+  expects(link_ == nullptr, "CellularGateway::attach_link called twice");
+  link_ = &link;
+}
+
+void CellularGateway::attach_phone(phone::Smartphone& phone) {
+  expects(phone.radio_kind() == phone::RadioKind::cellular,
+          "CellularGateway::attach_phone requires a cellular phone");
+  const bool inserted = phones_.emplace(phone.id(), &phone).second;
+  expects(inserted, "CellularGateway::attach_phone: duplicate phone id");
+  phone.cellular_radio().set_egress(
+      [this](Packet&& pkt) { uplink(std::move(pkt)); });
+}
+
+void CellularGateway::uplink(Packet&& packet) {
+  // First-hop router: TTL=1 system chatter dies here, like at the WiFi AP.
+  if (packet.ttl <= 1) {
+    ++ttl_drops_;
+    return;
+  }
+  packet.ttl -= 1;
+  expects(link_ != nullptr, "CellularGateway has no core link attached");
+  ++uplink_;
+  link_->send(id_, std::move(packet));
+}
+
+void CellularGateway::receive(Packet&& packet, net::Link* /*ingress*/) {
+  const auto it = phones_.find(packet.dst);
+  if (it == phones_.end()) return;  // not one of ours (switch flooding)
+  if (packet.ttl <= 1) {
+    ++ttl_drops_;
+    return;
+  }
+  packet.ttl -= 1;
+  ++downlink_;
+  // Enter the phone's stack at the bottom: the RRC radio pays the downlink
+  // state latency before the packet ascends.
+  it->second->pipeline().inject(std::move(packet));
+}
+
+std::size_t ScenarioSpec::count_radio(phone::RadioKind kind) const {
+  std::size_t count = 0;
+  for (const PhoneSpec& phone : phones) {
+    if (phone.radio == kind) ++count;
+  }
+  return count;
 }
 
 ScenarioSpec ScenarioSpec::fig2(const TestbedConfig& config) {
@@ -110,6 +158,19 @@ Testbed::Testbed(ScenarioSpec spec)
   server_->netem().set_delay(spec_.emulated_rtt);
   server_->netem().set_jitter(spec_.netem_jitter);
 
+  // Cellular side (only when the scenario mixes in rrc-radio phones): the
+  // gateway reaches the same switch over a link whose one-way propagation
+  // models half the core-network RTT.
+  if (spec_.count_radio(phone::RadioKind::cellular) > 0) {
+    expects(!spec_.cellular_core_rtt.is_negative(),
+            "ScenarioSpec cellular core RTT must be non-negative");
+    gateway_ = std::make_unique<CellularGateway>(sim_, kCellGatewayId);
+    gateway_link_ = std::make_unique<net::Link>(
+        sim_, *gateway_, *switch_, spec_.cellular_core_rtt / 2, gigabit);
+    switch_->attach_port(*gateway_link_);
+    gateway_->attach_link(*gateway_link_);
+  }
+
   // Wireless side: the phones under test + the load generator, all
   // contending on the one channel. Rng streams are forked by label, so a
   // duplicate label would silently give two "independent" handsets
@@ -125,9 +186,16 @@ Testbed::Testbed(ScenarioSpec spec)
             "ScenarioSpec phone labels must be unique (and must not reuse "
             "an infrastructure rng tag)");
     const net::NodeId id = phone_id(i);
-    phones_.push_back(std::make_unique<phone::Smartphone>(
-        sim_, *channel_, rng_.fork(label), phone_spec.profile, id, kApId));
-    ap_->associate(id, phone_spec.profile.associated_listen_interval);
+    if (phone_spec.radio == phone::RadioKind::cellular) {
+      phones_.push_back(std::make_unique<phone::Smartphone>(
+          sim_, rng_.fork(label), phone_spec.profile, id, kCellGatewayId,
+          phone_spec.rrc));
+      gateway_->attach_phone(*phones_.back());
+    } else {
+      phones_.push_back(std::make_unique<phone::Smartphone>(
+          sim_, *channel_, rng_.fork(label), phone_spec.profile, id, kApId));
+      ap_->associate(id, phone_spec.profile.associated_listen_interval);
+    }
   }
   load_gen_ = std::make_unique<WirelessHost>(sim_, *channel_,
                                              rng_.fork("loadgen"), kLoadGenId,
@@ -152,6 +220,12 @@ Testbed::Testbed(ScenarioSpec spec)
   // Beacons start at a random phase relative to the experiment schedule.
   ap_->start_beacons(
       rng_.fork("tbtt").uniform_duration(Duration{}, wifi::beacon_interval()));
+}
+
+CellularGateway& Testbed::cellular_gateway() {
+  expects(gateway_ != nullptr,
+          "Testbed::cellular_gateway: scenario has no cellular phone");
+  return *gateway_;
 }
 
 void Testbed::set_emulated_rtt(Duration rtt) {

@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "cellular/rrc.hpp"
 #include "core/layer_sample.hpp"
 #include "net/link.hpp"
 #include "net/server.hpp"
@@ -46,7 +48,7 @@ class WirelessHost {
                net::NodeId id, net::NodeId ap_id);
 
   /// Sends a packet toward the AP after a small host-stack delay.
-  void transmit(net::Packet packet);
+  void transmit(net::Packet&& packet);
 
   [[nodiscard]] wifi::Station& station() { return station_; }
   [[nodiscard]] net::NodeId id() const { return id_; }
@@ -84,6 +86,47 @@ struct PhoneSpec {
   /// paper's device under test) and "phone-<i>" beyond — phone 0's streams
   /// are therefore identical to the pre-scenario testbed's.
   std::string label;
+  /// Which radio this phone's stack bottoms out in. WiFi phones contend on
+  /// the scenario's 802.11 channel; cellular phones reach the same wired
+  /// fabric through the RRC-gated radio and the cellular gateway.
+  phone::RadioKind radio = phone::RadioKind::wifi;
+  /// RRC parameters (cellular phones only).
+  cellular::RrcConfig rrc = cellular::RrcConfig::umts_3g();
+};
+
+/// The cellular core-network gateway: the wired peer of a scenario's
+/// cellular phones. Uplink packets leave a phone's RrcRadioLayer egress and
+/// enter the wired fabric here (TTL handling included, so TTL=1 system
+/// chatter dies at this first hop exactly as it does at the WiFi AP);
+/// downlink packets matching a registered phone are injected at the bottom
+/// of that phone's pipeline.
+class CellularGateway : public net::Node {
+ public:
+  CellularGateway(sim::Simulator& sim, net::NodeId id)
+      : sim_(&sim), id_(id) {}
+
+  /// Connects the core-network link. Must be called before traffic.
+  void attach_link(net::Link& link);
+  /// Registers a cellular phone and wires its radio egress to this gateway.
+  void attach_phone(phone::Smartphone& phone);
+
+  void receive(net::Packet&& packet, net::Link* ingress) override;
+  [[nodiscard]] net::NodeId id() const override { return id_; }
+
+  [[nodiscard]] std::uint64_t uplink_packets() const { return uplink_; }
+  [[nodiscard]] std::uint64_t downlink_packets() const { return downlink_; }
+  [[nodiscard]] std::uint64_t ttl_drops() const { return ttl_drops_; }
+
+ private:
+  void uplink(net::Packet&& packet);
+
+  sim::Simulator* sim_;
+  net::NodeId id_;
+  net::Link* link_ = nullptr;
+  std::unordered_map<net::NodeId, phone::Smartphone*> phones_;
+  std::uint64_t uplink_ = 0;
+  std::uint64_t downlink_ = 0;
+  std::uint64_t ttl_drops_ = 0;
 };
 
 /// Full scenario description: N heterogeneous phones contending on one
@@ -99,9 +142,15 @@ struct ScenarioSpec {
   bool send_ttl_exceeded = false;
   sim::Duration sniffer_noise = sim::Duration::micros(2);
   std::size_t sniffer_count = 3;
+  /// Core-network RTT for cellular phones (gateway <-> switch propagation
+  /// covers both directions; RRC state latencies come on top).
+  sim::Duration cellular_core_rtt = sim::Duration::millis(50);
 
   /// The paper's Fig. 2 defaults as a scenario (what TestbedConfig maps to).
   [[nodiscard]] static ScenarioSpec fig2(const TestbedConfig& config = {});
+
+  /// Number of phones with the given radio kind.
+  [[nodiscard]] std::size_t count_radio(phone::RadioKind kind) const;
 };
 
 class Testbed {
@@ -115,6 +164,8 @@ class Testbed {
   static constexpr net::NodeId kLoadGenId = 5;
   static constexpr net::NodeId kLoadSinkId = 6;
   static constexpr net::NodeId kExtraPhoneBaseId = 7;
+  /// Cellular gateway address (top of the id space, clear of phone ids).
+  static constexpr net::NodeId kCellGatewayId = 0xffff'0000;
 
   /// Node id of the `index`-th phone of a scenario.
   [[nodiscard]] static constexpr net::NodeId phone_id(std::size_t index) {
@@ -145,6 +196,9 @@ class Testbed {
   }
   [[nodiscard]] std::size_t sniffer_count() const { return sniffers_.size(); }
   [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  /// The cellular gateway (contract violation when the scenario has no
+  /// cellular phone).
+  [[nodiscard]] CellularGateway& cellular_gateway();
 
   /// Reconfigures the emulated path RTT (tc on the server).
   void set_emulated_rtt(sim::Duration rtt);
@@ -189,6 +243,8 @@ class Testbed {
   std::unique_ptr<net::Link> switch_server_link_;
   std::unique_ptr<net::Link> switch_sink_link_;
   std::unique_ptr<WirelessHost> load_gen_;
+  std::unique_ptr<CellularGateway> gateway_;
+  std::unique_ptr<net::Link> gateway_link_;
   std::unique_ptr<net::IperfLoadGenerator> iperf_;
   std::vector<std::unique_ptr<phone::Smartphone>> phones_;
   std::vector<std::unique_ptr<wifi::Sniffer>> sniffers_;

@@ -50,7 +50,7 @@ void MeasurementTool::start(DoneFn done) {
   run_.tool_name = name();
   phone_->register_flow(
       flow_id_,
-      [this](const Packet& response) { handle_response(response); },
+      [this](Packet&& response) { handle_response(std::move(response)); },
       exec_mode());
 
   if (config_.sequential) {
@@ -88,7 +88,7 @@ Packet MeasurementTool::new_probe(int index, net::PacketType type,
   return probe;
 }
 
-void MeasurementTool::send_packet(Packet packet) {
+void MeasurementTool::send_packet(Packet&& packet) {
   phone_->send(std::move(packet), exec_mode());
 }
 
@@ -104,7 +104,7 @@ std::optional<double> MeasurementTool::on_probe_response(
   return raw_rtt_ms;
 }
 
-void MeasurementTool::handle_response(const Packet& response) {
+void MeasurementTool::handle_response(Packet&& response) {
   const auto it = outstanding_.find(response.probe_id);
   if (it == outstanding_.end()) return;  // late (already timed out) or alien
   Outstanding entry = std::move(it->second);
@@ -119,7 +119,7 @@ void MeasurementTool::handle_response(const Packet& response) {
   ProbeRecord record;
   record.index = entry.index;
   record.reported_rtt_ms = *reported;
-  record.response = response;
+  record.response = std::move(response);
   complete_probe(entry.index, std::move(record));
 }
 

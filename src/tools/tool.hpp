@@ -97,7 +97,7 @@ class MeasurementTool {
                                       std::uint32_t size_bytes);
 
   /// Sends a packet through the phone in this tool's exec mode.
-  void send_packet(net::Packet packet);
+  void send_packet(net::Packet&& packet);
 
   /// Restarts probe `index`'s send clock (httping uses this so the reported
   /// RTT covers only the HTTP exchange, not the preceding connect).
@@ -114,7 +114,7 @@ class MeasurementTool {
   };
 
   void launch_probe(int index);
-  void handle_response(const net::Packet& response);
+  void handle_response(net::Packet&& response);
   void handle_timeout(std::uint64_t probe_id);
   void complete_probe(int index, ProbeRecord record);
   void maybe_finish();

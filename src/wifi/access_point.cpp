@@ -21,11 +21,11 @@ AccessPoint::AccessPoint(sim::Simulator& sim, Channel& channel, sim::Rng rng,
       radio_(channel, config.id),
       beacon_timer_(sim, beacon_interval(),
                     [this](std::uint64_t) { send_beacon(); }) {
-  radio_.set_receiver([this](Packet pkt, const Frame& frame) {
+  radio_.set_receiver([this](Packet&& pkt, const Frame& frame) {
     on_radio_receive(std::move(pkt), frame);
   });
   radio_.set_delivery_fail_handler(
-      [this](Packet pkt, net::NodeId receiver) {
+      [this](Packet&& pkt, net::NodeId receiver) {
         on_delivery_failed(std::move(pkt), receiver);
       });
 }
@@ -78,7 +78,7 @@ void AccessPoint::send_beacon() {
   radio_.enqueue_priority(std::move(beacon), kBroadcastId);
 }
 
-void AccessPoint::on_radio_receive(Packet packet, const Frame& frame) {
+void AccessPoint::on_radio_receive(Packet&& packet, const Frame& frame) {
   StationState* state = station_state(frame.transmitter);
   if (state != nullptr) {
     // Track the station's power state from the PM bit of every frame.
@@ -111,7 +111,7 @@ void AccessPoint::on_radio_receive(Packet packet, const Frame& frame) {
   }
 }
 
-void AccessPoint::route_from_wireless(Packet packet) {
+void AccessPoint::route_from_wireless(Packet&& packet) {
   // First-hop router: TTL handling (AcuteMon's warm-up packets die here).
   if (packet.ttl <= 1) {
     ++ttl_drops_;
@@ -140,7 +140,7 @@ void AccessPoint::route_from_wireless(Packet packet) {
   });
 }
 
-void AccessPoint::receive(Packet packet, net::Link* /*ingress*/) {
+void AccessPoint::receive(Packet&& packet, net::Link* /*ingress*/) {
   // Wired ingress: route toward the wireless side if the destination is an
   // associated station; otherwise it is not for this BSS.
   if (station_state(packet.dst) == nullptr) return;
@@ -157,7 +157,7 @@ void AccessPoint::receive(Packet packet, net::Link* /*ingress*/) {
   });
 }
 
-void AccessPoint::deliver_to_station(net::NodeId sta, Packet packet) {
+void AccessPoint::deliver_to_station(net::NodeId sta, Packet&& packet) {
   StationState* state = station_state(sta);
   if (state == nullptr) return;
   if (state->dozing) {
@@ -178,7 +178,7 @@ void AccessPoint::flush_ps_buffer(StationState& state, net::NodeId sta) {
   }
 }
 
-void AccessPoint::on_delivery_failed(Packet packet, net::NodeId receiver) {
+void AccessPoint::on_delivery_failed(Packet&& packet, net::NodeId receiver) {
   // The radio exhausted retries against a receiver that went to sleep
   // mid-flight; re-route through power-save buffering like a real AP.
   StationState* state = station_state(receiver);

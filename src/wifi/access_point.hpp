@@ -50,7 +50,7 @@ class AccessPoint : public net::Node {
   void associate(net::NodeId sta, int listen_interval);
 
   // Node (wired ingress).
-  void receive(net::Packet packet, net::Link* ingress) override;
+  void receive(net::Packet&& packet, net::Link* ingress) override;
   [[nodiscard]] net::NodeId id() const override { return config_.id; }
 
   [[nodiscard]] Radio& radio() { return radio_; }
@@ -75,10 +75,10 @@ class AccessPoint : public net::Node {
     std::deque<net::Packet> ps_buffer;
   };
 
-  void on_radio_receive(net::Packet packet, const Frame& frame);
-  void on_delivery_failed(net::Packet packet, net::NodeId receiver);
-  void route_from_wireless(net::Packet packet);
-  void deliver_to_station(net::NodeId sta, net::Packet packet);
+  void on_radio_receive(net::Packet&& packet, const Frame& frame);
+  void on_delivery_failed(net::Packet&& packet, net::NodeId receiver);
+  void route_from_wireless(net::Packet&& packet);
+  void deliver_to_station(net::NodeId sta, net::Packet&& packet);
   void flush_ps_buffer(StationState& state, net::NodeId sta);
   void send_beacon();
   StationState* station_state(net::NodeId sta);

@@ -109,15 +109,17 @@ void Channel::transmit(Radio& winner, TimePoint tx_start) {
   // t_n of Fig. 1: the instant the frame hits the air.
   frame.packet.stamps.air = tx_start;
 
-  // Payload reaches receivers when the data portion ends.
+  // Payload reaches receivers when the data portion ends. Observers and the
+  // tx-done hook only read the frame; delivery runs last so it can hand the
+  // frame's packet to the (unicast) receiver by move instead of copy.
   Radio* transmitter = &winner;
   sim_->schedule_at(frame.tx_end,
                     [this, transmitter, f = std::move(frame)]() mutable {
                       notify_observers(f);
-                      deliver(f, transmitter);
                       if (transmitter->on_tx_done_) {
                         transmitter->on_tx_done_(f);
                       }
+                      deliver(std::move(f), transmitter);
                     });
 
   // Medium goes idle at busy_until_: run the next round if backlog remains.
@@ -160,27 +162,33 @@ void Channel::collide(const std::vector<Radio*>& losers, TimePoint tx_start) {
   sim_->schedule_at(busy_until_, [this] { schedule_round(); });
 }
 
-void Channel::deliver(const Frame& frame, Radio* transmitter) {
+void Channel::deliver(Frame&& frame, Radio* transmitter) {
   if (frame.receiver == net::kBroadcastId) {
+    // Broadcast fan-out: each receiver owns its copy of the payload (the
+    // shared PayloadBuffer keeps the bytes themselves single-instance).
     for (Radio* radio : radios_) {
       if (radio->owner() == frame.transmitter) continue;
       if (!radio->receiving()) continue;
       ++radio->rx_count_;
-      if (radio->on_receive_) radio->on_receive_(frame.packet, frame);
+      if (radio->on_receive_) {
+        net::Packet copy = frame.packet;
+        radio->on_receive_(std::move(copy), frame);
+      }
     }
     return;
   }
-  // Unicast: deliver, or report failure (no ACK after retries) so the
-  // transmitter's owner can recover (the AP re-buffers for dozing STAs).
+  // Unicast: deliver (moving the frame's packet — the receiver is the sole
+  // consumer), or report failure (no ACK after retries) so the transmitter's
+  // owner can recover (the AP re-buffers for dozing STAs).
   for (Radio* radio : radios_) {
     if (radio->owner() != frame.receiver) continue;
     if (!radio->receiving()) break;
     ++radio->rx_count_;
-    if (radio->on_receive_) radio->on_receive_(frame.packet, frame);
+    if (radio->on_receive_) radio->on_receive_(std::move(frame.packet), frame);
     return;
   }
   if (transmitter->on_delivery_fail_) {
-    transmitter->on_delivery_fail_(frame.packet, frame.receiver);
+    transmitter->on_delivery_fail_(std::move(frame.packet), frame.receiver);
   } else {
     ++transmitter->dropped_count_;
   }

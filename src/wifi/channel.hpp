@@ -72,7 +72,7 @@ class Channel {
   void run_contention_round();
   void transmit(Radio& winner, sim::TimePoint tx_start);
   void collide(const std::vector<Radio*>& losers, sim::TimePoint tx_start);
-  void deliver(const Frame& frame, Radio* transmitter);
+  void deliver(Frame&& frame, Radio* transmitter);
   void notify_observers(const Frame& frame);
 
   sim::Simulator* sim_;

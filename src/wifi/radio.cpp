@@ -11,7 +11,7 @@ Radio::Radio(Channel& channel, net::NodeId owner)
   channel.attach_radio(*this);
 }
 
-void Radio::enqueue(net::Packet packet, net::NodeId receiver) {
+void Radio::enqueue(net::Packet&& packet, net::NodeId receiver) {
   if (queue_.size() >= queue_limit_) {
     ++dropped_count_;
     return;  // tail drop under saturation
@@ -20,7 +20,7 @@ void Radio::enqueue(net::Packet packet, net::NodeId receiver) {
   channel_->notify_backlog(*this);
 }
 
-void Radio::enqueue_priority(net::Packet packet, net::NodeId receiver) {
+void Radio::enqueue_priority(net::Packet&& packet, net::NodeId receiver) {
   if (queue_.size() >= queue_limit_) {
     ++dropped_count_;
     return;

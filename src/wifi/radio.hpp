@@ -14,13 +14,17 @@ namespace acute::wifi {
 
 class Radio {
  public:
-  /// Receive callback: the payload plus medium metadata.
-  using RxFn = std::function<void(net::Packet, const Frame&)>;
+  /// Receive callback: the payload plus medium metadata. Unicast frames are
+  /// moved in (the channel gives up its copy); broadcast receivers each get
+  /// a copy moved in. On unicast delivery the packet argument aliases
+  /// `frame.packet`, so read anything you need from `frame.packet` BEFORE
+  /// moving the packet; the rest of `frame` stays valid for the call.
+  using RxFn = std::function<void(net::Packet&&, const Frame&)>;
   /// Transmit-completion callback (fires at the end of the frame's airtime).
   using TxDoneFn = std::function<void(const Frame&)>;
   /// Unicast delivery failure: the receiver's radio was off and retries were
   /// exhausted. The AP uses this to fall back to power-save buffering.
-  using DeliveryFailFn = std::function<void(net::Packet, net::NodeId)>;
+  using DeliveryFailFn = std::function<void(net::Packet&&, net::NodeId)>;
 
   /// `owner` is the address frames are delivered to.
   Radio(Channel& channel, net::NodeId owner);
@@ -38,11 +42,11 @@ class Radio {
 
   /// Queues a frame for transmission to `receiver` (a neighbour address:
   /// the AP for stations, a station for the AP, or broadcast).
-  void enqueue(net::Packet packet, net::NodeId receiver);
+  void enqueue(net::Packet&& packet, net::NodeId receiver);
 
   /// Queues a frame that skips backoff in its first contention round
   /// (beacons: the AP gets PIFS-like priority at TBTT).
-  void enqueue_priority(net::Packet packet, net::NodeId receiver);
+  void enqueue_priority(net::Packet&& packet, net::NodeId receiver);
 
   /// Receiver power: a dozing station cannot receive frames. Transmission
   /// is always possible (the radio wakes to send).

@@ -36,7 +36,7 @@ Station::Station(sim::Simulator& sim, Channel& channel, sim::Rng rng,
               config.beacon_miss_probability <= 1.0,
           "Station beacon miss probability must be in [0, 1]");
 
-  radio_.set_receiver([this](Packet pkt, const Frame& frame) {
+  radio_.set_receiver([this](Packet&& pkt, const Frame& frame) {
     on_radio_receive(std::move(pkt), frame);
   });
   radio_.set_tx_done([this](const Frame& frame) {
@@ -95,7 +95,7 @@ void Station::wake_to_cam() {
   mark_activity();
 }
 
-void Station::send(Packet packet) {
+void Station::send(Packet&& packet) {
   packet.wifi.power_mgmt = false;  // this frame announces we are awake
   if (state_ == PowerState::dozing || doze_pending_) {
     wake_to_cam();
@@ -172,7 +172,7 @@ void Station::send_ps_poll() {
   radio_.enqueue(std::move(poll), config_.ap);
 }
 
-void Station::deliver_up(Packet packet, const Frame& frame) {
+void Station::deliver_up(Packet&& packet, const Frame& frame) {
   if (above() != nullptr) {
     pass_up(std::move(packet));
     return;
@@ -180,18 +180,19 @@ void Station::deliver_up(Packet packet, const Frame& frame) {
   if (on_receive_) on_receive_(std::move(packet), frame);
 }
 
-void Station::deliver(Packet packet) {
+void Station::deliver(Packet&& packet) {
   if (above() != nullptr) {
     pass_up(std::move(packet));
     return;
   }
   if (!on_receive_) return;
-  Frame frame{packet, packet.src, config_.id, sim_->now(), sim_->now(),
+  const net::NodeId src = packet.src;
+  Frame frame{std::move(packet), src, config_.id, sim_->now(), sim_->now(),
               false};
-  on_receive_(std::move(packet), frame);
+  on_receive_(std::move(frame.packet), frame);
 }
 
-void Station::on_radio_receive(Packet packet, const Frame& frame) {
+void Station::on_radio_receive(Packet&& packet, const Frame& frame) {
   if (packet.type == PacketType::wifi_beacon) {
     handle_beacon(packet);
     return;

@@ -59,20 +59,20 @@ class Station : public stack::StackLayer {
 
   /// Upward delivery (to the WNIC driver): payload + air metadata. Used when
   /// the station is not composed into a StackPipeline.
-  using RxFn = std::function<void(net::Packet, const Frame&)>;
+  using RxFn = std::function<void(net::Packet&&, const Frame&)>;
   void set_receiver(RxFn on_receive) { on_receive_ = std::move(on_receive); }
 
   /// Transmits a data packet toward the AP. Wakes the station (a dozing STA
   /// can always transmit; the PM=0 bit tells the AP it is awake again).
-  void send(net::Packet packet);
+  void send(net::Packet&& packet);
 
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "station"; }
   /// Downward entry from the bus layer: same as send().
-  void transmit(net::Packet packet) override { send(std::move(packet)); }
+  void transmit(net::Packet&& packet) override { send(std::move(packet)); }
   /// Upward injection point (the medium normally feeds the station through
   /// its radio; this lets tests and alternate PHYs push a frame up directly).
-  void deliver(net::Packet packet) override;
+  void deliver(net::Packet&& packet) override;
 
   [[nodiscard]] PowerState power_state() const { return state_; }
   [[nodiscard]] const Config& config() const { return config_; }
@@ -85,8 +85,8 @@ class Station : public stack::StackLayer {
   [[nodiscard]] std::uint64_t beacons_heard() const { return beacons_heard_; }
 
  private:
-  void on_radio_receive(net::Packet packet, const Frame& frame);
-  void deliver_up(net::Packet packet, const Frame& frame);
+  void on_radio_receive(net::Packet&& packet, const Frame& frame);
+  void deliver_up(net::Packet&& packet, const Frame& frame);
   void mark_activity();
   void arm_doze_timer();
   void enter_doze();

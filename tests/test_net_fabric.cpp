@@ -21,7 +21,7 @@ using sim::Simulator;
 class SinkNode : public Node {
  public:
   SinkNode(Simulator& sim, NodeId id) : sim_(&sim), id_(id) {}
-  void receive(Packet packet, Link* ingress) override {
+  void receive(Packet&& packet, Link* ingress) override {
     arrivals.push_back({std::move(packet), sim_->now(), ingress});
   }
   [[nodiscard]] NodeId id() const override { return id_; }

@@ -84,5 +84,37 @@ TEST(PacketSizes, MatchToolExpectations) {
   EXPECT_GT(packet_size::udp_iperf, 1400u);  // iPerf datagrams near MTU
 }
 
+TEST(Packet, CopyAccountingCountsCopiesNotMoves) {
+  Packet::reset_op_counters();
+  Packet original = Packet::make(PacketType::udp_data, Protocol::udp, 1, 2, 64);
+  EXPECT_EQ(Packet::op_counters().copies, 0u);  // construction is free
+
+  Packet moved = std::move(original);
+  EXPECT_EQ(Packet::op_counters().copies, 0u);  // moves are free
+
+  Packet copied = moved;       // NOLINT: the copy is the point
+  Packet assigned;
+  assigned = copied;
+  EXPECT_EQ(Packet::op_counters().copies, 2u);
+  Packet::reset_op_counters();
+  EXPECT_EQ(Packet::op_counters().copies, 0u);
+}
+
+TEST(Packet, PayloadBufferIsSharedAcrossCopies) {
+  Packet pkt = Packet::make(PacketType::http_response, Protocol::tcp, 1, 2,
+                            240);
+  EXPECT_EQ(pkt.payload_size(), 0u);
+  pkt.payload = Packet::make_payload({1, 2, 3, 4});
+  EXPECT_EQ(pkt.payload_size(), 4u);
+
+  const Packet copy = pkt;  // header copy; bytes stay single-instance
+  EXPECT_EQ(copy.payload.get(), pkt.payload.get());
+  EXPECT_EQ(copy.payload.use_count(), 2);
+
+  Packet moved = std::move(pkt);
+  EXPECT_EQ(moved.payload.get(), copy.payload.get());
+  EXPECT_EQ(moved.payload.use_count(), 2);  // move transferred the reference
+}
+
 }  // namespace
 }  // namespace acute::net

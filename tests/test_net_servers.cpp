@@ -18,7 +18,7 @@ using sim::Simulator;
 class CaptureNode : public Node {
  public:
   CaptureNode(Simulator& sim, NodeId id) : sim_(&sim), id_(id) {}
-  void receive(Packet packet, Link*) override {
+  void receive(Packet&& packet, Link*) override {
     packets.push_back(std::move(packet));
     times.push_back(sim_->now());
   }

@@ -285,7 +285,7 @@ TEST(Smartphone, FlowDemultiplexesToRegisteredApp) {
   Packet down = Packet::make(PacketType::udp_data, Protocol::udp, 50, kSta,
                              100);
   down.flow_id = 10;
-  f.ap.receive(down, nullptr);
+  f.ap.receive(std::move(down), nullptr);
   f.sim.run_for(50_ms);
   ASSERT_EQ(got_a.size(), 1u);
   EXPECT_TRUE(got_b.empty());
@@ -298,7 +298,7 @@ TEST(Smartphone, UnregisteredFlowIsDropped) {
   Packet down = Packet::make(PacketType::udp_data, Protocol::udp, 50, kSta,
                              100);
   down.flow_id = 999;
-  f.ap.receive(down, nullptr);
+  f.ap.receive(std::move(down), nullptr);
   f.sim.run_for(50_ms);  // must not crash; packet silently dropped
   SUCCEED();
 }
@@ -329,6 +329,29 @@ TEST(Smartphone, SystemTrafficCanBeSilenced) {
 TEST(Smartphone, RegisterFlowRequiresHandler) {
   PhoneFixture f;
   EXPECT_THROW(f.phone.register_flow(1, nullptr), sim::ContractViolation);
+}
+
+TEST(StackZeroCopy, FullPipelineTransitCopiesNothing) {
+  // The zero-copy invariant of the move-based packet path: a unicast packet
+  // descending all four layers onto the medium and one ascending to the app
+  // must never copy-construct a Packet. (Broadcast beacons are the only
+  // sanctioned fan-out copies, and this fixture sends none.)
+  KernelFixture f;
+  f.bus.set_sleep_enabled(false);
+
+  net::Packet::reset_op_counters();
+  f.kernel.transmit(Packet::make(PacketType::udp_data, Protocol::udp, kSta,
+                                 kPeer, 200));
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.peer_received.size(), 1u);
+  EXPECT_EQ(net::Packet::op_counters().copies, 0u);
+
+  f.peer.enqueue(Packet::make(PacketType::udp_data, Protocol::udp, kPeer,
+                              kSta, 300),
+                 kSta);
+  f.sim.run_for(50_ms);
+  ASSERT_EQ(f.up_received.size(), 1u);
+  EXPECT_EQ(net::Packet::op_counters().copies, 0u);
 }
 
 }  // namespace

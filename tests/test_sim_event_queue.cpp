@@ -127,5 +127,47 @@ TEST(EventQueue, PushRequiresCallable) {
   EXPECT_THROW((void)queue.push(at(1), EventFn{}), ContractViolation);
 }
 
+TEST(EventQueue, CompactsWhenCancelledEventsDominate) {
+  // Campaign-style load: every probe arms a timeout that is then cancelled.
+  // Lazy deletion alone would keep all dead entries in the heap until their
+  // fire time; compaction must bound the raw entry count near the live one.
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  constexpr int kEvents = 4096;
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(queue.push(at(1000 + i), [] {}));
+  }
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 16 != 0) handles[i].cancel();  // 15/16 cancelled
+  }
+  // One more push crosses the cancelled > live threshold and compacts.
+  (void)queue.push(at(10'000), [] {});
+  EXPECT_GE(queue.compactions(), 1u);
+  EXPECT_LE(queue.heap_entries(), 2 * queue.size() + EventQueue::kCompactMinEntries);
+
+  // Behaviour is unchanged: survivors pop in time order.
+  std::int64_t last = -1;
+  std::size_t fired = 0;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    const std::int64_t ms = (event.when - TimePoint::epoch()).count_nanos();
+    EXPECT_GE(ms, last);
+    last = ms;
+    ++fired;
+  }
+  EXPECT_EQ(fired, kEvents / 16 + 1);
+}
+
+TEST(EventQueue, SmallQueuesNeverCompact) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(queue.push(at(i), [] {}));
+  }
+  for (auto& handle : handles) handle.cancel();
+  (void)queue.push(at(100), [] {});
+  EXPECT_EQ(queue.compactions(), 0u);
+}
+
 }  // namespace
 }  // namespace acute::sim

@@ -42,7 +42,7 @@ class RecordingLayer : public StackLayer {
     return name_.c_str();
   }
 
-  void transmit(Packet packet) override {
+  void transmit(Packet&& packet) override {
     log_->push_back(name_ + ":tx");
     if (below() != nullptr) {
       pass_down(std::move(packet));
@@ -51,7 +51,7 @@ class RecordingLayer : public StackLayer {
     }
   }
 
-  void deliver(Packet packet) override {
+  void deliver(Packet&& packet) override {
     log_->push_back(name_ + ":rx");
     pass_up(std::move(packet));
   }
@@ -124,11 +124,11 @@ class StampingLayer : public StackLayer {
  public:
   explicit StampingLayer(Simulator& sim) : sim_(&sim) {}
   [[nodiscard]] const char* layer_name() const override { return "stamper"; }
-  void transmit(Packet packet) override {
+  void transmit(Packet&& packet) override {
     stamp(packet, StampPoint::kernel_send, sim_->now());
     pass_up(std::move(packet));
   }
-  void deliver(Packet packet) override { pass_up(std::move(packet)); }
+  void deliver(Packet&& packet) override { pass_up(std::move(packet)); }
 
  private:
   Simulator* sim_;

@@ -27,7 +27,7 @@ constexpr net::NodeId kAp = 2;
 class WiredStub : public net::Node {
  public:
   explicit WiredStub(net::NodeId id) : id_(id) {}
-  void receive(Packet packet, net::Link*) override {
+  void receive(Packet&& packet, net::Link*) override {
     packets.push_back(std::move(packet));
   }
   [[nodiscard]] net::NodeId id() const override { return id_; }
