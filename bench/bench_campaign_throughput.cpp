@@ -5,8 +5,11 @@
 // Usage: bench_campaign_throughput [--smoke] [--workers N] [--json PATH]
 //   --smoke    2 shards on 2 workers (CI: drives the threaded pool path on
 //              every push, cheaply)
-//   --workers  max worker count to scale to (default: hardware concurrency)
+//   --workers  max worker count to scale to (default: hardware concurrency,
+//              but at least 8 so the committed JSON always carries the full
+//              1/2/4/8 ladder; extra workers just oversubscribe)
 //   --json     output path (default: BENCH_campaign.json in the cwd)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +32,11 @@ namespace {
 // round trip of bench_micro_simcore and the Packet copies per ping probe.
 constexpr double kPreRefactorRoundTripNs = 318776.0;
 constexpr double kPreRefactorCopiesPerProbe = 25.1;
+
+// events/s of the committed workers=1 row on the 48-scenario default grid
+// before the allocation-free event core (std::function + shared_ptr cancel
+// state) — the before/after anchor for this PR's speedup column.
+constexpr double kPreEventCoreEventsPerSec = 4612723.6;
 
 double wall_seconds_since(
     std::chrono::steady_clock::time_point start) {
@@ -107,12 +115,15 @@ testbed::CampaignSpec default_campaign() {
 }
 
 testbed::CampaignSpec smoke_campaign() {
-  // Two shards so the 2-worker smoke run actually enters the threaded pool
-  // (one shard would clamp the worker count to 1 and take the serial path).
+  // Four shards (loss x reorder) so the 2-worker smoke run enters the
+  // threaded pool AND exercises the lossy/reordering netem axes on every
+  // CI push.
+  testbed::ScenarioGrid grid;
+  grid.emulated_rtts = {Duration::millis(10)};
+  grid.loss_rates = {0.0, 0.05};
+  grid.reorder = {false, true};
   testbed::CampaignSpec spec;
-  spec.scenarios = {testbed::ScenarioSpec::fig2(),
-                    testbed::ScenarioSpec::fig2()};
-  spec.scenarios[1].emulated_rtt = Duration::millis(20);
+  spec.scenarios = grid.expand();
   spec.probes_per_phone = 5;
   spec.probe_interval = Duration::millis(200);
   return spec;
@@ -122,8 +133,11 @@ testbed::CampaignSpec smoke_campaign() {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::size_t max_workers = std::thread::hardware_concurrency();
-  if (max_workers == 0) max_workers = 1;
+  // Default ladder top: at least 8 so the committed JSON always carries the
+  // full 1/2/4/8 scaling rows (worker counts beyond the core count just
+  // oversubscribe; shard results are seed-deterministic either way).
+  std::size_t max_workers =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 8);
   std::string json_path = "BENCH_campaign.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -149,13 +163,18 @@ int main(int argc, char** argv) {
 
   std::vector<PoolRun> runs;
   // Smoke mode runs the pool with 2 workers so the threaded claim loop is
-  // exercised on every push; full mode measures serial vs max scaling.
+  // exercised on every push; full mode records the 1/2/4/8 scaling ladder
+  // (workers beyond --workers N are skipped, except the serial anchor row).
   std::vector<std::size_t> worker_counts;
   if (smoke) {
     worker_counts.push_back(2);
   } else {
-    worker_counts.push_back(1);
-    if (max_workers > 1) worker_counts.push_back(max_workers);
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      if (workers == 1 || workers <= max_workers) {
+        worker_counts.push_back(workers);
+      }
+    }
   }
   for (const std::size_t workers : worker_counts) {
     const PoolRun run = run_pool(spec, workers);
@@ -166,6 +185,12 @@ int main(int argc, char** argv) {
         run.workers, run.wall_seconds, run.scenarios_per_sec,
         run.probes_per_sec, run.frames_per_sec, run.events_per_sec, run.lost,
         run.probes);
+  }
+  if (!smoke && !runs.empty()) {
+    std::printf(
+        "  events/s vs pre-event-core baseline (%.0f): %.2fx (workers=1)\n",
+        kPreEventCoreEventsPerSec,
+        runs.front().events_per_sec / kPreEventCoreEventsPerSec);
   }
 
   std::printf("packet path: measuring...\n");
@@ -202,10 +227,24 @@ int main(int argc, char** argv) {
                  run.probes_per_sec, run.frames_per_sec, run.events_per_sec,
                  run.probes, run.lost, i + 1 < runs.size() ? "," : "");
   }
+  if (!smoke && !runs.empty()) {
+    // Before/after anchor: the serial (workers=1) row against the committed
+    // pre-event-core number, both on the same 48-scenario default grid.
+    std::fprintf(json,
+                 "    ],\n"
+                 "    \"baseline_events_per_sec\": %.1f,\n"
+                 "    \"events_per_sec_vs_baseline\": %.3f\n"
+                 "  },\n"
+                 "  \"packet_path\": {\n",
+                 kPreEventCoreEventsPerSec,
+                 runs.front().events_per_sec / kPreEventCoreEventsPerSec);
+  } else {
+    std::fprintf(json,
+                 "    ]\n"
+                 "  },\n"
+                 "  \"packet_path\": {\n");
+  }
   std::fprintf(json,
-               "    ]\n"
-               "  },\n"
-               "  \"packet_path\": {\n"
                "    \"roundtrip_ns_per_20probe_run\": %.1f,\n"
                "    \"copies_per_probe\": %.2f,\n"
                "    \"pre_refactor_roundtrip_ns\": %.1f,\n"

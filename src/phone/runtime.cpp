@@ -49,9 +49,10 @@ ExecEnvLayer::ExecEnvLayer(sim::Simulator& sim, sim::Rng rng,
 void ExecEnvLayer::send(Packet&& packet, ExecMode mode) {
   stamp(packet, StampPoint::app_send, sim_->now());  // t_u^o
   const Duration overhead = env_.send_overhead(mode);
-  sim_->schedule_in(overhead, [this, pkt = std::move(packet)]() mutable {
-    pass_down(std::move(pkt));
-  });
+  sim_->schedule_in(overhead, sim::assert_fits_inline(
+                                  [this, pkt = std::move(packet)]() mutable {
+                                    pass_down(std::move(pkt));
+                                  }));
 }
 
 void ExecEnvLayer::deliver(Packet&& packet) {
@@ -59,14 +60,14 @@ void ExecEnvLayer::deliver(Packet&& packet) {
   if (it == flows_.end()) return;  // no app bound to this flow
   const Duration overhead = env_.recv_overhead(it->second.mode);
   const std::uint32_t flow_id = packet.flow_id;
-  sim_->schedule_in(overhead, [this, flow_id,
+  sim_->schedule_in(overhead, sim::assert_fits_inline([this, flow_id,
                                pkt = std::move(packet)]() mutable {
     stamp(pkt, StampPoint::app_recv, sim_->now());  // t_u^i
     // Re-look-up: the app may have unregistered while the packet climbed.
     const auto handler_it = flows_.find(flow_id);
     if (handler_it == flows_.end()) return;
     handler_it->second.handler(std::move(pkt));
-  });
+  }));
 }
 
 void ExecEnvLayer::register_flow(std::uint32_t flow_id, AppRxFn handler,

@@ -7,60 +7,120 @@
 
 namespace acute::sim {
 
-EventHandle EventQueue::push(TimePoint when, EventFn fn) {
-  expects(static_cast<bool>(fn), "EventQueue::push requires a callable");
-  auto state = std::make_shared<detail::CancelState>();
-  state->live_counter = live_count_;
-  EventHandle handle{state};
-  heap_.push_back(Entry{when, next_seq_++, std::move(fn), std::move(state)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++*live_count_;
-  maybe_compact();
-  return handle;
+EventQueue::EventQueue() : life_(new detail::QueueLife{this, 1}) {}
+
+EventQueue::~EventQueue() {
+  life_->queue = nullptr;  // outstanding handles become inert
+  if (--life_->refs == 0) delete life_;
 }
 
-void EventQueue::drop_cancelled_prefix() const {
-  while (!heap_.empty() && heap_.front().state->cancelled) {
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_slots_.empty()) {
+    const auto base =
+        static_cast<std::uint32_t>(chunks_.size() * kSlotsPerChunk);
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+    // Reserve for the worst case (every slot free at once) so release_slot
+    // never reallocates, then hand out low indices first.
+    free_slots_.reserve(chunks_.size() * kSlotsPerChunk);
+    for (std::uint32_t i = kSlotsPerChunk; i > 0; --i) {
+      free_slots_.push_back(base + i - 1);
+    }
+  }
+  const std::uint32_t index = free_slots_.back();
+  free_slots_.pop_back();
+  return index;
+}
+
+EventHandle EventQueue::push(TimePoint when, EventClosure fn) {
+  expects(static_cast<bool>(fn), "EventQueue::push requires a callable");
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slot(index);
+  s.fn = std::move(fn);
+  s.live = true;
+  heap_.push_back(HeapItem{when, next_seq_++, index});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  maybe_compact();
+  return EventHandle{life_, index, s.generation};
+}
+
+EventQueue::Fired EventQueue::pop() {
+  expects(!empty(), "EventQueue::pop on empty queue");
+  drop_dead_prefix();
+  Fired fired;
+  pop_into(fired);
+  return fired;
+}
+
+void EventQueue::cancel_event(std::uint32_t index,
+                              std::uint32_t generation) noexcept {
+  Slot& s = slot(index);
+  if (!s.live || s.generation != generation) return;  // fired/cancelled/reused
+  s.live = false;
+  ++s.generation;  // stale handles can never match this slot again
+  s.fn.reset();    // release captures (and any arena overflow) eagerly
+  --live_count_;
+  // The heap item stays until popped or compacted (lazy deletion).
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty() && !slot(heap_.front().slot).live) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    release_slot(heap_.back().slot);
     heap_.pop_back();
   }
+}
+
+void EventQueue::pop_into(Fired& out) {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  Slot& s = slot(item.slot);
+  out.when = item.when;
+  out.fn = std::move(s.fn);
+  s.live = false;
+  ++s.generation;  // fired events can no longer be cancelled
+  release_slot(item.slot);
+  --live_count_;
 }
 
 void EventQueue::maybe_compact() {
   // Compact when cancelled entries dominate: the O(n) sweep is then paid at
   // most every n/2 cancellations, i.e. amortized O(1) per event.
   if (heap_.size() < kCompactMinEntries) return;
-  if (heap_.size() < 2 * *live_count_) return;
-  heap_.erase(std::remove_if(
-                  heap_.begin(), heap_.end(),
-                  [](const Entry& entry) { return entry.state->cancelled; }),
-              heap_.end());
+  if (heap_.size() < 2 * live_count_) return;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < heap_.size(); ++read) {
+    const HeapItem& item = heap_[read];
+    if (slot(item.slot).live) {
+      heap_[write++] = item;
+    } else {
+      release_slot(item.slot);
+    }
+  }
+  heap_.resize(write);
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   ++compactions_;
 }
 
-TimePoint EventQueue::next_time() const {
+TimePoint EventQueue::next_time() {
   expects(!empty(), "EventQueue::next_time on empty queue");
-  drop_cancelled_prefix();
+  drop_dead_prefix();
   return heap_.front().when;
 }
 
-EventQueue::Fired EventQueue::pop() {
-  expects(!empty(), "EventQueue::pop on empty queue");
-  drop_cancelled_prefix();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry& top = heap_.back();
-  // Fired events can no longer be cancelled; mark so handles report done.
-  top.state->cancelled = true;
-  Fired fired{top.when, std::move(top.fn)};
-  heap_.pop_back();
-  --*live_count_;
-  return fired;
-}
-
 void EventQueue::clear() {
+  for (const HeapItem& item : heap_) {
+    Slot& s = slot(item.slot);
+    if (s.live) {
+      s.live = false;
+      ++s.generation;
+      s.fn.reset();
+    }
+    release_slot(item.slot);
+  }
   heap_.clear();
-  *live_count_ = 0;
+  live_count_ = 0;
 }
 
 }  // namespace acute::sim

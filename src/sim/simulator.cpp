@@ -6,29 +6,10 @@
 
 namespace acute::sim {
 
-EventHandle Simulator::schedule_at(TimePoint when, EventFn fn) {
-  expects(when >= now_, "Simulator::schedule_at time must not be in the past");
-  return queue_.push(when, std::move(fn));
-}
-
-EventHandle Simulator::schedule_in(Duration delay, EventFn fn) {
-  expects(!delay.is_negative(),
-          "Simulator::schedule_in delay must be non-negative");
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
-void Simulator::fire_next() {
-  auto fired = queue_.pop();
-  ensures(fired.when >= now_, "event queue returned an event from the past");
-  now_ = fired.when;
-  ++events_fired_;
-  fired.fn();
-}
-
 std::size_t Simulator::run() {
   std::size_t count = 0;
-  while (!queue_.empty()) {
-    fire_next();
+  const auto advance = [this](TimePoint when) { advance_clock(when); };
+  while (queue_.fire_one(advance)) {
     if (++count > event_limit_) {
       throw ContractViolation("Simulator::run exceeded the event limit");
     }
@@ -38,9 +19,12 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(TimePoint deadline) {
   expects(deadline >= now_, "Simulator::run_until deadline is in the past");
+  // Batched pop: fire_one_before decides "is there an event" and "does it
+  // beat the deadline" from the single heap-top inspection the pop needs
+  // anyway, and the closure runs in place in the slot pool (no move).
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    fire_next();
+  const auto advance = [this](TimePoint when) { advance_clock(when); };
+  while (queue_.fire_one_before(deadline, advance)) {
     if (++count > event_limit_) {
       throw ContractViolation("Simulator::run_until exceeded the event limit");
     }
@@ -54,9 +38,7 @@ std::size_t Simulator::run_for(Duration span) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  fire_next();
-  return true;
+  return queue_.fire_one([this](TimePoint when) { advance_clock(when); });
 }
 
 }  // namespace acute::sim

@@ -4,11 +4,17 @@
 // order, and all model code runs inside event callbacks. The "concurrent
 // threads" of the paper's AcuteMon (background-traffic thread, measurement
 // thread) are cooperating processes scheduled on this engine.
+//
+// Scheduling is allocation-free in steady state: schedule_at/schedule_in
+// build the closure directly into the event queue's slot pool (EventClosure
+// inline buffer, ClosureArena overflow), so each campaign shard recycles its
+// own memory instead of hammering the global allocator from many workers.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 
+#include "sim/contracts.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -24,10 +30,20 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (must not be in the past).
-  EventHandle schedule_at(TimePoint when, EventFn fn);
+  template <typename F>
+  EventHandle schedule_at(TimePoint when, F&& fn) {
+    expects(when >= now_,
+            "Simulator::schedule_at time must not be in the past");
+    return queue_.push(when, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to run `delay` from now (delay must be non-negative).
-  EventHandle schedule_in(Duration delay, EventFn fn);
+  template <typename F>
+  EventHandle schedule_in(Duration delay, F&& fn) {
+    expects(!delay.is_negative(),
+            "Simulator::schedule_in delay must be non-negative");
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Runs events until the queue drains. Returns the number of events fired.
   std::size_t run();
@@ -49,7 +65,7 @@ class Simulator {
   /// campaign throughput benches).
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
 
-  /// The underlying event queue (compaction introspection).
+  /// The underlying event queue (compaction / arena introspection).
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
   /// Drops all pending events without firing them.
@@ -60,7 +76,13 @@ class Simulator {
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
  private:
-  void fire_next();
+  // The single clock-advance step every fire path goes through (passed to
+  // EventQueue::fire_one* as the PreFire hook).
+  void advance_clock(TimePoint when) {
+    ensures(when >= now_, "event queue returned an event from the past");
+    now_ = when;
+    ++events_fired_;
+  }
 
   EventQueue queue_;
   TimePoint now_;

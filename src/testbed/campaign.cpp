@@ -19,8 +19,13 @@ using sim::expects;
 
 std::vector<ScenarioSpec> ScenarioGrid::expand() const {
   expects(!phone_counts.empty() && !profiles.empty() && !radios.empty() &&
-              !emulated_rtts.empty() && !cross_traffic.empty(),
+              !emulated_rtts.empty() && !cross_traffic.empty() &&
+              !loss_rates.empty() && !reorder.empty(),
           "ScenarioGrid axes must all be non-empty");
+  for (const double loss : loss_rates) {
+    expects(loss >= 0.0 && loss < 1.0,
+            "ScenarioGrid loss rates must be in [0, 1)");
+  }
   std::vector<ScenarioSpec> scenarios;
   scenarios.reserve(size());
   for (const std::size_t count : phone_counts) {
@@ -29,11 +34,17 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
       for (const phone::RadioKind radio : radios) {
         for (const Duration rtt : emulated_rtts) {
           for (const bool cross : cross_traffic) {
-            ScenarioSpec scenario;
-            scenario.phones.assign(count, PhoneSpec{profile, "", radio});
-            scenario.emulated_rtt = rtt;
-            scenario.congested_phy = cross;
-            scenarios.push_back(std::move(scenario));
+            for (const double loss : loss_rates) {
+              for (const bool allow_reorder : reorder) {
+                ScenarioSpec scenario;
+                scenario.phones.assign(count, PhoneSpec{profile, "", radio});
+                scenario.emulated_rtt = rtt;
+                scenario.congested_phy = cross;
+                scenario.netem_loss = loss;
+                scenario.netem_reorder = allow_reorder;
+                scenarios.push_back(std::move(scenario));
+              }
+            }
           }
         }
       }
@@ -44,7 +55,8 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
 
 std::size_t ScenarioGrid::size() const {
   return phone_counts.size() * profiles.size() * radios.size() *
-         emulated_rtts.size() * cross_traffic.size();
+         emulated_rtts.size() * cross_traffic.size() * loss_rates.size() *
+         reorder.size();
 }
 
 std::vector<double> CampaignReport::merged(

@@ -38,10 +38,17 @@ struct ScenarioGrid {
   std::vector<sim::Duration> emulated_rtts{sim::Duration::millis(30)};
   /// true = congested PHY + iPerf cross traffic running during probing.
   std::vector<bool> cross_traffic{false};
+  /// Netem loss probability on the server egress, each in [0, 1).
+  std::vector<double> loss_rates{0.0};
+  /// true = the netem egress may reorder packets under jitter.
+  std::vector<bool> reorder{false};
 
   /// The cross product, nesting (outer to inner): phone count, profile,
-  /// radio, emulated RTT, cross traffic. All phones of a scenario share the
-  /// profile and radio; seeds are assigned by Campaign, not here.
+  /// radio, emulated RTT, cross traffic, loss rate, reorder. All phones of
+  /// a scenario share the profile and radio; seeds are assigned by
+  /// Campaign, not here. The loss/reorder axes default to single lossless
+  /// entries, so pre-existing grids expand to byte-identical scenario
+  /// vectors.
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Number of scenarios expand() will produce.

@@ -50,9 +50,10 @@ void WirelessHost::transmit(Packet&& packet) {
   packet.src = id_;
   // Desktop host stack: tens of microseconds, no phone-style quirks.
   const Duration stack = Duration::micros(rng_.uniform(20.0, 60.0));
-  sim_->schedule_in(stack, [this, pkt = std::move(packet)]() mutable {
-    station_.send(std::move(pkt));
-  });
+  sim_->schedule_in(stack, sim::assert_fits_inline(
+                               [this, pkt = std::move(packet)]() mutable {
+                                 station_.send(std::move(pkt));
+                               }));
 }
 
 void CellularGateway::attach_link(net::Link& link) {
@@ -157,6 +158,8 @@ Testbed::Testbed(ScenarioSpec spec)
 
   server_->netem().set_delay(spec_.emulated_rtt);
   server_->netem().set_jitter(spec_.netem_jitter);
+  server_->netem().set_loss(spec_.netem_loss);
+  server_->netem().set_prevent_reorder(!spec_.netem_reorder);
 
   // Cellular side (only when the scenario mixes in rrc-radio phones): the
   // gateway reaches the same switch over a link whose one-way propagation

@@ -145,6 +145,12 @@ struct ScenarioSpec {
   /// Core-network RTT for cellular phones (gateway <-> switch propagation
   /// covers both directions; RRC state latencies come on top).
   sim::Duration cellular_core_rtt = sim::Duration::millis(50);
+  /// Independent loss probability on the measurement server's netem egress
+  /// (tc netem "loss <p>%"), in [0, 1).
+  double netem_loss = 0.0;
+  /// When true the netem egress may release packets out of order under
+  /// jitter (plain netem forbids reordering; this is the "reorder" option).
+  bool netem_reorder = false;
 
   /// The paper's Fig. 2 defaults as a scenario (what TestbedConfig maps to).
   [[nodiscard]] static ScenarioSpec fig2(const TestbedConfig& config = {});

@@ -58,7 +58,8 @@ void MeasurementTool::start(DoneFn done) {
   } else {
     // Periodic schedule: probe i leaves at i * interval, come what may.
     for (int i = 0; i < config_.probe_count; ++i) {
-      sim_->schedule_in(config_.interval * i, [this, i] { launch_probe(i); });
+      sim_->schedule_in(config_.interval * i, sim::assert_fits_inline(
+                                                  [this, i] { launch_probe(i); }));
     }
   }
 }
@@ -80,9 +81,10 @@ Packet MeasurementTool::new_probe(int index, net::PacketType type,
   entry.index = index;
   entry.sent_at = sim_->now();
   const std::uint64_t probe_id = probe.probe_id;
-  entry.timeout = sim_->schedule_in(config_.timeout, [this, probe_id] {
-    handle_timeout(probe_id);
-  });
+  entry.timeout =
+      sim_->schedule_in(config_.timeout, sim::assert_fits_inline([this, probe_id] {
+        handle_timeout(probe_id);
+      }));
   outstanding_[probe_id] = std::move(entry);
   probe_of_index_[index] = probe_id;
   return probe;
@@ -142,7 +144,8 @@ void MeasurementTool::complete_probe(int index, ProbeRecord record) {
     if (config_.interval.is_zero()) {
       launch_probe(next);
     } else {
-      sim_->schedule_in(config_.interval, [this, next] { launch_probe(next); });
+      sim_->schedule_in(config_.interval, sim::assert_fits_inline(
+                                              [this, next] { launch_probe(next); }));
     }
   }
   maybe_finish();

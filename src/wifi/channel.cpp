@@ -45,8 +45,9 @@ void Channel::schedule_round() {
 }
 
 void Channel::run_contention_round() {
-  // Gather contenders.
-  std::vector<Radio*> contenders;
+  // Gather contenders (member scratch: no per-round allocation).
+  std::vector<Radio*>& contenders = contenders_scratch_;
+  contenders.clear();
   for (Radio* radio : radios_) {
     if (radio->backlogged()) contenders.push_back(radio);
   }
@@ -54,7 +55,8 @@ void Channel::run_contention_round() {
 
   // Each contender draws a backoff; priority frames (beacons) draw zero.
   int min_slots = std::numeric_limits<int>::max();
-  std::vector<Radio*> winners;
+  std::vector<Radio*>& winners = winners_scratch_;
+  winners.clear();
   for (Radio* radio : contenders) {
     const int slots =
         radio->head().priority
@@ -113,14 +115,16 @@ void Channel::transmit(Radio& winner, TimePoint tx_start) {
   // tx-done hook only read the frame; delivery runs last so it can hand the
   // frame's packet to the (unicast) receiver by move instead of copy.
   Radio* transmitter = &winner;
-  sim_->schedule_at(frame.tx_end,
-                    [this, transmitter, f = std::move(frame)]() mutable {
-                      notify_observers(f);
-                      if (transmitter->on_tx_done_) {
-                        transmitter->on_tx_done_(f);
-                      }
-                      deliver(std::move(f), transmitter);
-                    });
+  sim_->schedule_at(
+      frame.tx_end,
+      sim::assert_fits_inline(
+          [this, transmitter, f = std::move(frame)]() mutable {
+            notify_observers(f);
+            if (transmitter->on_tx_done_) {
+              transmitter->on_tx_done_(f);
+            }
+            deliver(std::move(f), transmitter);
+          }));
 
   // Medium goes idle at busy_until_: run the next round if backlog remains.
   sim_->schedule_at(busy_until_, [this] { schedule_round(); });

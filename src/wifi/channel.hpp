@@ -80,6 +80,10 @@ class Channel {
   PhyParams phy_;
   std::vector<Radio*> radios_;
   std::vector<MediumObserver*> observers_;
+  // Per-round scratch (contenders / winners). Members so the hottest loop
+  // in the simulation reuses capacity instead of allocating per round.
+  std::vector<Radio*> contenders_scratch_;
+  std::vector<Radio*> winners_scratch_;
   sim::TimePoint busy_until_;
   bool round_scheduled_ = false;
   std::uint64_t frames_transmitted_ = 0;

@@ -57,6 +57,70 @@ TEST(ScenarioGrid, RejectsEmptyAxes) {
   EXPECT_THROW((void)grid.expand(), sim::ContractViolation);
 }
 
+TEST(ScenarioGrid, LossAndReorderAxesExpandInnermost) {
+  ScenarioGrid grid;
+  grid.emulated_rtts = {10_ms, 30_ms};
+  grid.loss_rates = {0.0, 0.1};
+  grid.reorder = {false, true};
+  ASSERT_EQ(grid.size(), 8u);
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 8u);
+  // Innermost: reorder, then loss, then RTT.
+  EXPECT_EQ(scenarios[0].netem_loss, 0.0);
+  EXPECT_FALSE(scenarios[0].netem_reorder);
+  EXPECT_TRUE(scenarios[1].netem_reorder);
+  EXPECT_EQ(scenarios[1].netem_loss, 0.0);
+  EXPECT_EQ(scenarios[2].netem_loss, 0.1);
+  EXPECT_FALSE(scenarios[2].netem_reorder);
+  EXPECT_EQ(scenarios[0].emulated_rtt, 10_ms);
+  EXPECT_EQ(scenarios[4].emulated_rtt, 30_ms);
+}
+
+TEST(ScenarioGrid, DefaultLossAxesKeepLegacyGridsIdentical) {
+  // Adding the loss/reorder axes must not perturb pre-existing grids: the
+  // defaults are single lossless entries, so the expansion is unchanged.
+  ScenarioGrid grid;
+  grid.phone_counts = {1, 2};
+  grid.emulated_rtts = {10_ms, 30_ms};
+  grid.cross_traffic = {false, true};
+  ASSERT_EQ(grid.size(), 8u);
+  for (const ScenarioSpec& scenario : grid.expand()) {
+    EXPECT_EQ(scenario.netem_loss, 0.0);
+    EXPECT_FALSE(scenario.netem_reorder);
+  }
+}
+
+TEST(ScenarioGrid, RejectsLossRatesOutsideUnitInterval) {
+  ScenarioGrid grid;
+  grid.loss_rates = {1.0};
+  EXPECT_THROW((void)grid.expand(), sim::ContractViolation);
+  grid.loss_rates = {-0.1};
+  EXPECT_THROW((void)grid.expand(), sim::ContractViolation);
+}
+
+TEST(Campaign, LossyScenariosDropProbesDeterministically) {
+  // A heavy netem loss axis must surface as lost probes, and the lossy
+  // shard's outcome must stay a pure function of (spec, seed, index).
+  ScenarioGrid grid;
+  grid.emulated_rtts = {10_ms};
+  grid.loss_rates = {0.0, 0.4};
+  CampaignSpec spec;
+  spec.seed = 11;
+  spec.scenarios = grid.expand();
+  spec.probes_per_phone = 12;
+  spec.probe_interval = 150_ms;
+  spec.probe_timeout = 2_s;
+
+  const CampaignReport first = Campaign(spec).run(2);
+  const CampaignReport second = Campaign(spec).run(1);
+  ASSERT_EQ(first.shards.size(), 2u);
+  EXPECT_EQ(first.shards[0].probes_lost, 0u);
+  EXPECT_GT(first.shards[1].probes_lost, 0u);
+  EXPECT_EQ(first.shards[1].probes_lost, second.shards[1].probes_lost);
+  EXPECT_EQ(first.merged(&ShardResult::reported_rtt_ms),
+            second.merged(&ShardResult::reported_rtt_ms));
+}
+
 TEST(Campaign, ShardSeedsDependOnlyOnCampaignSeedAndIndex) {
   std::set<std::uint64_t> seeds;
   for (std::size_t i = 0; i < 64; ++i) {

@@ -1,0 +1,183 @@
+// The allocation-free event core, pinned by a counting global allocator:
+// steady-state schedule_at/schedule_in/cancel/fire must perform ZERO heap
+// allocations per event — closures live in EventClosure's inline buffer
+// inside the pooled slots, cancel state is {slot, generation} (no
+// shared_ptr), and oversized closures recycle through the per-queue
+// ClosureArena. These tests replace operator new for the whole binary and
+// diff the counter across a measured steady-state window.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "net/packet.hpp"
+#include "sim/closure.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "wifi/channel.hpp"
+
+namespace {
+// Plain (non-atomic) counter: the tests are single-threaded.
+std::size_t g_heap_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_heap_allocations;
+  const std::size_t al = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + al - 1) / al * al;
+  void* p = std::aligned_alloc(al, rounded == 0 ? al : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace acute::sim {
+namespace {
+
+using namespace acute::sim::literals;
+
+// The inline buffer must cover the fattest closures the stack layers
+// schedule: a lambda owning a whole wifi::Frame (which embeds a
+// net::Packet) plus a couple of pointers. Compile-time, so a Packet growth
+// that would silently push scheduling onto the arena fails here first.
+static_assert(EventClosure::kInlineBytes >=
+                  sizeof(wifi::Frame) + 2 * sizeof(void*),
+              "EventClosure inline buffer no longer covers a Frame capture");
+static_assert(EventClosure::kInlineBytes >=
+                  sizeof(net::Packet) + 2 * sizeof(void*),
+              "EventClosure inline buffer no longer covers a Packet capture");
+
+TEST(EventClosure, PacketAndFrameCapturesAreStoredInline) {
+  net::Packet packet;
+  wifi::Frame frame;
+  auto packet_fn = [pkt = std::move(packet)]() mutable { (void)pkt; };
+  auto frame_fn = [f = std::move(frame), extra = static_cast<void*>(nullptr)]()
+      mutable { (void)f; (void)extra; };
+  static_assert(EventClosure::fits_inline<decltype(packet_fn)>);
+  static_assert(EventClosure::fits_inline<decltype(frame_fn)>);
+  EventClosure closure(std::move(frame_fn));
+  EXPECT_TRUE(closure.stored_inline());
+}
+
+// A probe-like event: carries a Packet-sized payload, re-arms a timeout
+// (push + cancel, the campaign's dominant pattern) and reschedules itself.
+struct ProbeChain {
+  Simulator* sim;
+  int* remaining;
+  EventHandle* timeout;
+  std::array<unsigned char, sizeof(net::Packet)> payload{};
+
+  void operator()() {
+    if (--*remaining <= 0) return;
+    timeout->cancel();
+    *timeout = sim->schedule_in(8_s, [] {});
+    sim->schedule_in(10_us,
+                     ProbeChain{sim, remaining, timeout, payload});
+  }
+};
+static_assert(EventClosure::fits_inline<ProbeChain>);
+
+TEST(EventCoreAllocation, SteadyStateSchedulingIsAllocationFree) {
+  Simulator sim;
+  int remaining = 4000;
+  EventHandle timeout;
+  sim.schedule_in(10_us, ProbeChain{&sim, &remaining, &timeout, {}});
+
+  // Warm-up: grows the slot pool, the heap vector, the free list and the
+  // compaction high-water marks to their steady-state footprint.
+  while (remaining > 2000 && sim.step()) {
+  }
+  ASSERT_GT(remaining, 0);
+
+  const std::size_t allocations_before = g_heap_allocations;
+  const std::uint64_t events_before = sim.events_fired();
+  while (remaining > 0 && sim.step()) {
+  }
+  EXPECT_EQ(g_heap_allocations, allocations_before)
+      << "steady-state schedule/cancel/fire touched the heap";
+  EXPECT_GE(sim.events_fired() - events_before, 2000u);
+
+  // Drain the surviving timeouts; still allocation-free.
+  const std::size_t allocations_mid = g_heap_allocations;
+  (void)sim.run();
+  EXPECT_EQ(g_heap_allocations, allocations_mid);
+}
+
+// A deliberately oversized capture: must overflow the inline buffer and
+// recycle through the per-queue ClosureArena instead of the global heap.
+struct OversizedChain {
+  Simulator* sim;
+  int* remaining;
+  std::array<unsigned char, EventClosure::kInlineBytes + 128> blob{};
+
+  void operator()() {
+    if (--*remaining <= 0) return;
+    sim->schedule_in(10_us, OversizedChain{sim, remaining, blob});
+  }
+};
+static_assert(!EventClosure::fits_inline<OversizedChain>);
+
+TEST(EventCoreAllocation, OversizedClosuresRecycleThroughArena) {
+  Simulator sim;
+  int remaining = 2000;
+  sim.schedule_in(10_us, OversizedChain{&sim, &remaining, {}});
+  while (remaining > 1000 && sim.step()) {
+  }
+  ASSERT_GT(remaining, 0);
+
+  const std::size_t allocations_before = g_heap_allocations;
+  const std::uint64_t fresh_before = sim.queue().arena().fresh_blocks();
+  const std::uint64_t recycled_before = sim.queue().arena().recycled_blocks();
+  (void)sim.run();
+  EXPECT_EQ(g_heap_allocations, allocations_before)
+      << "oversized closures must recycle via the arena, not operator new";
+  EXPECT_EQ(sim.queue().arena().fresh_blocks(), fresh_before);
+  EXPECT_GT(sim.queue().arena().recycled_blocks(), recycled_before);
+}
+
+TEST(EventCoreAllocation, CancelIsAllocationFree) {
+  Simulator sim;
+  std::array<EventHandle, 64> handles;
+  for (int round = 0; round < 4; ++round) {
+    for (EventHandle& handle : handles) {
+      handle = sim.schedule_in(1_ms, [] {});
+    }
+    for (EventHandle& handle : handles) handle.cancel();
+    (void)sim.run_for(2_ms);
+  }
+  // Pool, heap and free list are warm: one more full round must be clean.
+  const std::size_t allocations_before = g_heap_allocations;
+  for (EventHandle& handle : handles) {
+    handle = sim.schedule_in(1_ms, [] {});
+  }
+  for (EventHandle& handle : handles) handle.cancel();
+  (void)sim.run_for(2_ms);
+  EXPECT_EQ(g_heap_allocations, allocations_before);
+}
+
+}  // namespace
+}  // namespace acute::sim

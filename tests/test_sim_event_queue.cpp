@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/contracts.hpp"
@@ -98,6 +100,70 @@ TEST(EventQueue, HandleOutlivingQueueIsSafe) {
   handle.cancel();  // must not crash or touch freed memory
 }
 
+TEST(EventQueue, StaleHandleCannotCancelSlotReuse) {
+  // The slot pool recycles LIFO, so the second push reuses the fired
+  // event's slot. The stale handle's generation no longer matches and must
+  // not be able to cancel (or observe) the slot's new tenant.
+  EventQueue queue;
+  int fired = 0;
+  auto h1 = queue.push(at(1), [&] { ++fired; });
+  queue.pop().fn();  // fires event 1 and frees its slot
+  auto h2 = queue.push(at(2), [&] { ++fired; });
+  h1.cancel();  // generation mismatch: must be a no-op
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  ASSERT_EQ(queue.size(), 1u);
+  queue.pop().fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StaleHandleAfterCancelCannotTouchReusedSlot) {
+  EventQueue queue;
+  int fired = 0;
+  auto h1 = queue.push(at(1), [&] { ++fired; });
+  h1.cancel();
+  // Drain the dead entry so its slot returns to the pool, then reuse it.
+  EXPECT_TRUE(queue.empty());
+  auto h2 = queue.push(at(2), [&] { ++fired; });
+  h1.cancel();  // double-stale: already cancelled AND the slot moved on
+  EXPECT_TRUE(h2.pending());
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, HandleCopiesShareTheEvent) {
+  EventQueue queue;
+  auto h1 = queue.push(at(1), [] {});
+  EventHandle h2 = h1;
+  EXPECT_TRUE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  h2.cancel();
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, SizeIsPlainCountAcrossCancelPopAndCompaction) {
+  // empty()/size() read a plain member (no indirection); the count must
+  // stay exact through every path that retires events.
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(queue.push(at(i), [] {}));
+  }
+  EXPECT_EQ(queue.size(), 200u);
+  for (int i = 0; i < 200; i += 2) handles[i].cancel();
+  EXPECT_EQ(queue.size(), 100u);
+  for (int i = 0; i < 50; ++i) (void)queue.pop();
+  EXPECT_EQ(queue.size(), 50u);
+  // Force the compaction threshold (cancelled >= live, >= 64 entries).
+  for (int i = 1; i < 200; i += 2) handles[i].cancel();
+  (void)queue.push(at(1000), [] {});
+  EXPECT_EQ(queue.size(), 1u);
+  queue.clear();
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueue, NextTimeReportsEarliestLive) {
   EventQueue queue;
   auto h1 = queue.push(at(1), [] {});
@@ -125,6 +191,28 @@ TEST(EventQueue, PopOnEmptyViolatesContract) {
 TEST(EventQueue, PushRequiresCallable) {
   EventQueue queue;
   EXPECT_THROW((void)queue.push(at(1), EventFn{}), ContractViolation);
+}
+
+TEST(EventQueue, NullFunctionPointerRejectedAtPush) {
+  EventQueue queue;
+  void (*null_fn)() = nullptr;
+  EXPECT_THROW((void)queue.push(at(1), null_fn), ContractViolation);
+  std::function<void()> empty_fn;
+  EXPECT_THROW((void)queue.push(at(1), std::move(empty_fn)),
+               ContractViolation);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ThrowingCallbackDoesNotLeakSlots) {
+  // A callback that throws must still return its slot to the pool on the
+  // unwind path; leaking one per throw would grow the chunk count.
+  EventQueue queue;
+  for (int i = 0; i < 1000; ++i) {
+    (void)queue.push(at(i), [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW((void)queue.fire_one([](TimePoint) {}), std::runtime_error);
+    EXPECT_TRUE(queue.empty());
+  }
+  EXPECT_EQ(queue.slot_chunks(), 1u);
 }
 
 TEST(EventQueue, CompactsWhenCancelledEventsDominate) {

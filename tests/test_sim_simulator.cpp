@@ -88,6 +88,30 @@ TEST(Simulator, CancellationPreventsFiring) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(Simulator, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_in(1_ms, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // already fired: must not disturb anything
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, HandleOutlivingSimulatorIsSafe) {
+  EventHandle handle;
+  {
+    Simulator sim;
+    handle = sim.schedule_in(10_ms, [] {});
+    EXPECT_TRUE(handle.pending());
+  }
+  // The simulator (and its queue, slot pool and arena) are gone; the handle
+  // must report not-pending and cancel must be inert.
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
 TEST(Simulator, SchedulingInThePastViolatesContract) {
   Simulator sim;
   sim.schedule_in(5_ms, [] {});
