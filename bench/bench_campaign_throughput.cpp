@@ -1,10 +1,11 @@
 // Campaign-engine throughput: scenarios/sec and packets/sec through the
-// sharded worker pool, plus the zero-copy packet-path micro numbers, written
-// to BENCH_campaign.json so future PRs can track the perf trajectory.
+// sharded worker pool, the per-workload tool matrix (streaming-digest mode),
+// plus the zero-copy packet-path micro numbers, written to
+// BENCH_campaign.json so future PRs can track the perf trajectory.
 //
 // Usage: bench_campaign_throughput [--smoke] [--workers N] [--json PATH]
-//   --smoke    2 shards on 2 workers (CI: drives the threaded pool path on
-//              every push, cheaply)
+//   --smoke    8 shards on 2 workers (CI: drives the threaded pool path,
+//              the lossy netem axes AND a non-ping workload on every push)
 //   --workers  max worker count to scale to (default: hardware concurrency,
 //              but at least 8 so the committed JSON always carries the full
 //              1/2/4/8 ladder; extra workers just oversubscribe)
@@ -21,6 +22,7 @@
 #include "net/packet.hpp"
 #include "testbed/campaign.hpp"
 #include "testbed/experiment.hpp"
+#include "tools/factory.hpp"
 
 using namespace acute;
 using sim::Duration;
@@ -115,18 +117,64 @@ testbed::CampaignSpec default_campaign() {
 }
 
 testbed::CampaignSpec smoke_campaign() {
-  // Four shards (loss x reorder) so the 2-worker smoke run enters the
-  // threaded pool AND exercises the lossy/reordering netem axes on every
-  // CI push.
+  // Eight shards (loss x reorder x workload) so the 2-worker smoke run
+  // enters the threaded pool AND exercises the lossy/reordering netem axes
+  // AND a non-ping workload (httping, through the tool factory + streaming
+  // digests) on every CI push.
   testbed::ScenarioGrid grid;
   grid.emulated_rtts = {Duration::millis(10)};
   grid.loss_rates = {0.0, 0.05};
   grid.reorder = {false, true};
+  grid.workloads = {testbed::WorkloadSpec{tools::ToolKind::icmp_ping},
+                    testbed::WorkloadSpec{tools::ToolKind::httping}};
   testbed::CampaignSpec spec;
   spec.scenarios = grid.expand();
   spec.probes_per_phone = 5;
   spec.probe_interval = Duration::millis(200);
   return spec;
+}
+
+// Per-workload throughput matrix: the same small grid once per tool kind,
+// in streaming-digest mode (keep_samples=false), so the JSON carries a
+// scenarios/s row per workload.
+struct WorkloadRow {
+  tools::ToolKind kind = tools::ToolKind::icmp_ping;
+  double wall_seconds = 0;
+  double scenarios_per_sec = 0;
+  double probes_per_sec = 0;
+  double median_rtt_ms = 0;
+  std::size_t probes = 0;
+  std::size_t lost = 0;
+};
+
+WorkloadRow run_workload(tools::ToolKind kind, std::size_t workers) {
+  testbed::ScenarioGrid grid;
+  grid.profiles = {phone::PhoneProfile::nexus5(),
+                   phone::PhoneProfile::nexus4()};
+  grid.emulated_rtts = {Duration::millis(10), Duration::millis(30)};
+  grid.cross_traffic = {false, true};
+  grid.workloads = {testbed::WorkloadSpec{kind}};
+  testbed::CampaignSpec spec;
+  spec.seed = 42;
+  spec.scenarios = grid.expand();
+  spec.probes_per_phone = 10;
+  spec.probe_interval = Duration::millis(200);
+  spec.keep_samples = false;  // the streaming-merge path under test
+
+  testbed::Campaign campaign(spec);
+  const auto start = std::chrono::steady_clock::now();
+  const testbed::CampaignReport report = campaign.run(workers);
+  WorkloadRow row;
+  row.kind = kind;
+  row.wall_seconds = wall_seconds_since(start);
+  row.scenarios_per_sec = double(report.shards.size()) / row.wall_seconds;
+  row.probes_per_sec = double(report.total_probes()) / row.wall_seconds;
+  row.probes = report.total_probes();
+  row.lost = report.total_lost();
+  if (report.total_probes() > report.total_lost()) {
+    row.median_rtt_ms = report.rtt_digest().quantile(0.5);
+  }
+  return row;
 }
 
 }  // namespace
@@ -193,6 +241,28 @@ int main(int argc, char** argv) {
         runs.front().events_per_sec / kPreEventCoreEventsPerSec);
   }
 
+  // Per-workload matrix (full mode): one row per tool kind on the same
+  // 8-scenario grid, streaming-digest mode.
+  std::vector<WorkloadRow> matrix;
+  if (!smoke) {
+    const std::size_t matrix_workers = std::min<std::size_t>(max_workers, 4);
+    std::printf("workload matrix (8 scenarios/tool, %zu workers, streaming "
+                "merge):\n",
+                matrix_workers);
+    for (const auto kind :
+         {tools::ToolKind::acutemon, tools::ToolKind::icmp_ping,
+          tools::ToolKind::httping, tools::ToolKind::java_ping}) {
+      const WorkloadRow row = run_workload(kind, matrix_workers);
+      matrix.push_back(row);
+      std::printf(
+          "  %-10s wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
+          "median=%.2f ms  (lost %zu/%zu)\n",
+          tools::to_string(row.kind), row.wall_seconds,
+          row.scenarios_per_sec, row.probes_per_sec, row.median_rtt_ms,
+          row.lost, row.probes);
+    }
+  }
+
   std::printf("packet path: measuring...\n");
   const PacketPath path = measure_packet_path();
   std::printf(
@@ -227,23 +297,38 @@ int main(int argc, char** argv) {
                  run.probes_per_sec, run.frames_per_sec, run.events_per_sec,
                  run.probes, run.lost, i + 1 < runs.size() ? "," : "");
   }
+  std::fprintf(json, "    ]");
   if (!smoke && !runs.empty()) {
     // Before/after anchor: the serial (workers=1) row against the committed
     // pre-event-core number, both on the same 48-scenario default grid.
     std::fprintf(json,
-                 "    ],\n"
+                 ",\n"
                  "    \"baseline_events_per_sec\": %.1f,\n"
-                 "    \"events_per_sec_vs_baseline\": %.3f\n"
-                 "  },\n"
-                 "  \"packet_path\": {\n",
+                 "    \"events_per_sec_vs_baseline\": %.3f",
                  kPreEventCoreEventsPerSec,
                  runs.front().events_per_sec / kPreEventCoreEventsPerSec);
-  } else {
-    std::fprintf(json,
-                 "    ]\n"
-                 "  },\n"
-                 "  \"packet_path\": {\n");
   }
+  if (!matrix.empty()) {
+    // Per-workload scenarios/s rows (8-scenario grid each, streaming merge).
+    std::fprintf(json, ",\n    \"workload_matrix\": [\n");
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      const WorkloadRow& row = matrix[i];
+      std::fprintf(json,
+                   "      {\"tool\": \"%s\", \"wall_seconds\": %.4f, "
+                   "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
+                   "\"median_rtt_ms\": %.2f, \"probes\": %zu, "
+                   "\"lost\": %zu}%s\n",
+                   tools::to_string(row.kind), row.wall_seconds,
+                   row.scenarios_per_sec, row.probes_per_sec,
+                   row.median_rtt_ms, row.probes, row.lost,
+                   i + 1 < matrix.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]");
+  }
+  std::fprintf(json,
+               "\n"
+               "  },\n"
+               "  \"packet_path\": {\n");
   std::fprintf(json,
                "    \"roundtrip_ns_per_20probe_run\": %.1f,\n"
                "    \"copies_per_probe\": %.2f,\n"

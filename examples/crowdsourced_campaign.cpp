@@ -1,3 +1,6 @@
+// Reproduces: the §1 motivating scenario, with Table 5's AcuteMon nRTT
+// accuracy and the §4.4 per-handset calibration applied fleet-wide.
+//
 // Crowdsourced measurement campaign — the paper's motivating scenario (§1):
 // a fleet of heterogeneous handsets measures the same set of network paths.
 // Naive user-level RTTs disagree across handsets (each inflates differently);

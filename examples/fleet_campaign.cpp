@@ -1,3 +1,7 @@
+// Reproduces: no single figure — this scales the paper's Fig. 1/Table 2
+// du/dk/dv/dn methodology to a fleet-sized scenario grid (the §1
+// crowdsourcing setting), executed by the Campaign engine.
+//
 // Fleet campaign walkthrough: sweep a scenario grid across every core.
 //
 // This is the Campaign-engine counterpart of crowdsourced_campaign: instead

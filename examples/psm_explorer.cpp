@@ -1,3 +1,7 @@
+// Reproduces: Table 4 (black-box inference of Tip, Tis and the listen
+// intervals) plus the Fig. 4/Fig. 5 interval-sweep behavior that motivates
+// it.
+//
 // PSM/SDIO explorer: visualize *why* naive measurements inflate, for any
 // handset. Sweeps the probe interval against one path and prints how the
 // user-level RTT decomposes per layer, then infers the handset's

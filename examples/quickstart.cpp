@@ -1,8 +1,13 @@
+// Reproduces: Fig. 1's vantage-point decomposition under the §3.1 (stock
+// ping, Table 2/Fig. 3 conditions) and §4.2 (AcuteMon, Table 5 conditions)
+// experiments — one 30 ms path measured both ways, du/dk/dn printed side by
+// side.
+//
 // Quickstart: measure a 30 ms path from a simulated Nexus 5, first with the
 // stock ping (inflated by SDIO bus sleep + PSM) and then with AcuteMon,
 // and print the multi-layer decomposition of both.
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/example_quickstart
 #include <cstdio>
 
 #include "stats/summary.hpp"

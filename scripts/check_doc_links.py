@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Scans README.md and docs/**/*.md for [text](target) links, resolves each
+relative target against the containing file, and exits non-zero listing
+every target that does not exist. External links (http/https/mailto) are
+skipped; fragment-only links (#section) are checked against the headings
+of the containing file, and `path#fragment` links against the headings of
+the target file.
+
+Usage: python3 scripts/check_doc_links.py  (from anywhere; paths resolve
+relative to the repo root, i.e. this script's parent directory).
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces->dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {slugify(h) for h in HEADING.findall(path.read_text())}
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    for target in LINK.findall(md.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = md if not path_part else (md.parent / path_part).resolve()
+        rel = md.relative_to(REPO)
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link target '{target}'")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if slugify(fragment) not in anchors_of(resolved):
+                errors.append(f"{rel}: missing anchor '#{fragment}' "
+                              f"in {path_part or rel.name}")
+    return errors
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("**/*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"missing doc file: {f.relative_to(REPO)}")
+        return 1
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for error in errors:
+        print(error)
+    checked = ", ".join(str(f.relative_to(REPO)) for f in files)
+    if errors:
+        print(f"\n{len(errors)} broken link(s) across: {checked}")
+        return 1
+    print(f"all relative links OK in: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,13 +69,16 @@ void AcuteMon::start_measurement(DoneFn done) {
     background_timer_.start(options_.background_interval);
   }
   // MT: first probe after the warm-up lead dpre.
+  // Qualified call: this override of start() *is* start_measurement, so the
+  // scheduled launch must hit the base schedule directly.
   simulator().schedule_in(options_.warmup_lead,
                           [this, done = std::move(done)]() mutable {
-                            start([this, done = std::move(done)](
-                                      const tools::ToolRun& run) {
-                              background_timer_.stop();
-                              if (done) done(run);
-                            });
+                            MeasurementTool::start(
+                                [this, done = std::move(done)](
+                                    const tools::ToolRun& run) {
+                                  background_timer_.stop();
+                                  if (done) done(run);
+                                });
                           });
 }
 

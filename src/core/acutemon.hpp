@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "tools/tool.hpp"
 
@@ -50,6 +51,13 @@ class AcuteMon : public tools::MeasurementTool {
 
   /// Launches BT (warm-up + background) and then MT after dpre.
   void start_measurement(DoneFn done = nullptr);
+
+  /// Uniform entry point: identical to start_measurement(), so campaigns
+  /// that construct tools through tools::make_tool() launch AcuteMon's full
+  /// two-thread protocol with the same call as every other tool.
+  void start(DoneFn done = nullptr) override {
+    start_measurement(std::move(done));
+  }
 
  protected:
   void send_probe(int index) override;

@@ -1,0 +1,208 @@
+#include "stats/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace acute::stats {
+
+using sim::expects;
+
+MergingDigest::MergingDigest(std::size_t compression)
+    : compression_(compression) {
+  expects(compression_ >= 8, "MergingDigest compression must be >= 8");
+  buffer_.reserve(4 * compression_);
+}
+
+void MergingDigest::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+  buffer_.push_back(x);
+  if (buffer_.size() >= 4 * compression_) compress();
+}
+
+void MergingDigest::merge(const MergingDigest& other) {
+  if (other.count_ == 0) return;
+  if (&other == this) {
+    // Self-merge doubles every sample; copy first so the centroid insert
+    // below never reads a range it is reallocating.
+    const MergingDigest copy = other;
+    merge(copy);
+    return;
+  }
+  other.compress();
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  // Fold the other digest's centroids in as weighted points; the single
+  // compress() below sorts them together with our centroids and any
+  // buffered samples, re-applying the size bound over the whole union.
+  centroids_.insert(centroids_.end(), other.centroids_.begin(),
+                    other.centroids_.end());
+  compacted_ = false;
+  compress();
+}
+
+void MergingDigest::compress() const {
+  if (buffer_.empty() && compacted_) return;
+  compacted_ = true;
+  std::vector<Centroid> points;
+  points.reserve(centroids_.size() + buffer_.size());
+  points.insert(points.end(), centroids_.begin(), centroids_.end());
+  for (const double x : buffer_) points.push_back(Centroid{x, 1});
+  buffer_.clear();
+  if (points.empty()) {
+    centroids_.clear();
+    return;
+  }
+  // Stable sort keeps equal-mean points in insertion order: the compaction
+  // result is a pure function of the insertion sequence.
+  std::stable_sort(points.begin(), points.end(),
+                   [](const Centroid& a, const Centroid& b) {
+                     return a.mean < b.mean;
+                   });
+  double total = 0;
+  for (const Centroid& p : points) total += p.weight;
+
+  // k1 scale function (Dunning's merging t-digest): a centroid may span at
+  // most one unit of k(q) = (δ/2π)·asin(2q−1). The full k range is δ/2 and
+  // closing a centroid means extending it would overflow its unit, so the
+  // compacted list holds at most δ+1 centroids — the structural bound
+  // max_centroids() advertises (with margin). asin's steep ends give the
+  // distribution tails sample-sized centroids.
+  const double k_scale =
+      static_cast<double>(compression_) / (2.0 * 3.141592653589793);
+  const auto k_of = [&](double q) {
+    return k_scale * std::asin(std::clamp(2.0 * q - 1.0, -1.0, 1.0));
+  };
+
+  std::vector<Centroid> merged;
+  merged.reserve(compression_ + 8);
+  Centroid current = points.front();
+  double weight_before = 0;  // total weight strictly left of `current`
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const Centroid& next = points[i];
+    const double proposed = current.weight + next.weight;
+    const double k_left = k_of(weight_before / total);
+    const double k_right = k_of((weight_before + proposed) / total);
+    if (k_right - k_left <= 1.0) {
+      // Weighted average; weights are sample counts, so this is the exact
+      // mean of the union.
+      current.mean =
+          (current.mean * current.weight + next.mean * next.weight) /
+          proposed;
+      current.weight = proposed;
+    } else {
+      weight_before += current.weight;
+      merged.push_back(current);
+      current = next;
+    }
+  }
+  merged.push_back(current);
+  centroids_ = std::move(merged);
+}
+
+double MergingDigest::mean() const {
+  expects(count_ > 0, "MergingDigest::mean on an empty digest");
+  return sum_ / static_cast<double>(count_);
+}
+
+double MergingDigest::stddev() const {
+  if (count_ < 2) return 0;
+  const double n = static_cast<double>(count_);
+  const double variance =
+      std::max(0.0, (sum_sq_ - sum_ * sum_ / n) / (n - 1));
+  return std::sqrt(variance);
+}
+
+double MergingDigest::min() const {
+  expects(count_ > 0, "MergingDigest::min on an empty digest");
+  return min_;
+}
+
+double MergingDigest::max() const {
+  expects(count_ > 0, "MergingDigest::max on an empty digest");
+  return max_;
+}
+
+std::size_t MergingDigest::centroid_count() const {
+  compress();
+  return centroids_.size();
+}
+
+double MergingDigest::quantile(double q) const {
+  expects(count_ > 0, "MergingDigest::quantile on an empty digest");
+  expects(q >= 0.0 && q <= 1.0, "MergingDigest::quantile requires q in [0,1]");
+  compress();
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  // Walk centroids treating each as centred at its midpoint; interpolate
+  // linearly between adjacent centroid means, clamped by the exact extremes.
+  double cumulative = 0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const Centroid& c = centroids_[i];
+    const double center = cumulative + c.weight / 2;
+    if (target <= center) {
+      if (i == 0) {
+        const double span = center;  // from min_ (rank 0) to first center
+        const double t = span > 0 ? target / span : 1.0;
+        return min_ + t * (c.mean - min_);
+      }
+      const Centroid& prev = centroids_[i - 1];
+      const double prev_center = cumulative - prev.weight / 2;
+      const double t = (target - prev_center) / (center - prev_center);
+      return prev.mean + t * (c.mean - prev.mean);
+    }
+    cumulative += c.weight;
+  }
+  const Centroid& last = centroids_.back();
+  const double last_center =
+      static_cast<double>(count_) - last.weight / 2;
+  const double span = static_cast<double>(count_) - last_center;
+  const double t = span > 0 ? (target - last_center) / span : 1.0;
+  return last.mean + t * (max_ - last.mean);
+}
+
+double MergingDigest::cdf(double x) const {
+  if (count_ == 0) return 0;
+  compress();
+  if (x < min_) return 0;
+  if (x >= max_) return 1;
+  double cumulative = 0;
+  double prev_mean = min_;
+  double prev_center = 0;
+  for (const Centroid& c : centroids_) {
+    const double center = cumulative + c.weight / 2;
+    if (x < c.mean) {
+      const double span = c.mean - prev_mean;
+      const double t = span > 0 ? (x - prev_mean) / span : 1.0;
+      return (prev_center + t * (center - prev_center)) /
+             static_cast<double>(count_);
+    }
+    cumulative += c.weight;
+    prev_mean = c.mean;
+    prev_center = center;
+  }
+  const double span = max_ - prev_mean;
+  const double t = span > 0 ? (x - prev_mean) / span : 1.0;
+  return (prev_center + t * (static_cast<double>(count_) - prev_center)) /
+         static_cast<double>(count_);
+}
+
+}  // namespace acute::stats

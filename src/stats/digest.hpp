@@ -1,0 +1,99 @@
+// Bounded-memory streaming quantile digest (t-digest family).
+//
+// The campaign engine's streaming merge folds every shard's samples into
+// one of these instead of buffering raw vectors: memory per digest is
+// O(compression) regardless of how many samples are added, accuracy is
+// highest at the tails (the quantiles the paper reports), and two digests
+// merge associatively, so per-shard digests folded in scenario-index order
+// give a deterministic campaign-wide distribution for any worker count.
+//
+// Deterministic by construction: no randomness anywhere — compression uses
+// a stable sort and a fixed scale function, so the resulting centroids are
+// a pure function of the insertion sequence, and the insertion sequence in
+// a campaign is a pure function of (spec, seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace acute::stats {
+
+/// Mergeable t-digest using the k1 (arcsine) scale function: each centroid
+/// spans at most one unit of k(q) = (compression/2π)·asin(2q−1), so the
+/// compacted centroid count is bounded by compression+1 for ANY number of
+/// samples, while the distribution tails keep sample-sized centroids.
+/// count/sum/min/max are tracked exactly.
+class MergingDigest {
+ public:
+  /// Default compression: ~128 centroids ≈ <1% quantile error mid-range,
+  /// exact extremes; 3 KiB per digest.
+  static constexpr std::size_t kDefaultCompression = 128;
+
+  explicit MergingDigest(std::size_t compression = kDefaultCompression);
+
+  /// Adds one sample. Amortized O(1); triggers a compaction every
+  /// 4*compression samples.
+  void add(double x);
+
+  /// Folds `other` into this digest. Equivalent (within the digest's
+  /// accuracy) to having added other's samples; deterministic given the
+  /// merge order.
+  void merge(const MergingDigest& other);
+
+  /// Number of samples added (exact).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// True when no sample has been added.
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Mean of all samples (exact: tracked as a running sum).
+  [[nodiscard]] double mean() const;
+  /// Sample (n-1) standard deviation, from an exactly-tracked sum of
+  /// squares (fine at millisecond scale; not Welford-grade for values with
+  /// huge mean/variance ratios). 0 for fewer than two samples.
+  [[nodiscard]] double stddev() const;
+  /// Smallest / largest sample (exact). Require a non-empty digest.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Approximate quantile, q in [0, 1]; q=0/1 return the exact extremes.
+  /// Requires a non-empty digest.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Approximate CDF: fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Centroids currently held (<= max_centroids() after any compaction;
+  /// the memory-bound tests assert on this).
+  [[nodiscard]] std::size_t centroid_count() const;
+  /// Hard ceiling on centroid_count() after compaction, for any sample
+  /// count: the k1 bound yields at most compression+1 centroids; 2x is a
+  /// comfortable structural margin.
+  [[nodiscard]] std::size_t max_centroids() const { return 2 * compression_; }
+
+  /// The compression parameter this digest was built with.
+  [[nodiscard]] std::size_t compression() const { return compression_; }
+
+ private:
+  struct Centroid {
+    double mean = 0;
+    double weight = 0;
+  };
+
+  /// Merges buffered samples into the centroid list (stable sort + single
+  /// merge pass under the k2 weight bound).
+  void compress() const;
+
+  std::size_t compression_;
+  // Logically const accessors (quantile/cdf/centroid_count) must flush the
+  // insert buffer first; both stores are cache, not observable state.
+  mutable std::vector<Centroid> centroids_;  // sorted by mean once compressed
+  mutable std::vector<double> buffer_;
+  mutable bool compacted_ = true;  // centroids_ already under the k2 bound
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace acute::stats

@@ -7,20 +7,56 @@
 #include <thread>
 #include <utility>
 
+#include <array>
+#include <optional>
+
 #include "core/layer_sample.hpp"
 #include "sim/contracts.hpp"
 #include "sim/random.hpp"
-#include "tools/ping.hpp"
+#include "tools/factory.hpp"
 
 namespace acute::testbed {
 
 using sim::Duration;
 using sim::expects;
 
+namespace {
+
+/// Group-by-ToolKind accumulator shared by the shard fold and the report
+/// merge: slots are kind-indexed, so take() emits in ascending ToolKind
+/// order (the documented ordering of ShardResult::digests and
+/// CampaignReport::workload_digests()).
+class WorkloadFold {
+ public:
+  /// The accumulator for `kind`, created on first access.
+  WorkloadDigest& slot(tools::ToolKind kind) {
+    auto& entry = slots_[tools::tool_kind_index(kind)];
+    if (!entry.has_value()) {
+      entry.emplace();
+      entry->tool = kind;
+    }
+    return *entry;
+  }
+
+  /// The populated accumulators, ascending ToolKind.
+  std::vector<WorkloadDigest> take() {
+    std::vector<WorkloadDigest> out;
+    for (auto& entry : slots_) {
+      if (entry.has_value()) out.push_back(std::move(*entry));
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::optional<WorkloadDigest>, tools::kToolKindCount> slots_;
+};
+
+}  // namespace
+
 std::vector<ScenarioSpec> ScenarioGrid::expand() const {
   expects(!phone_counts.empty() && !profiles.empty() && !radios.empty() &&
               !emulated_rtts.empty() && !cross_traffic.empty() &&
-              !loss_rates.empty() && !reorder.empty(),
+              !loss_rates.empty() && !reorder.empty() && !workloads.empty(),
           "ScenarioGrid axes must all be non-empty");
   for (const double loss : loss_rates) {
     expects(loss >= 0.0 && loss < 1.0,
@@ -36,13 +72,19 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
           for (const bool cross : cross_traffic) {
             for (const double loss : loss_rates) {
               for (const bool allow_reorder : reorder) {
-                ScenarioSpec scenario;
-                scenario.phones.assign(count, PhoneSpec{profile, "", radio});
-                scenario.emulated_rtt = rtt;
-                scenario.congested_phy = cross;
-                scenario.netem_loss = loss;
-                scenario.netem_reorder = allow_reorder;
-                scenarios.push_back(std::move(scenario));
+                for (const WorkloadSpec& workload : workloads) {
+                  ScenarioSpec scenario;
+                  PhoneSpec phone;
+                  phone.profile = profile;
+                  phone.radio = radio;
+                  phone.workload = workload;
+                  scenario.phones.assign(count, phone);
+                  scenario.emulated_rtt = rtt;
+                  scenario.congested_phy = cross;
+                  scenario.netem_loss = loss;
+                  scenario.netem_reorder = allow_reorder;
+                  scenarios.push_back(std::move(scenario));
+                }
               }
             }
           }
@@ -56,7 +98,19 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
 std::size_t ScenarioGrid::size() const {
   return phone_counts.size() * profiles.size() * radios.size() *
          emulated_rtts.size() * cross_traffic.size() * loss_rates.size() *
-         reorder.size();
+         reorder.size() * workloads.size();
+}
+
+void WorkloadDigest::merge(const WorkloadDigest& other) {
+  expects(tool == other.tool,
+          "WorkloadDigest::merge requires matching tool kinds");
+  probes += other.probes;
+  lost += other.lost;
+  reported_rtt_ms.merge(other.reported_rtt_ms);
+  du_ms.merge(other.du_ms);
+  dk_ms.merge(other.dk_ms);
+  dv_ms.merge(other.dv_ms);
+  dn_ms.merge(other.dn_ms);
 }
 
 std::vector<double> CampaignReport::merged(
@@ -75,6 +129,27 @@ stats::Summary CampaignReport::rtt_summary() const {
 
 stats::Cdf CampaignReport::rtt_cdf() const {
   return stats::Cdf(merged(&ShardResult::reported_rtt_ms));
+}
+
+std::vector<WorkloadDigest> CampaignReport::workload_digests() const {
+  // Shards are already in scenario-index order, and each shard's digests
+  // are in ascending ToolKind order, so folding front to back gives the
+  // deterministic scenario-order merge the determinism contract requires.
+  WorkloadFold fold;
+  for (const ShardResult& shard : shards) {
+    for (const WorkloadDigest& digest : shard.digests) {
+      fold.slot(digest.tool).merge(digest);
+    }
+  }
+  return fold.take();
+}
+
+stats::MergingDigest CampaignReport::rtt_digest() const {
+  stats::MergingDigest all;
+  for (const WorkloadDigest& digest : workload_digests()) {
+    all.merge(digest.reported_rtt_ms);
+  }
+  return all;
 }
 
 std::size_t CampaignReport::total_probes() const {
@@ -140,36 +215,57 @@ ShardResult Campaign::run_shard(std::size_t scenario_index) const {
     testbed.settle(Duration::seconds(2));  // reach saturation
   }
 
-  std::vector<std::unique_ptr<tools::IcmpPing>> pings;
+  // One tool per phone, selected by the phone's WorkloadSpec; workload
+  // fields left at zero fall back to the campaign-wide schedule defaults.
+  std::vector<std::unique_ptr<tools::MeasurementTool>> instruments;
   std::vector<tools::MeasurementTool*> running;
-  pings.reserve(testbed.phone_count());
+  instruments.reserve(testbed.phone_count());
   for (std::size_t i = 0; i < testbed.phone_count(); ++i) {
+    const WorkloadSpec& workload = testbed.spec().phones[i].workload;
     tools::MeasurementTool::Config config;
-    config.probe_count = spec_.probes_per_phone;
-    config.interval = spec_.probe_interval;
-    config.timeout = spec_.probe_timeout;
+    config.probe_count = workload.probe_count > 0 ? workload.probe_count
+                                                  : spec_.probes_per_phone;
+    config.interval = workload.interval.is_zero() ? spec_.probe_interval
+                                                  : workload.interval;
+    config.timeout = workload.timeout.is_zero() ? spec_.probe_timeout
+                                                : workload.timeout;
     config.target = Testbed::kServerId;
-    pings.push_back(
-        std::make_unique<tools::IcmpPing>(testbed.phone(i), config));
-    pings.back()->start();
-    running.push_back(pings.back().get());
+    instruments.push_back(
+        tools::make_tool(workload.tool, testbed.phone(i), config));
+    instruments.back()->start();
+    running.push_back(instruments.back().get());
   }
   testbed.run_until_all_finished(running);
 
-  for (const auto& ping : pings) {
-    const tools::ToolRun& run = ping->result();
+  // Fold each phone's run into the shard result: exact counters, streaming
+  // per-workload digests (always), raw sample vectors (only when the
+  // campaign keeps them).
+  WorkloadFold fold;
+  for (std::size_t i = 0; i < instruments.size(); ++i) {
+    const tools::ToolRun& run = instruments[i]->result();
+    WorkloadDigest& slot = fold.slot(testbed.spec().phones[i].workload.tool);
+    slot.probes += run.probes.size();
+    slot.lost += run.loss_count();
     result.probes_sent += run.probes.size();
     result.probes_lost += run.loss_count();
-    const std::vector<double> rtts = run.reported_rtts_ms();
-    result.reported_rtt_ms.insert(result.reported_rtt_ms.end(), rtts.begin(),
-                                  rtts.end());
+    for (const double rtt : run.reported_rtts_ms()) {
+      slot.reported_rtt_ms.add(rtt);
+      if (spec_.keep_samples) result.reported_rtt_ms.push_back(rtt);
+    }
     for (const core::LayerSample& sample : testbed.layer_samples(run)) {
-      result.du_ms.push_back(sample.du_ms);
-      result.dk_ms.push_back(sample.dk_ms);
-      result.dv_ms.push_back(sample.dv_ms);
-      result.dn_ms.push_back(sample.dn_ms);
+      slot.du_ms.add(sample.du_ms);
+      slot.dk_ms.add(sample.dk_ms);
+      slot.dv_ms.add(sample.dv_ms);
+      slot.dn_ms.add(sample.dn_ms);
+      if (spec_.keep_samples) {
+        result.du_ms.push_back(sample.du_ms);
+        result.dk_ms.push_back(sample.dk_ms);
+        result.dv_ms.push_back(sample.dv_ms);
+        result.dn_ms.push_back(sample.dn_ms);
+      }
     }
   }
+  result.digests = fold.take();
   if (testbed.cross_traffic_running()) testbed.stop_cross_traffic();
   result.frames_on_air = testbed.channel().frames_transmitted();
   result.events_fired = testbed.simulator().events_fired();

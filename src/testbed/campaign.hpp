@@ -6,16 +6,21 @@
 // fleets. Campaign is that sweep engine:
 //
 //   * One *shard* = one ScenarioSpec executed on its own sim::Simulator
-//     (fully independent state) with one IcmpPing per phone.
+//     (fully independent state) with one measurement tool per phone, picked
+//     per phone by WorkloadSpec through tools::make_tool().
 //   * A pool of worker threads pulls shard indices from an atomic counter.
 //   * Shard i runs its scenario with seed Rng(campaign_seed).fork(i), so a
 //     shard's result is a pure function of (spec, campaign seed, i) — the
 //     merged report is bit-identical for ANY worker count.
-//   * After the pool joins, per-shard results are merged in scenario-index
-//     order into campaign-wide sample vectors and summaries.
+//   * Each shard folds its samples into fixed-size per-workload
+//     stats::MergingDigest accumulators as it runs; after the pool joins,
+//     shards are merged in scenario-index order. With keep_samples=false
+//     campaign memory is O(shards), not O(samples).
 //
 // ScenarioGrid expands axis lists (phone count x profile x radio x RTT x
-// cross traffic) into the scenario vector, in a fixed nesting order.
+// cross traffic x loss x reorder x workload) into the scenario vector, in a
+// fixed nesting order. The full contract (sharding, seed derivation,
+// streaming-merge semantics) is documented in docs/campaigns.md.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +29,10 @@
 #include "phone/profile.hpp"
 #include "phone/smartphone.hpp"
 #include "stats/cdf.hpp"
+#include "stats/digest.hpp"
 #include "stats/summary.hpp"
 #include "testbed/testbed.hpp"
+#include "tools/factory.hpp"
 
 namespace acute::testbed {
 
@@ -42,13 +49,16 @@ struct ScenarioGrid {
   std::vector<double> loss_rates{0.0};
   /// true = the netem egress may reorder packets under jitter.
   std::vector<bool> reorder{false};
+  /// Measurement workloads (tool kind + schedule overrides); every phone of
+  /// a scenario runs the same workload. Defaults to one stock-ping entry.
+  std::vector<WorkloadSpec> workloads{WorkloadSpec{}};
 
   /// The cross product, nesting (outer to inner): phone count, profile,
-  /// radio, emulated RTT, cross traffic, loss rate, reorder. All phones of
-  /// a scenario share the profile and radio; seeds are assigned by
-  /// Campaign, not here. The loss/reorder axes default to single lossless
-  /// entries, so pre-existing grids expand to byte-identical scenario
-  /// vectors.
+  /// radio, emulated RTT, cross traffic, loss rate, reorder, workload. All
+  /// phones of a scenario share the profile, radio and workload; seeds are
+  /// assigned by Campaign, not here. The loss/reorder/workload axes default
+  /// to single lossless stock-ping entries, so pre-existing grids expand to
+  /// byte-identical scenario vectors.
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Number of scenarios expand() will produce.
@@ -56,30 +66,65 @@ struct ScenarioGrid {
 };
 
 struct CampaignSpec {
+  /// Campaign seed S; shard i derives its scenario seed as Rng(S).fork(i).
   std::uint64_t seed = 42;
+  /// The scenarios to execute, one shard each (usually ScenarioGrid output).
   std::vector<ScenarioSpec> scenarios;
-  /// Per-phone IcmpPing schedule.
+  /// Default per-phone probe schedule; a phone's WorkloadSpec may override
+  /// any of the three fields (its zero/<=0 fields fall back to these).
   int probes_per_phone = 20;
   sim::Duration probe_interval = sim::Duration::millis(200);
   sim::Duration probe_timeout = sim::Duration::seconds(8);
   /// Idle time before probing starts (power-save machinery steady state).
   sim::Duration settle = sim::Duration::millis(800);
+  /// When false, shards skip the raw per-probe sample vectors and keep only
+  /// the fixed-size streaming digests + counters: campaign memory becomes
+  /// O(shards) instead of O(samples) — the mode for 10^5-scenario sweeps.
+  /// (CampaignReport::merged()/rtt_summary()/rtt_cdf() need raw samples and
+  /// are unavailable then; use the digest accessors.)
+  bool keep_samples = true;
+};
+
+/// Streaming accumulator for one workload kind: fixed-size digests of the
+/// reported RTTs and the Fig. 1 layer decomposition, plus exact counters.
+/// All sample units are **milliseconds**.
+struct WorkloadDigest {
+  /// The tool these samples came from.
+  tools::ToolKind tool = tools::ToolKind::icmp_ping;
+  /// Probes sent / lost by this workload (exact).
+  std::size_t probes = 0;
+  std::size_t lost = 0;
+  /// Tool-reported RTTs of the successful probes (ms).
+  stats::MergingDigest reported_rtt_ms;
+  /// Fig. 1 decomposition of the fully-stamped probes (ms; WiFi phones
+  /// only — cellular probes lack driver/air stamps).
+  stats::MergingDigest du_ms, dk_ms, dv_ms, dn_ms;
+
+  /// Folds `other` (same tool kind) into this accumulator.
+  void merge(const WorkloadDigest& other);
 };
 
 /// One scenario's outcome. Sample vectors hold the scenario's phones in
 /// phone-index order (per-phone probe order within each phone).
 struct ShardResult {
   std::size_t scenario_index = 0;
+  /// The derived seed this shard ran with (Campaign::shard_seed).
   std::uint64_t shard_seed = 0;
   std::size_t phone_count = 0;
+  /// Exact fleet counters (all workloads of the shard combined).
   std::size_t probes_sent = 0;
   std::size_t probes_lost = 0;
-  /// Tool-reported RTTs of every successful probe.
+  /// Tool-reported RTTs of every successful probe, in **milliseconds**.
+  /// Empty when CampaignSpec::keep_samples is false.
   std::vector<double> reported_rtt_ms;
-  /// Fig. 1 decomposition of every fully-stamped probe (WiFi phones; a
+  /// Fig. 1 decomposition (ms) of every fully-stamped probe (WiFi phones; a
   /// cellular phone's probes lack driver/air stamps and appear only in
-  /// reported_rtt_ms).
+  /// reported_rtt_ms). Empty when keep_samples is false.
   std::vector<double> du_ms, dk_ms, dv_ms, dn_ms;
+  /// Streaming per-workload accumulators, ordered by ToolKind enumerator
+  /// value; only kinds the shard actually ran appear. Always populated,
+  /// independent of keep_samples.
+  std::vector<WorkloadDigest> digests;
   /// Work accounting (throughput benches).
   std::uint64_t frames_on_air = 0;
   std::uint64_t events_fired = 0;
@@ -92,12 +137,22 @@ struct CampaignReport {
 
   /// Concatenation of a per-shard sample vector across shards, in scenario
   /// index order (the canonical merge used by the summaries below).
+  /// Requires the campaign to have run with keep_samples=true.
   [[nodiscard]] std::vector<double> merged(
       std::vector<double> ShardResult::*field) const;
 
+  /// Summary / ECDF of every reported RTT (ms); need keep_samples=true.
   [[nodiscard]] stats::Summary rtt_summary() const;
   [[nodiscard]] stats::Cdf rtt_cdf() const;
 
+  /// Per-workload streaming accumulators merged across all shards in
+  /// scenario-index order, returned by ascending ToolKind; only kinds that
+  /// ran appear. Works in both keep_samples modes.
+  [[nodiscard]] std::vector<WorkloadDigest> workload_digests() const;
+  /// All workloads' reported-RTT digests merged into one distribution (ms).
+  [[nodiscard]] stats::MergingDigest rtt_digest() const;
+
+  /// Exact fleet totals (sums over shards).
   [[nodiscard]] std::size_t total_probes() const;
   [[nodiscard]] std::size_t total_lost() const;
   [[nodiscard]] std::uint64_t total_frames() const;

@@ -6,8 +6,7 @@
 #include "core/timeout_prober.hpp"
 #include "sim/contracts.hpp"
 #include "stats/summary.hpp"
-#include "tools/httping.hpp"
-#include "tools/java_ping.hpp"
+#include "tools/factory.hpp"
 #include "tools/ping.hpp"
 
 namespace acute::testbed {
@@ -15,20 +14,6 @@ namespace acute::testbed {
 using net::Packet;
 using sim::Duration;
 using sim::expects;
-
-const char* to_string(ToolKind kind) {
-  switch (kind) {
-    case ToolKind::acutemon:
-      return "AcuteMon";
-    case ToolKind::icmp_ping:
-      return "ping";
-    case ToolKind::httping:
-      return "httping";
-    case ToolKind::java_ping:
-      return "Java ping";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -151,20 +136,8 @@ MultiLayerResult Experiment::tool(const ToolSpec& spec) {
   tool_config.timeout = sim::Duration::seconds(1);
   tool_config.target = Testbed::kServerId;
 
-  std::unique_ptr<tools::MeasurementTool> tool;
-  switch (spec.kind) {
-    case ToolKind::icmp_ping:
-      tool = std::make_unique<tools::IcmpPing>(testbed.phone(), tool_config);
-      break;
-    case ToolKind::httping:
-      tool = std::make_unique<tools::HttPing>(testbed.phone(), tool_config);
-      break;
-    case ToolKind::java_ping:
-      tool = std::make_unique<tools::JavaPing>(testbed.phone(), tool_config);
-      break;
-    case ToolKind::acutemon:
-      break;  // handled above
-  }
+  std::unique_ptr<tools::MeasurementTool> tool =
+      tools::make_tool(spec.kind, testbed.phone(), tool_config);
   tool->start();
   testbed.run_until_finished(*tool);
   MultiLayerResult result = collect(testbed, *tool);

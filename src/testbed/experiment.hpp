@@ -12,13 +12,15 @@
 #include "core/layer_sample.hpp"
 #include "phone/profile.hpp"
 #include "testbed/testbed.hpp"
+#include "tools/factory.hpp"
 #include "tools/tool.hpp"
 
 namespace acute::testbed {
 
-enum class ToolKind { acutemon, icmp_ping, httping, java_ping };
-
-[[nodiscard]] const char* to_string(ToolKind kind);
+/// The tool zoo lives in tools::ToolKind now (it is the campaign workload
+/// axis); these aliases keep the historical testbed:: spellings working.
+using tools::ToolKind;
+using tools::to_string;
 
 /// A tool run plus its layer decomposition.
 struct MultiLayerResult {

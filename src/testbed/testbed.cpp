@@ -106,7 +106,8 @@ std::size_t ScenarioSpec::count_radio(phone::RadioKind kind) const {
 
 ScenarioSpec ScenarioSpec::fig2(const TestbedConfig& config) {
   ScenarioSpec spec;
-  spec.phones = {PhoneSpec{config.profile, ""}};
+  spec.phones = {PhoneSpec{}};
+  spec.phones.front().profile = config.profile;
   spec.seed = config.seed;
   spec.emulated_rtt = config.emulated_rtt;
   spec.netem_jitter = config.netem_jitter;

@@ -32,6 +32,7 @@
 #include "phone/smartphone.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "tools/factory.hpp"
 #include "tools/tool.hpp"
 #include "wifi/access_point.hpp"
 #include "wifi/channel.hpp"
@@ -44,13 +45,16 @@ namespace acute::testbed {
 /// save disabled, unlike the phones under test).
 class WirelessHost {
  public:
+  /// Joins `channel` as station `id`, associated with the AP `ap_id`.
   WirelessHost(sim::Simulator& sim, wifi::Channel& channel, sim::Rng rng,
                net::NodeId id, net::NodeId ap_id);
 
   /// Sends a packet toward the AP after a small host-stack delay.
   void transmit(net::Packet&& packet);
 
+  /// The host's 802.11 station (power save disabled).
   [[nodiscard]] wifi::Station& station() { return station_; }
+  /// The host's node id on the fabric.
   [[nodiscard]] net::NodeId id() const { return id_; }
 
  private:
@@ -64,19 +68,42 @@ class WirelessHost {
 /// kept as the convenience front-end for the common case. Converted into a
 /// one-phone ScenarioSpec by the Testbed constructor.
 struct TestbedConfig {
+  /// The handset under test (its PSM/SDIO/runtime parameters).
   phone::PhoneProfile profile = phone::PhoneProfile::nexus5();
+  /// Root rng seed every component stream is forked from.
   std::uint64_t seed = 42;
   /// tc-netem delay on the measurement server (one-way, on its egress).
   sim::Duration emulated_rtt = sim::Duration{};
+  /// Netem delay jitter on the same egress (paper setup: 1.5 ms).
   sim::Duration netem_jitter = sim::Duration::millis(1.5);
   /// Use the mixed-mode PHY (protection, degraded rate) — the §4.3
   /// congested-WLAN configuration. Enable whenever cross traffic runs.
   bool congested_phy = false;
+  /// iPerf cross-traffic shape: N parallel UDP flows of this rate each.
   std::size_t cross_connections = 10;
   double cross_flow_mbps = 2.5;
+  /// When true the AP answers TTL=1 packets with ICMP time-exceeded.
   bool send_ttl_exceeded = false;
-  /// Sniffer radiotap timestamp noise.
+  /// Sniffer radiotap timestamp noise (microsecond scale).
   sim::Duration sniffer_noise = sim::Duration::micros(2);
+};
+
+/// Per-phone measurement workload: which tool the campaign engine runs on
+/// this phone and, optionally, schedule overrides. The defaults — stock
+/// ICMP ping, no overrides — make a spec without an explicit workload
+/// behave exactly like the pre-workload campaign engine.
+struct WorkloadSpec {
+  /// Which of the paper's four tools probes from this phone.
+  tools::ToolKind tool = tools::ToolKind::icmp_ping;
+  /// Probes to send; <= 0 means "use CampaignSpec::probes_per_phone".
+  int probe_count = 0;
+  /// Inter-probe interval/gap; zero means "use CampaignSpec::probe_interval"
+  /// (AcuteMon ignores it: its measurement thread is always back-to-back).
+  sim::Duration interval{};
+  /// Per-probe timeout; zero means "use CampaignSpec::probe_timeout".
+  sim::Duration timeout{};
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };
 
 /// One phone under test in a scenario.
@@ -92,6 +119,9 @@ struct PhoneSpec {
   phone::RadioKind radio = phone::RadioKind::wifi;
   /// RRC parameters (cellular phones only).
   cellular::RrcConfig rrc = cellular::RrcConfig::umts_3g();
+  /// The measurement workload Campaign::run_shard drives on this phone
+  /// (ignored by the plain Testbed builder, which starts no tools itself).
+  WorkloadSpec workload;
 };
 
 /// The cellular core-network gateway: the wired peer of a scenario's
@@ -113,8 +143,10 @@ class CellularGateway : public net::Node {
   void receive(net::Packet&& packet, net::Link* ingress) override;
   [[nodiscard]] net::NodeId id() const override { return id_; }
 
+  /// Packets forwarded phone -> wired fabric / fabric -> phone so far.
   [[nodiscard]] std::uint64_t uplink_packets() const { return uplink_; }
   [[nodiscard]] std::uint64_t downlink_packets() const { return downlink_; }
+  /// TTL=1 system chatter absorbed at this first hop.
   [[nodiscard]] std::uint64_t ttl_drops() const { return ttl_drops_; }
 
  private:
@@ -132,15 +164,24 @@ class CellularGateway : public net::Node {
 /// Full scenario description: N heterogeneous phones contending on one
 /// channel plus the wired fabric and load infrastructure of Fig. 2.
 struct ScenarioSpec {
+  /// The handsets under test, all contending on one channel (>= 1).
   std::vector<PhoneSpec> phones{PhoneSpec{}};
+  /// Root rng seed (campaigns overwrite it with the derived shard seed).
   std::uint64_t seed = 42;
+  /// tc-netem delay on the measurement server (one-way, on its egress).
   sim::Duration emulated_rtt = sim::Duration{};
+  /// Netem delay jitter on the same egress.
   sim::Duration netem_jitter = sim::Duration::millis(1.5);
+  /// Mixed-mode PHY (§4.3); enable whenever cross traffic runs.
   bool congested_phy = false;
+  /// iPerf cross-traffic shape: N parallel UDP flows of this rate each.
   std::size_t cross_connections = 10;
   double cross_flow_mbps = 2.5;
+  /// When true the AP answers TTL=1 packets with ICMP time-exceeded.
   bool send_ttl_exceeded = false;
+  /// Sniffer radiotap timestamp noise (microsecond scale).
   sim::Duration sniffer_noise = sim::Duration::micros(2);
+  /// Sniffers observing the channel for the t_n vantage point.
   std::size_t sniffer_count = 3;
   /// Core-network RTT for cellular phones (gateway <-> switch propagation
   /// covers both directions; RRC state latencies come on top).
@@ -185,6 +226,7 @@ class Testbed {
   /// Fig. 2 compatibility front-end: a single-phone scenario.
   explicit Testbed(TestbedConfig config = {});
 
+  /// The scenario's simulator (all devices schedule on it).
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   /// The (first) phone under test.
   [[nodiscard]] phone::Smartphone& phone() { return *phones_.front(); }
@@ -192,15 +234,23 @@ class Testbed {
   [[nodiscard]] phone::Smartphone& phone(std::size_t index) {
     return *phones_.at(index);
   }
+  /// Number of phones in the scenario.
   [[nodiscard]] std::size_t phone_count() const { return phones_.size(); }
+  /// The measurement server (echoes probes through its netem qdisc).
   [[nodiscard]] net::EchoServer& server() { return *server_; }
+  /// The Fig. 2 access point.
   [[nodiscard]] wifi::AccessPoint& ap() { return *ap_; }
+  /// The shared 802.11 channel every wireless device contends on.
   [[nodiscard]] wifi::Channel& channel() { return *channel_; }
+  /// The UDP sink the iPerf cross traffic targets.
   [[nodiscard]] net::UdpSink& load_sink() { return *load_sink_; }
+  /// The `index`-th channel sniffer.
   [[nodiscard]] wifi::Sniffer& sniffer(std::size_t index) {
     return *sniffers_.at(index);
   }
+  /// Number of sniffers observing the channel.
   [[nodiscard]] std::size_t sniffer_count() const { return sniffers_.size(); }
+  /// The scenario this testbed was built from.
   [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
   /// The cellular gateway (contract violation when the scenario has no
   /// cellular phone).
@@ -212,6 +262,7 @@ class Testbed {
   /// Starts / stops the iPerf cross traffic (§4.3).
   void start_cross_traffic();
   void stop_cross_traffic();
+  /// True between start_cross_traffic() and stop_cross_traffic().
   [[nodiscard]] bool cross_traffic_running() const;
   /// Goodput at the load server since cross traffic started, Mbit/s.
   [[nodiscard]] double cross_traffic_throughput_mbps() const;

@@ -1,0 +1,50 @@
+#include "tools/factory.hpp"
+
+#include <utility>
+
+#include "core/acutemon.hpp"
+#include "tools/httping.hpp"
+#include "tools/java_ping.hpp"
+#include "tools/ping.hpp"
+
+namespace acute::tools {
+
+const char* to_string(ToolKind kind) {
+  switch (kind) {
+    case ToolKind::acutemon:
+      return "AcuteMon";
+    case ToolKind::icmp_ping:
+      return "ping";
+    case ToolKind::httping:
+      return "httping";
+    case ToolKind::java_ping:
+      return "Java ping";
+  }
+  return "?";
+}
+
+std::optional<ToolKind> parse_tool_kind(std::string_view name) {
+  if (name == "AcuteMon" || name == "acutemon") return ToolKind::acutemon;
+  if (name == "ping" || name == "icmp-ping") return ToolKind::icmp_ping;
+  if (name == "httping") return ToolKind::httping;
+  if (name == "Java ping" || name == "java-ping") return ToolKind::java_ping;
+  return std::nullopt;
+}
+
+std::unique_ptr<MeasurementTool> make_tool(ToolKind kind,
+                                           phone::Smartphone& phone,
+                                           MeasurementTool::Config config) {
+  switch (kind) {
+    case ToolKind::acutemon:
+      return std::make_unique<core::AcuteMon>(phone, std::move(config));
+    case ToolKind::icmp_ping:
+      return std::make_unique<IcmpPing>(phone, std::move(config));
+    case ToolKind::httping:
+      return std::make_unique<HttPing>(phone, std::move(config));
+    case ToolKind::java_ping:
+      return std::make_unique<JavaPing>(phone, std::move(config));
+  }
+  return nullptr;
+}
+
+}  // namespace acute::tools

@@ -1,0 +1,50 @@
+// Runtime tool selection — the workload axis of the campaign engine.
+//
+// The paper's central observation is that delay inflation is *tool
+// dependent*: native ping, Java ping, httping and AcuteMon sample the same
+// stack from different vantage points (Fig. 8). Anything that sweeps tools
+// at runtime — the Experiment front-end, the Campaign workload axis, the
+// bench matrix — picks them through this factory instead of naming concrete
+// classes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "tools/tool.hpp"
+
+namespace acute::tools {
+
+/// The paper's tool zoo (§3.1, §4.3): which measurement tool a workload
+/// runs. `acutemon` is the paper's contribution; the other three are the
+/// inflated baselines of Fig. 8.
+enum class ToolKind { acutemon, icmp_ping, httping, java_ping };
+
+/// Number of ToolKind enumerators (for kind-indexed arrays).
+inline constexpr std::size_t kToolKindCount = 4;
+
+/// Dense 0-based index of `kind` (enumerator order), for kind-keyed arrays.
+[[nodiscard]] constexpr std::size_t tool_kind_index(ToolKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+/// Display name, matching each tool's MeasurementTool::name().
+[[nodiscard]] const char* to_string(ToolKind kind);
+
+/// Parses both the display names ("AcuteMon", "ping", ...) and the
+/// kebab-case grid spellings ("acutemon", "icmp-ping", "httping",
+/// "java-ping"). Returns nullopt for anything else.
+[[nodiscard]] std::optional<ToolKind> parse_tool_kind(std::string_view name);
+
+/// Constructs the tool `kind` on `phone`. Sequential-schedule tools
+/// (httping, Java ping, AcuteMon) adapt `config` exactly as their public
+/// constructors do; AcuteMon runs with the paper-default options
+/// (dpre = db = 20 ms, TCP connect probes, background thread on). Start the
+/// returned tool with MeasurementTool::start() — it is virtual, so
+/// AcuteMon's full two-thread protocol launches through the same call.
+[[nodiscard]] std::unique_ptr<MeasurementTool> make_tool(
+    ToolKind kind, phone::Smartphone& phone, MeasurementTool::Config config);
+
+}  // namespace acute::tools

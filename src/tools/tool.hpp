@@ -25,51 +25,81 @@ namespace acute::tools {
 
 /// One probe's outcome.
 struct ProbeRecord {
+  /// 0-based position in the tool's probe schedule.
   int index = 0;
-  /// RTT as the tool reports it (after quantization quirks), milliseconds.
+  /// RTT as the tool reports it, in **milliseconds** — after the tool's
+  /// output-quantization quirks, so this is what the user reads, not the
+  /// raw measurement. 0 when `timed_out`.
   double reported_rtt_ms = 0;
+  /// True when no response arrived within the tool's timeout.
   bool timed_out = false;
-  /// The response as delivered to the app, with all layer stamps. Empty on
-  /// timeout.
+  /// The response as delivered to the app, with all layer stamps (each
+  /// stamp a sim::TimePoint with **microsecond** resolution — the Fig. 1
+  /// vantage points are recovered from these, not from reported_rtt_ms).
+  /// Empty on timeout.
   std::optional<net::Packet> response;
 };
 
-/// A completed tool execution.
+/// A completed tool execution: every probe's record, in schedule order.
 struct ToolRun {
+  /// The producing tool's display name (MeasurementTool::name()).
   std::string tool_name;
+  /// One record per scheduled probe, sorted by ProbeRecord::index.
   std::vector<ProbeRecord> probes;
 
-  /// Reported RTTs of the successful probes.
+  /// Reported RTTs (milliseconds) of the successful probes, in probe order.
   [[nodiscard]] std::vector<double> reported_rtts_ms() const;
+  /// Number of probes that timed out.
   [[nodiscard]] std::size_t loss_count() const;
+  /// Number of probes that completed with a response.
   [[nodiscard]] std::size_t success_count() const;
 };
 
+/// Base class of the tool zoo: owns probe matching, timeouts and schedule
+/// sequencing; subclasses supply the probe packets and reporting quirks.
 class MeasurementTool {
  public:
+  /// Probe schedule shared by every tool.
   struct Config {
+    /// Total probes to send (must be > 0).
     int probe_count = 100;
     /// Inter-probe interval (periodic) or inter-probe gap (sequential).
     sim::Duration interval = sim::Duration::seconds(1);
+    /// Per-probe response deadline (must be positive); a probe with no
+    /// response by then is recorded as lost.
     sim::Duration timeout = sim::Duration::seconds(1);
+    /// Node id of the measurement server the probes target.
     net::NodeId target = 0;
+    /// false = periodic schedule, true = each probe waits for the previous
+    /// exchange (sequential tools force this in their constructors).
     bool sequential = false;
   };
 
+  /// Binds the tool to `phone`'s stack; requires probe_count > 0 and a
+  /// positive timeout. The tool must not outlive the phone.
   MeasurementTool(phone::Smartphone& phone, Config config);
   virtual ~MeasurementTool();
 
   MeasurementTool(const MeasurementTool&) = delete;
   MeasurementTool& operator=(const MeasurementTool&) = delete;
 
+  /// Completion callback, invoked once with the finished run.
   using DoneFn = std::function<void(const ToolRun&)>;
 
-  /// Launches the probe schedule. `done` (optional) fires on completion.
-  void start(DoneFn done = nullptr);
+  /// Launches the probe schedule; may be called once. `done` (optional)
+  /// fires on completion. Virtual so that factory-constructed tools with a
+  /// richer launch protocol (AcuteMon's warm-up + background thread) start
+  /// correctly through a MeasurementTool pointer.
+  virtual void start(DoneFn done = nullptr);
 
+  /// True once every scheduled probe has completed or timed out.
   [[nodiscard]] bool finished() const { return finished_; }
+  /// The run so far; complete once finished() is true.
   [[nodiscard]] const ToolRun& result() const { return run_; }
+  /// Display name ("ping", "httping", ...), also stored in ToolRun.
   [[nodiscard]] virtual std::string name() const = 0;
+  /// The schedule the tool was constructed with (after any constructor
+  /// adaptation, e.g. sequential tools setting `sequential`).
   [[nodiscard]] const Config& config() const { return config_; }
 
  protected:
@@ -103,7 +133,9 @@ class MeasurementTool {
   /// RTT covers only the HTTP exchange, not the preceding connect).
   void restamp_probe_clock(int index);
 
+  /// The phone this tool runs on.
   [[nodiscard]] phone::Smartphone& phone() { return *phone_; }
+  /// The phone's simulator (every schedule lands here).
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
 
  private:

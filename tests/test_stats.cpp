@@ -7,6 +7,7 @@
 #include "sim/random.hpp"
 #include "stats/boxplot.hpp"
 #include "stats/cdf.hpp"
+#include "stats/digest.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
@@ -185,6 +186,95 @@ TEST_P(CdfSummaryAgreement, MinMaxAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CdfSummaryAgreement,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MergingDigest, SmallSamplesAreExactAtTheMoments) {
+  MergingDigest digest;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) digest.add(x);
+  EXPECT_EQ(digest.count(), 5u);
+  EXPECT_DOUBLE_EQ(digest.mean(), 3.0);
+  EXPECT_NEAR(digest.stddev(),
+              Summary(std::vector<double>{5, 1, 3, 2, 4}).stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(digest.min(), 1.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 5.0);
+  EXPECT_DOUBLE_EQ(digest.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(digest.quantile(1.0), 5.0);
+  EXPECT_NEAR(digest.quantile(0.5), 3.0, 1e-9);
+}
+
+TEST(MergingDigest, CentroidCountStaysBoundedUnderHeavyLoad) {
+  MergingDigest digest(64);
+  sim::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) digest.add(rng.uniform(0.0, 1.0));
+  EXPECT_EQ(digest.count(), 100000u);
+  EXPECT_LE(digest.centroid_count(), digest.max_centroids());
+  // Uniform[0,1]: mid-range quantiles track q closely, tails are tight.
+  EXPECT_NEAR(digest.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(digest.quantile(0.99), 0.99, 0.01);
+  EXPECT_NEAR(digest.cdf(0.25), 0.25, 0.02);
+}
+
+TEST(MergingDigest, MergeMatchesSingleDigestOfTheUnion) {
+  sim::Rng rng(11);
+  MergingDigest left, right, whole;
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(5.0, 15.0);
+    left.add(a);
+    right.add(b);
+    whole.add(a);
+    whole.add(b);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);  // exact sum of squares
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(left.quantile(q), whole.quantile(q), 0.15);
+  }
+  EXPECT_LE(left.centroid_count(), left.max_centroids());
+}
+
+TEST(MergingDigest, MergeIsDeterministicForAFixedOrder) {
+  // The campaign merge folds shard digests in scenario order; the same
+  // order must give bit-identical results every time.
+  const auto build = [] {
+    sim::Rng rng(3);
+    std::vector<MergingDigest> shards(8);
+    for (auto& shard : shards) {
+      for (int i = 0; i < 400; ++i) shard.add(rng.uniform(0.0, 100.0));
+    }
+    MergingDigest merged;
+    for (const auto& shard : shards) merged.merge(shard);
+    return merged;
+  };
+  const MergingDigest a = build();
+  const MergingDigest b = build();
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+  }
+  EXPECT_EQ(a.centroid_count(), b.centroid_count());
+}
+
+TEST(MergingDigest, SelfMergeDoublesTheSample) {
+  MergingDigest digest;
+  for (const double x : {1.0, 2.0, 3.0}) digest.add(x);
+  digest.merge(digest);
+  EXPECT_EQ(digest.count(), 6u);
+  EXPECT_DOUBLE_EQ(digest.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(digest.min(), 1.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 3.0);
+}
+
+TEST(MergingDigest, RejectsContractViolations) {
+  MergingDigest digest;
+  EXPECT_THROW((void)digest.quantile(0.5), sim::ContractViolation);  // empty
+  EXPECT_THROW((void)digest.mean(), sim::ContractViolation);
+  digest.add(1.0);
+  EXPECT_THROW((void)digest.quantile(1.5), sim::ContractViolation);
+  EXPECT_THROW(MergingDigest(4), sim::ContractViolation);  // compression < 8
+}
 
 }  // namespace
 }  // namespace acute::stats
