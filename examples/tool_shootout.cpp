@@ -99,6 +99,38 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", table.to_string().c_str());
   }
+  // Heterogeneous per-phone workloads *within one scenario*: four phones on
+  // one channel, each running a different tool (ScenarioSpec::
+  // assign_workloads round-robins the mix), so the zoo contends against
+  // itself instead of being measured in isolation.
+  testbed::ScenarioSpec mixed;
+  mixed.phones.assign(4, testbed::PhoneSpec{});
+  mixed.emulated_rtt = Duration::millis(rtt_ms);
+  mixed.assign_workloads({testbed::WorkloadSpec{tools::ToolKind::acutemon},
+                          testbed::WorkloadSpec{tools::ToolKind::httping},
+                          testbed::WorkloadSpec{tools::ToolKind::icmp_ping},
+                          testbed::WorkloadSpec{tools::ToolKind::java_ping}});
+  testbed::CampaignSpec mixed_spec;
+  mixed_spec.seed = 42;
+  mixed_spec.scenarios = {mixed};
+  mixed_spec.probes_per_phone = probes;
+  mixed_spec.probe_interval = Duration::seconds(1);
+  mixed_spec.keep_samples = false;
+  const testbed::CampaignReport mixed_report =
+      testbed::Campaign(mixed_spec).run(1);
+
+  std::printf("\n--- mixed fleet: 4 phones, 4 tools, ONE channel ---\n");
+  stats::Table mixed_table({"tool", "median", "p90", "mean", "loss"});
+  for (const testbed::WorkloadDigest& digest :
+       mixed_report.workload_digests()) {
+    const auto& rtt = digest.reported_rtt_ms;
+    mixed_table.add_row({tools::to_string(digest.tool),
+                         stats::Table::cell(rtt.quantile(0.5)),
+                         stats::Table::cell(rtt.quantile(0.9)), mean_ci(rtt),
+                         std::to_string(digest.lost)});
+  }
+  std::printf("%s", mixed_table.to_string().c_str());
+
   std::printf(
       "\nReading: AcuteMon's median sits ~10 ms left of every other tool —\n"
       "the others pay the SDIO wake-up (and, on short-Tip handsets, PSM\n"

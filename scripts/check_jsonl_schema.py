@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate campaign JSONL exports (report::JsonlExportSink output).
+
+Each line must be a self-contained JSON object with the documented schema
+(docs/campaigns.md "Results pipeline"): scenario/seed/phone/probe integers,
+a known tool id, a boolean timed_out, numeric rtt_ms, and either all four
+layer keys or none. With --scenarios N, the union of scenario indices
+across every input file must be exactly 0..N-1 — the check CI runs on the
+two halves (killed + resumed) of the resume-smoke sweep.
+
+Usage: check_jsonl_schema.py [--scenarios N] FILE...
+"""
+import json
+import sys
+
+KNOWN_TOOLS = {"acutemon", "icmp-ping", "httping", "java-ping"}
+REQUIRED = {
+    "scenario": int,
+    "seed": int,
+    "phone": int,
+    "probe": int,
+    "tool": str,
+    "timed_out": bool,
+    "rtt_ms": (int, float),
+}
+LAYER_KEYS = ("du_ms", "dk_ms", "dv_ms", "dn_ms")
+
+
+def fail(path, lineno, message):
+    print(f"{path}:{lineno}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_file(path, scenarios_seen):
+    errors = 0
+    records = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors += fail(path, lineno, f"not valid JSON: {exc}")
+                continue
+            records += 1
+            for key, kind in REQUIRED.items():
+                if key not in record:
+                    errors += fail(path, lineno, f"missing key {key!r}")
+                elif not isinstance(record[key], kind) or (
+                    kind is int and isinstance(record[key], bool)
+                ):
+                    errors += fail(
+                        path, lineno, f"key {key!r} has wrong type"
+                    )
+            if record.get("tool") not in KNOWN_TOOLS:
+                errors += fail(
+                    path, lineno, f"unknown tool {record.get('tool')!r}"
+                )
+            layers = [key for key in LAYER_KEYS if key in record]
+            if layers and len(layers) != len(LAYER_KEYS):
+                errors += fail(
+                    path, lineno, f"partial layer decomposition: {layers}"
+                )
+            if record.get("timed_out") is True and layers:
+                errors += fail(path, lineno, "timed-out probe carries layers")
+            if isinstance(record.get("scenario"), int):
+                scenarios_seen.add(record["scenario"])
+    if records == 0:
+        errors += fail(path, 0, "no records")
+    print(f"{path}: {records} records ok" if errors == 0 else
+          f"{path}: {errors} schema errors")
+    return errors
+
+
+def main(argv):
+    args = argv[1:]
+    expected_scenarios = None
+    if args and args[0] == "--scenarios":
+        expected_scenarios = int(args[1])
+        args = args[2:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = 0
+    scenarios_seen = set()
+    for path in args:
+        errors += check_file(path, scenarios_seen)
+    if expected_scenarios is not None:
+        expected = set(range(expected_scenarios))
+        if scenarios_seen != expected:
+            print(
+                "scenario coverage mismatch: "
+                f"missing {sorted(expected - scenarios_seen)}, "
+                f"unexpected {sorted(scenarios_seen - expected)}",
+                file=sys.stderr,
+            )
+            errors += 1
+        else:
+            print(f"scenario coverage complete: 0..{expected_scenarios - 1}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

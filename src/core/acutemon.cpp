@@ -62,18 +62,17 @@ void AcuteMon::send_background() {
                phone::ExecMode::native_c);
 }
 
-void AcuteMon::start_measurement(DoneFn done) {
+void AcuteMon::launch(DoneFn done) {
   // BT: warm-up now; background cadence every db from now on.
   send_warmup();
   if (options_.background_enabled) {
     background_timer_.start(options_.background_interval);
   }
-  // MT: first probe after the warm-up lead dpre.
-  // Qualified call: this override of start() *is* start_measurement, so the
-  // scheduled launch must hit the base schedule directly.
+  // MT: first probe after the warm-up lead dpre — begin_probes() arms the
+  // base schedule directly (start()'s once-only guard already fired).
   simulator().schedule_in(options_.warmup_lead,
                           [this, done = std::move(done)]() mutable {
-                            MeasurementTool::start(
+                            begin_probes(
                                 [this, done = std::move(done)](
                                     const tools::ToolRun& run) {
                                   background_timer_.stop();

@@ -49,17 +49,17 @@ class AcuteMon : public tools::MeasurementTool {
   }
   [[nodiscard]] bool warmup_sent() const { return warmup_sent_; }
 
-  /// Launches BT (warm-up + background) and then MT after dpre.
-  void start_measurement(DoneFn done = nullptr);
-
-  /// Uniform entry point: identical to start_measurement(), so campaigns
-  /// that construct tools through tools::make_tool() launch AcuteMon's full
-  /// two-thread protocol with the same call as every other tool.
-  void start(DoneFn done = nullptr) override {
-    start_measurement(std::move(done));
-  }
+  /// Historical spelling of start(): launches BT (warm-up + background)
+  /// and then MT after dpre. Same once-only contract as start() — the guard
+  /// sits in the non-virtual base entry, so campaigns that construct tools
+  /// through tools::make_tool() launch AcuteMon's full two-thread protocol
+  /// (and trip on double launches) with the same call as every other tool.
+  void start_measurement(DoneFn done = nullptr) { start(std::move(done)); }
 
  protected:
+  /// The two-thread launch protocol, behind start()'s guard.
+  void launch(DoneFn done) override;
+
   void send_probe(int index) override;
   std::optional<double> on_probe_response(int index,
                                           const net::Packet& response,

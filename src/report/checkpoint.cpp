@@ -1,0 +1,134 @@
+#include "report/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "sim/contracts.hpp"
+#include "stats/digest_io.hpp"
+
+namespace acute::report {
+
+using sim::expects;
+
+void CheckpointWriter::append(const ShardCheckpoint& checkpoint) {
+  // Render the whole record first so the locked append is one write: a
+  // kill can tear at most the record's own line, never interleave shards.
+  std::ostringstream line;
+  const ShardSummary& s = checkpoint.summary;
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(checkpoint.spec_hash));
+  line << "ckpt1 " << s.info.scenario_index << ' ' << s.info.shard_seed << ' '
+       << hash_hex << ' ' << s.info.phone_count << ' ' << s.probes_sent << ' '
+       << s.probes_lost << ' ' << s.frames_on_air << ' ' << s.events_fired
+       << ' ';
+  {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(
+                      stats::double_bits(s.sim_seconds)));
+    line << hex;
+  }
+  line << ' ' << checkpoint.digests.size();
+  for (const WorkloadDigest& digest : checkpoint.digests) {
+    line << ' ' << tools::grid_name(digest.tool) << ' ' << digest.probes
+         << ' ' << digest.lost << ' ';
+    stats::write_digest(line, digest.reported_rtt_ms);
+    line << ' ';
+    stats::write_digest(line, digest.du_ms);
+    line << ' ';
+    stats::write_digest(line, digest.dk_ms);
+    line << ' ';
+    stats::write_digest(line, digest.dv_ms);
+    line << ' ';
+    stats::write_digest(line, digest.dn_ms);
+  }
+  line << " end\n";
+  writer_.append_block(line.str());
+}
+
+namespace {
+
+/// Parses one record line; returns false on any malformation (torn write).
+bool parse_record(const std::string& line, ShardCheckpoint& out) {
+  std::istringstream in(line);
+  std::string magic;
+  in >> magic;
+  if (magic != "ckpt1") return false;
+  try {
+    ShardSummary& s = out.summary;
+    std::string hash_hex;
+    std::string sim_bits;
+    std::size_t digest_count = 0;
+    in >> s.info.scenario_index >> s.info.shard_seed >> hash_hex >>
+        s.info.phone_count >> s.probes_sent >> s.probes_lost >>
+        s.frames_on_air >> s.events_fired >> sim_bits >> digest_count;
+    if (!in || hash_hex.size() != 16 || sim_bits.size() != 16) return false;
+    out.spec_hash = std::strtoull(hash_hex.c_str(), nullptr, 16);
+    s.sim_seconds = stats::double_from_bits(
+        std::strtoull(sim_bits.c_str(), nullptr, 16));
+    out.digests.clear();
+    out.digests.reserve(digest_count);
+    for (std::size_t i = 0; i < digest_count; ++i) {
+      WorkloadDigest digest;
+      std::string tool;
+      in >> tool >> digest.probes >> digest.lost;
+      if (!in) return false;
+      const auto kind = tools::parse_tool_kind(tool);
+      if (!kind.has_value()) return false;
+      digest.tool = *kind;
+      digest.reported_rtt_ms = stats::read_digest(in);
+      digest.du_ms = stats::read_digest(in);
+      digest.dk_ms = stats::read_digest(in);
+      digest.dv_ms = stats::read_digest(in);
+      digest.dn_ms = stats::read_digest(in);
+      out.digests.push_back(std::move(digest));
+    }
+    std::string sentinel;
+    in >> sentinel;
+    return sentinel == "end";
+  } catch (const sim::ContractViolation&) {
+    return false;  // torn digest blob: treat the record as truncated
+  }
+}
+
+}  // namespace
+
+std::vector<ShardCheckpoint> load_checkpoint(const std::string& path) {
+  std::vector<ShardCheckpoint> records;
+  std::ifstream in(path);
+  if (!in.is_open()) return records;  // fresh campaign
+  std::string line;
+  while (std::getline(in, line)) {
+    ShardCheckpoint record;
+    if (parse_record(line, record)) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+CheckpointSink::CheckpointSink(std::shared_ptr<CheckpointWriter> writer,
+                               std::uint64_t spec_hash)
+    : writer_(std::move(writer)), spec_hash_(spec_hash) {
+  expects(writer_ != nullptr, "CheckpointSink requires a writer");
+}
+
+void CheckpointSink::probe_completed(const ProbeEvent& event) {
+  // Deliberately its own fold (not a view of DigestSink's): the sink stays
+  // self-contained for any chain composition, and fold_probe() guarantees
+  // the persisted bits equal the report's. The duplicate work is ~100
+  // digest adds per shard, noise next to the shard's simulation.
+  fold_probe(fold_, event);
+}
+
+void CheckpointSink::shard_finished(const ShardSummary& summary) {
+  ShardCheckpoint checkpoint;
+  checkpoint.summary = summary;
+  checkpoint.spec_hash = spec_hash_;
+  checkpoint.digests = fold_.take();
+  writer_->append(checkpoint);
+}
+
+}  // namespace acute::report

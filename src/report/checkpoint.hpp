@@ -1,0 +1,89 @@
+// Campaign checkpoint/resume: persist completed shards, skip them on rerun.
+//
+// A killed 10^5-scenario sweep must restart from the last completed shard,
+// and the resumed campaign's merged digests must be **bit-identical** to an
+// uninterrupted run for any worker count. Three pieces make that hold:
+//
+//   * CheckpointSink folds a shard's event stream into per-workload digests
+//     (the same fold, same insertion order as DigestSink — so the same
+//     bits) and appends one self-contained record per completed shard.
+//   * Records serialize doubles as IEEE-754 bit patterns (stats/digest_io),
+//     so a restored digest merges exactly like the one that was dropped.
+//   * load_checkpoint() ignores records without the trailing "end" sentinel
+//     — a writer killed mid-append loses at most that one shard, which
+//     simply reruns.
+//
+// File format, one record per line (space-separated tokens; integers
+// decimal, spec hash and doubles 16-hex-digit):
+//   ckpt1 <scenario_index> <shard_seed> <spec_hash> <phones> <sent> <lost>
+//   <frames> <events> <sim_seconds> <ndigests> [<tool> <probes> <lost>
+//   <rtt-digest> <du-digest> <dk-digest> <dv-digest> <dn-digest>]... end
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/digest_sink.hpp"
+#include "report/line_writer.hpp"
+#include "report/sink.hpp"
+
+namespace acute::report {
+
+/// One completed shard, as persisted: exact counters + per-workload digests
+/// (ascending ToolKind). Raw sample vectors are NOT checkpointed — resume
+/// restores the streaming surface, not keep_samples buffers.
+struct ShardCheckpoint {
+  ShardSummary summary;
+  /// Fingerprint of the spec that produced this shard (Campaign hashes its
+  /// probe schedule + the scenario's shape); resume rejects records whose
+  /// hash does not match the current spec, so an edited campaign cannot
+  /// silently absorb stale shards.
+  std::uint64_t spec_hash = 0;
+  std::vector<WorkloadDigest> digests;
+};
+
+/// Shared, thread-safe appender. Construct after load_checkpoint() — opening
+/// is append-mode (healing a previous kill's torn final line), so existing
+/// records survive.
+class CheckpointWriter {
+ public:
+  /// Contract violation when `path` is unwritable.
+  explicit CheckpointWriter(std::string path)
+      : writer_(std::move(path), /*append=*/true) {}
+
+  /// Appends one record atomically and flushes.
+  void append(const ShardCheckpoint& checkpoint);
+
+  [[nodiscard]] const std::string& path() const { return writer_.path(); }
+
+ private:
+  LineWriter writer_;
+};
+
+/// Parses every complete record at `path`; a missing file yields an empty
+/// vector (a fresh campaign). Records that fail to parse — the torn last
+/// line of a killed writer — are skipped, so their shards rerun.
+[[nodiscard]] std::vector<ShardCheckpoint> load_checkpoint(
+    const std::string& path);
+
+/// Per-shard sink: folds the shard's events and appends the record when the
+/// shard finishes. The writer must outlive every shard of the campaign.
+class CheckpointSink : public ResultSink {
+ public:
+  /// `spec_hash` is stamped into the record (see ShardCheckpoint).
+  CheckpointSink(std::shared_ptr<CheckpointWriter> writer,
+                 std::uint64_t spec_hash);
+
+  void probe_completed(const ProbeEvent& event) override;
+  void shard_finished(const ShardSummary& summary) override;
+
+ private:
+  std::shared_ptr<CheckpointWriter> writer_;
+  std::uint64_t spec_hash_;
+  WorkloadFold fold_;
+};
+
+}  // namespace acute::report

@@ -1,0 +1,63 @@
+#include "report/digest_sink.hpp"
+
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::report {
+
+using sim::expects;
+
+void WorkloadDigest::merge(const WorkloadDigest& other) {
+  expects(tool == other.tool,
+          "WorkloadDigest::merge requires matching tool kinds");
+  probes += other.probes;
+  lost += other.lost;
+  reported_rtt_ms.merge(other.reported_rtt_ms);
+  du_ms.merge(other.du_ms);
+  dk_ms.merge(other.dk_ms);
+  dv_ms.merge(other.dv_ms);
+  dn_ms.merge(other.dn_ms);
+}
+
+WorkloadDigest& WorkloadFold::slot(tools::ToolKind kind) {
+  auto& entry = slots_[tools::tool_kind_index(kind)];
+  if (!entry.has_value()) {
+    entry.emplace();
+    entry->tool = kind;
+  }
+  return *entry;
+}
+
+std::vector<WorkloadDigest> WorkloadFold::take() {
+  std::vector<WorkloadDigest> out;
+  for (auto& entry : slots_) {
+    if (entry.has_value()) {
+      out.push_back(std::move(*entry));
+      entry.reset();
+    }
+  }
+  return out;
+}
+
+void fold_probe(WorkloadFold& fold, const ProbeEvent& event) {
+  WorkloadDigest& slot = fold.slot(event.tool);
+  ++slot.probes;
+  if (event.timed_out) {
+    ++slot.lost;
+    return;
+  }
+  slot.reported_rtt_ms.add(event.reported_rtt_ms);
+  if (event.layers.has_value()) {
+    slot.du_ms.add(event.layers->du_ms);
+    slot.dk_ms.add(event.layers->dk_ms);
+    slot.dv_ms.add(event.layers->dv_ms);
+    slot.dn_ms.add(event.layers->dn_ms);
+  }
+}
+
+void DigestSink::probe_completed(const ProbeEvent& event) {
+  fold_probe(fold_, event);
+}
+
+}  // namespace acute::report

@@ -1,0 +1,76 @@
+// DigestSink: the bounded-memory default of the results pipeline.
+//
+// Folds a shard's probe events into fixed-size per-workload
+// stats::MergingDigest accumulators — what used to be the hard-coded
+// keep_samples=false path of ShardResult. Memory is O(tool kinds), not
+// O(probes), and the fold is a pure function of the (canonically ordered)
+// event stream, so shard digests are bit-identical for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "report/sink.hpp"
+#include "stats/digest.hpp"
+#include "tools/factory.hpp"
+
+namespace acute::report {
+
+/// Streaming accumulator for one workload kind: fixed-size digests of the
+/// reported RTTs and the Fig. 1 layer decomposition, plus exact counters.
+/// All sample units are **milliseconds**.
+struct WorkloadDigest {
+  /// The tool these samples came from.
+  tools::ToolKind tool = tools::ToolKind::icmp_ping;
+  /// Probes sent / lost by this workload (exact).
+  std::size_t probes = 0;
+  std::size_t lost = 0;
+  /// Tool-reported RTTs of the successful probes (ms).
+  stats::MergingDigest reported_rtt_ms;
+  /// Fig. 1 decomposition of the fully-stamped probes (ms; WiFi phones
+  /// only — cellular probes lack driver/air stamps).
+  stats::MergingDigest du_ms, dk_ms, dv_ms, dn_ms;
+
+  /// Folds `other` (same tool kind) into this accumulator.
+  void merge(const WorkloadDigest& other);
+};
+
+/// Group-by-ToolKind accumulator shared by the per-shard sink and the
+/// campaign-report merge: slots are kind-indexed, so take() emits in
+/// ascending ToolKind order — the documented ordering of
+/// ShardResult::digests and CampaignReport::workload_digests().
+class WorkloadFold {
+ public:
+  /// The accumulator for `kind`, created on first access.
+  WorkloadDigest& slot(tools::ToolKind kind);
+
+  /// The populated accumulators, ascending ToolKind. Leaves the fold empty.
+  [[nodiscard]] std::vector<WorkloadDigest> take();
+
+ private:
+  std::array<std::optional<WorkloadDigest>, tools::kToolKindCount> slots_;
+};
+
+/// The one probe-fold rule of the pipeline: counters always, reported RTT
+/// for successful probes, layer digests for fully-stamped ones. DigestSink
+/// and CheckpointSink share it, which is what makes a checkpointed shard's
+/// digests the same bits as the in-memory report's.
+void fold_probe(WorkloadFold& fold, const ProbeEvent& event);
+
+class DigestSink : public ResultSink {
+ public:
+  void probe_completed(const ProbeEvent& event) override;
+
+  /// The shard's per-workload accumulators, ascending ToolKind; call after
+  /// the stream completes.
+  [[nodiscard]] std::vector<WorkloadDigest> take_digests() {
+    return fold_.take();
+  }
+
+ private:
+  WorkloadFold fold_;
+};
+
+}  // namespace acute::report

@@ -1,0 +1,68 @@
+// Typed sample events of the streaming results pipeline.
+//
+// A campaign shard no longer hands the engine a closed result struct; it
+// *narrates* its execution as events — shard started, one event per
+// completed probe, shard finished with exact counters — and pluggable
+// report::ResultSinks consume the stream (sink.hpp). Event delivery order
+// is part of the contract (see ResultSink), so sinks that fold events into
+// order-sensitive accumulators (t-digests) stay bit-deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "tools/factory.hpp"
+
+namespace acute::report {
+
+/// Identity of one campaign shard (= one scenario execution).
+struct ShardInfo {
+  /// Index into CampaignSpec::scenarios (also the merge position).
+  std::size_t scenario_index = 0;
+  /// The derived seed the shard runs with (Campaign::shard_seed).
+  std::uint64_t shard_seed = 0;
+  /// Phones in the shard's scenario.
+  std::size_t phone_count = 0;
+};
+
+/// Fig. 1 layer decomposition of one fully-stamped probe, **milliseconds**.
+struct LayerBreakdown {
+  double du_ms = 0;
+  double dk_ms = 0;
+  double dv_ms = 0;
+  double dn_ms = 0;
+};
+
+/// One completed probe (response or timeout).
+struct ProbeEvent {
+  std::size_t scenario_index = 0;
+  /// Phone that sent the probe (scenario phone order).
+  std::size_t phone_index = 0;
+  /// 0-based position in the phone's probe schedule.
+  int probe_index = 0;
+  /// The tool the phone's workload ran.
+  tools::ToolKind tool = tools::ToolKind::icmp_ping;
+  /// True when no response arrived within the tool's timeout.
+  bool timed_out = false;
+  /// Tool-reported RTT in **milliseconds** (quantization quirks included);
+  /// 0 when timed_out.
+  double reported_rtt_ms = 0;
+  /// Layer decomposition; absent for timeouts and unstamped probes (e.g. a
+  /// cellular phone's responses lack driver/air stamps).
+  std::optional<LayerBreakdown> layers;
+};
+
+/// Exact per-shard counters, delivered once after the shard's last probe.
+struct ShardSummary {
+  ShardInfo info;
+  /// All probes the shard's tools scheduled (timeouts included).
+  std::size_t probes_sent = 0;
+  std::size_t probes_lost = 0;
+  /// Work accounting (throughput benches).
+  std::uint64_t frames_on_air = 0;
+  std::uint64_t events_fired = 0;
+  double sim_seconds = 0;
+};
+
+}  // namespace acute::report

@@ -1,0 +1,58 @@
+#include "report/jsonl_sink.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace acute::report {
+
+using sim::expects;
+
+JsonlExportSink::JsonlExportSink(std::shared_ptr<JsonlWriter> writer)
+    : writer_(std::move(writer)) {
+  expects(writer_ != nullptr, "JsonlExportSink requires a writer");
+}
+
+void JsonlExportSink::shard_started(const ShardInfo& info) {
+  info_ = info;
+  block_.clear();
+}
+
+void JsonlExportSink::probe_completed(const ProbeEvent& event) {
+  char line[512];
+  int written = std::snprintf(
+      line, sizeof line,
+      "{\"scenario\":%zu,\"seed\":%llu,\"phone\":%zu,\"probe\":%d,"
+      "\"tool\":\"%s\",\"timed_out\":%s,\"rtt_ms\":%.12g",
+      event.scenario_index, static_cast<unsigned long long>(info_.shard_seed),
+      event.phone_index, event.probe_index, tools::grid_name(event.tool),
+      event.timed_out ? "true" : "false", event.reported_rtt_ms);
+  block_.append(line, static_cast<std::size_t>(written));
+  if (event.layers.has_value()) {
+    written = std::snprintf(
+        line, sizeof line,
+        ",\"du_ms\":%.12g,\"dk_ms\":%.12g,\"dv_ms\":%.12g,\"dn_ms\":%.12g",
+        event.layers->du_ms, event.layers->dk_ms, event.layers->dv_ms,
+        event.layers->dn_ms);
+    block_.append(line, static_cast<std::size_t>(written));
+  }
+  block_.append("}\n");
+}
+
+void JsonlExportSink::shard_finished(const ShardSummary& /*summary*/) {
+  writer_->append_block(block_);
+  block_.clear();
+  block_.shrink_to_fit();
+}
+
+SinkFactory jsonl_sink_factory(std::shared_ptr<JsonlWriter> writer) {
+  expects(writer != nullptr, "jsonl_sink_factory requires a writer");
+  return [writer = std::move(writer)](const ShardInfo&) {
+    std::vector<std::unique_ptr<ResultSink>> sinks;
+    sinks.push_back(std::make_unique<JsonlExportSink>(writer));
+    return sinks;
+  };
+}
+
+}  // namespace acute::report

@@ -1,0 +1,70 @@
+// JsonlExportSink: bounded-memory streaming export of per-probe records.
+//
+// One JSON object per line, the format crowdsourcing backends (MopEye-style
+// collectors) ingest. A shard's records are buffered as text while the
+// shard runs (O(probes-per-shard) bytes, not O(campaign)), then appended to
+// the shared file as one atomic block when the shard finishes — so lines of
+// different shards never interleave, and a campaign's export never holds
+// more than one in-flight shard per worker in memory.
+//
+// Record schema (keys always in this order; layer keys only when the probe
+// was fully stamped):
+//   {"scenario":N,"seed":N,"phone":N,"probe":N,"tool":"icmp-ping",
+//    "timed_out":false,"rtt_ms":X,"du_ms":X,"dk_ms":X,"dv_ms":X,"dn_ms":X}
+//
+// Block append order is shard *completion* order: the record SET is
+// deterministic for any worker count, byte order of the file is not —
+// consumers key on the "scenario" field (scripts/check_jsonl_schema.py
+// validates exactly this).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "report/line_writer.hpp"
+#include "report/sink.hpp"
+
+namespace acute::report {
+
+/// The shared, thread-safe file backend JsonlExportSinks of concurrent
+/// shards append to. Construct once per campaign, hand to the SinkFactory
+/// by shared_ptr.
+class JsonlWriter {
+ public:
+  /// Opens `path` — truncating by default, appending with append=true (the
+  /// resume case: a checkpointed sweep restarted with the same export path
+  /// must extend the killed run's records, not destroy them; see
+  /// examples/checkpoint_resume.cpp). Contract violation when unwritable.
+  explicit JsonlWriter(std::string path, bool append = false)
+      : writer_(std::move(path), append) {}
+
+  /// Appends `block` (complete lines) atomically and flushes.
+  void append_block(const std::string& block) { writer_.append_block(block); }
+
+  [[nodiscard]] const std::string& path() const { return writer_.path(); }
+
+ private:
+  LineWriter writer_;
+};
+
+/// Per-shard sink: formats probe events into the schema above.
+class JsonlExportSink : public ResultSink {
+ public:
+  explicit JsonlExportSink(std::shared_ptr<JsonlWriter> writer);
+
+  void shard_started(const ShardInfo& info) override;
+  void probe_completed(const ProbeEvent& event) override;
+  void shard_finished(const ShardSummary& summary) override;
+
+ private:
+  std::shared_ptr<JsonlWriter> writer_;
+  ShardInfo info_;
+  std::string block_;
+};
+
+/// Convenience SinkFactory: one JsonlExportSink per shard, all appending to
+/// `writer`. Drop-in value for CampaignSpec::sinks.
+[[nodiscard]] SinkFactory jsonl_sink_factory(
+    std::shared_ptr<JsonlWriter> writer);
+
+}  // namespace acute::report

@@ -1,0 +1,16 @@
+#include "report/sample_buffer_sink.hpp"
+
+namespace acute::report {
+
+void SampleBufferSink::probe_completed(const ProbeEvent& event) {
+  if (event.timed_out) return;
+  buffers_.reported_rtt_ms.push_back(event.reported_rtt_ms);
+  if (event.layers.has_value()) {
+    buffers_.du_ms.push_back(event.layers->du_ms);
+    buffers_.dk_ms.push_back(event.layers->dk_ms);
+    buffers_.dv_ms.push_back(event.layers->dv_ms);
+    buffers_.dn_ms.push_back(event.layers->dn_ms);
+  }
+}
+
+}  // namespace acute::report

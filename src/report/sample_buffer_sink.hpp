@@ -1,0 +1,35 @@
+// SampleBufferSink: the legacy raw-vector surface as a pluggable sink.
+//
+// Buffers every successful probe's reported RTT and every stamped probe's
+// layer decomposition, in the canonical event order (phone-major, probe
+// order within each phone) — byte-for-byte the vectors ShardResult carried
+// before the results pipeline existed. Memory is O(probes); campaigns only
+// attach it when CampaignSpec::keep_samples is true.
+#pragma once
+
+#include <vector>
+
+#include "report/sink.hpp"
+
+namespace acute::report {
+
+class SampleBufferSink : public ResultSink {
+ public:
+  /// The buffered vectors, all **milliseconds**. The RTT vector holds every
+  /// successful probe; the layer vectors hold only fully-stamped probes (so
+  /// they can be shorter — cellular probes have no driver/air stamps).
+  struct Buffers {
+    std::vector<double> reported_rtt_ms;
+    std::vector<double> du_ms, dk_ms, dv_ms, dn_ms;
+  };
+
+  void probe_completed(const ProbeEvent& event) override;
+
+  /// Moves the buffers out; call after the stream completes.
+  [[nodiscard]] Buffers take() { return std::move(buffers_); }
+
+ private:
+  Buffers buffers_;
+};
+
+}  // namespace acute::report

@@ -1,0 +1,71 @@
+// ResultSink: the pluggable consumer side of the streaming results API.
+//
+// Campaign::run_shard builds one sink chain per shard — the built-in
+// DigestSink/SampleBufferSink that back the CampaignReport compatibility
+// surface, a CheckpointSink when the campaign checkpoints, plus whatever
+// CampaignSpec::sinks (a SinkFactory) returns — and delivers the shard's
+// event stream through it.
+//
+// Delivery contract (what a sink may rely on):
+//   * Exactly one shard_started(info), first.
+//   * One probe_completed() per scheduled probe, in **canonical order**:
+//     phones in scenario order, probes in schedule-index order within each
+//     phone — the same order the legacy buffered sample vectors used, so
+//     order-sensitive folds (t-digests) reproduce the historical bits.
+//   * Exactly one shard_finished(summary), last, after the shard's work
+//     counters are final.
+//   * All three happen on the worker thread executing the shard; a sink
+//     instance is owned by exactly one shard and needs no locking. Sinks of
+//     different shards run concurrently — anything they *share* (an output
+//     file, a writer) must synchronize internally (see JsonlWriter /
+//     CheckpointWriter).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "report/event.hpp"
+
+namespace acute::report {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void shard_started(const ShardInfo& /*info*/) {}
+  virtual void probe_completed(const ProbeEvent& event) = 0;
+  virtual void shard_finished(const ShardSummary& /*summary*/) {}
+};
+
+/// Builds the extra per-shard sinks of one shard. Invoked once per shard,
+/// concurrently from worker threads — the factory itself must be
+/// thread-safe (capture shared writers by shared_ptr; they lock internally).
+using SinkFactory =
+    std::function<std::vector<std::unique_ptr<ResultSink>>(const ShardInfo&)>;
+
+/// Owns one shard's sinks and fans each event out to them in add() order.
+class SinkChain {
+ public:
+  void add(std::unique_ptr<ResultSink> sink) {
+    if (sink != nullptr) sinks_.push_back(std::move(sink));
+  }
+
+  void shard_started(const ShardInfo& info) {
+    for (auto& sink : sinks_) sink->shard_started(info);
+  }
+  void probe_completed(const ProbeEvent& event) {
+    for (auto& sink : sinks_) sink->probe_completed(event);
+  }
+  void shard_finished(const ShardSummary& summary) {
+    for (auto& sink : sinks_) sink->shard_finished(summary);
+  }
+
+  [[nodiscard]] std::size_t size() const { return sinks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ResultSink>> sinks_;
+};
+
+}  // namespace acute::report

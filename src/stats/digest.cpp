@@ -117,6 +117,51 @@ void MergingDigest::compress() const {
   centroids_ = std::move(merged);
 }
 
+DigestSnapshot MergingDigest::snapshot() const {
+  compress();
+  DigestSnapshot snap;
+  snap.compression = compression_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.sum_sq = sum_sq_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.centroids.reserve(centroids_.size());
+  for (const Centroid& c : centroids_) {
+    snap.centroids.emplace_back(c.mean, c.weight);
+  }
+  return snap;
+}
+
+MergingDigest MergingDigest::from_snapshot(const DigestSnapshot& snap) {
+  MergingDigest digest(snap.compression);
+  double total_weight = 0;
+  double prev_mean = 0;
+  for (std::size_t i = 0; i < snap.centroids.size(); ++i) {
+    const auto& [mean, weight] = snap.centroids[i];
+    expects(weight > 0, "DigestSnapshot centroid weights must be positive");
+    expects(i == 0 || mean >= prev_mean,
+            "DigestSnapshot centroids must be in ascending-mean order");
+    prev_mean = mean;
+    total_weight += weight;
+    digest.centroids_.push_back(Centroid{mean, weight});
+  }
+  // Weights are sample counts (integers held in doubles): the sum is exact
+  // below 2^53 samples, so equality is the right check.
+  expects(total_weight == static_cast<double>(snap.count),
+          "DigestSnapshot centroid weights must sum to count");
+  digest.count_ = snap.count;
+  digest.sum_ = snap.sum;
+  digest.sum_sq_ = snap.sum_sq;
+  digest.min_ = snap.min;
+  digest.max_ = snap.max;
+  // snapshot() compacts before exporting, so the restored centroid list is
+  // already under the k1 bound: mark it clean so a later merge() sees the
+  // same centroid state the source digest would have presented.
+  digest.compacted_ = true;
+  return digest;
+}
+
 double MergingDigest::mean() const {
   expects(count_ > 0, "MergingDigest::mean on an empty digest");
   return sum_ / static_cast<double>(count_);

@@ -15,9 +15,25 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace acute::stats {
+
+/// Exact structural state of a MergingDigest, for checkpoint serialization:
+/// restoring a snapshot yields a digest whose observable state AND whose
+/// behavior under further merge()s is bit-identical to the source (the
+/// campaign resume contract). Centroids are {mean, weight} in ascending-mean
+/// order, already under the k1 compaction bound.
+struct DigestSnapshot {
+  std::size_t compression = 0;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double sum_sq = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<std::pair<double, double>> centroids;
+};
 
 /// Mergeable t-digest using the k1 (arcsine) scale function: each centroid
 /// spans at most one unit of k(q) = (compression/2π)·asin(2q−1), so the
@@ -72,6 +88,14 @@ class MergingDigest {
 
   /// The compression parameter this digest was built with.
   [[nodiscard]] std::size_t compression() const { return compression_; }
+
+  /// Exact serializable state (compacts first, so the snapshot is canonical:
+  /// snapshotting twice, or snapshotting a restored digest, is idempotent).
+  [[nodiscard]] DigestSnapshot snapshot() const;
+  /// Rebuilds a digest from snapshot(); bit-identical observable state.
+  /// Contract violation on structurally invalid snapshots (compression < 8,
+  /// unsorted or non-positive-weight centroids, weight/count mismatch).
+  [[nodiscard]] static MergingDigest from_snapshot(const DigestSnapshot& snap);
 
  private:
   struct Centroid {

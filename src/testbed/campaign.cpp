@@ -7,12 +7,11 @@
 #include <thread>
 #include <utility>
 
-#include <array>
-#include <optional>
-
 #include "core/layer_sample.hpp"
+#include "report/sample_buffer_sink.hpp"
 #include "sim/contracts.hpp"
 #include "sim/random.hpp"
+#include "stats/digest_io.hpp"
 #include "tools/factory.hpp"
 
 namespace acute::testbed {
@@ -22,34 +21,113 @@ using sim::expects;
 
 namespace {
 
-/// Group-by-ToolKind accumulator shared by the shard fold and the report
-/// merge: slots are kind-indexed, so take() emits in ascending ToolKind
-/// order (the documented ordering of ShardResult::digests and
-/// CampaignReport::workload_digests()).
-class WorkloadFold {
+/// FNV-1a over the fields that determine a shard's outcome: the campaign
+/// probe schedule plus the scenario's shape. Stamped into every checkpoint
+/// record so a resume with an edited spec (different probe counts, grid
+/// axes, phone mix, ...) rejects the stale shards instead of silently
+/// merging them — the seed check alone cannot see spec edits.
+class SpecHash {
  public:
-  /// The accumulator for `kind`, created on first access.
-  WorkloadDigest& slot(tools::ToolKind kind) {
-    auto& entry = slots_[tools::tool_kind_index(kind)];
-    if (!entry.has_value()) {
-      entry.emplace();
-      entry->tool = kind;
+  SpecHash& mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ = (hash_ ^ ((value >> (8 * byte)) & 0xff)) * 0x100000001b3ull;
     }
-    return *entry;
+    return *this;
   }
-
-  /// The populated accumulators, ascending ToolKind.
-  std::vector<WorkloadDigest> take() {
-    std::vector<WorkloadDigest> out;
-    for (auto& entry : slots_) {
-      if (entry.has_value()) out.push_back(std::move(*entry));
+  SpecHash& mix(const Duration& duration) {
+    return mix(static_cast<std::uint64_t>(duration.count_nanos()));
+  }
+  SpecHash& mix(double value) { return mix(stats::double_bits(value)); }
+  SpecHash& mix(const std::string& text) {
+    for (const char c : text) {
+      hash_ = (hash_ ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
     }
-    return out;
+    return mix(text.size());
   }
+  SpecHash& mix(const phone::LatencyDist& dist) {
+    return mix(dist.mu_ms).mix(dist.sigma_ms).mix(dist.lo_ms).mix(dist.hi_ms);
+  }
+  /// Every behavior-determining profile field — a profile edited under an
+  /// unchanged name must still change the hash.
+  SpecHash& mix(const phone::PhoneProfile& profile) {
+    mix(profile.name)
+        .mix(static_cast<std::uint64_t>(profile.vendor))
+        .mix(profile.cpu_scale)
+        .mix(profile.bus_watchdog)
+        .mix(static_cast<std::uint64_t>(profile.bus_idletime_ticks))
+        .mix(profile.bus_wake_tx)
+        .mix(profile.bus_wake_rx)
+        .mix(profile.bus_clk_request)
+        .mix(profile.bus_clk_idle_threshold)
+        .mix(profile.bus_transfer_mbps)
+        .mix(profile.system_traffic_mean_interval)
+        .mix(std::uint64_t{profile.system_traffic_bytes});
+    mix(profile.driver_tx_base)
+        .mix(profile.driver_rx_base)
+        .mix(profile.driver_netif)
+        .mix(profile.irq_latency)
+        .mix(profile.kernel_tx)
+        .mix(profile.kernel_rx);
+    return mix(profile.native_send)
+        .mix(profile.native_recv)
+        .mix(profile.dvm_send)
+        .mix(profile.dvm_recv)
+        .mix(profile.dvm_gc_prob)
+        .mix(profile.dvm_gc_pause)
+        .mix(profile.psm_timeout)
+        .mix(profile.psm_tick)
+        .mix(static_cast<std::uint64_t>(profile.associated_listen_interval))
+        .mix(profile.beacon_miss_probability)
+        .mix(std::uint64_t{profile.ping_integer_ms_above_100})
+        .mix(profile.ping_resolution_ms);
+  }
+  SpecHash& mix(const cellular::RrcConfig& rrc) {
+    return mix(rrc.idle_to_dch)
+        .mix(rrc.fach_to_dch)
+        .mix(rrc.promotion_jitter)
+        .mix(rrc.dch_inactivity)
+        .mix(rrc.fach_inactivity)
+        .mix(rrc.dch_latency)
+        .mix(rrc.fach_latency)
+        .mix(std::uint64_t{rrc.fach_size_threshold});
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
 
  private:
-  std::array<std::optional<WorkloadDigest>, tools::kToolKindCount> slots_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV offset basis
 };
+
+std::uint64_t shard_spec_hash(const CampaignSpec& spec,
+                              const ScenarioSpec& scenario) {
+  SpecHash hash;
+  hash.mix(static_cast<std::uint64_t>(spec.probes_per_phone))
+      .mix(spec.probe_interval)
+      .mix(spec.probe_timeout)
+      .mix(spec.settle);
+  hash.mix(scenario.phones.size());
+  for (const PhoneSpec& phone : scenario.phones) {
+    hash.mix(phone.profile)
+        .mix(phone.label)  // selects the phone's rng streams
+        .mix(static_cast<std::uint64_t>(phone.radio))
+        .mix(phone.rrc)
+        .mix(static_cast<std::uint64_t>(phone.workload.tool))
+        .mix(static_cast<std::uint64_t>(phone.workload.probe_count))
+        .mix(phone.workload.interval)
+        .mix(phone.workload.timeout);
+  }
+  hash.mix(scenario.emulated_rtt)
+      .mix(scenario.netem_jitter)
+      .mix(std::uint64_t{scenario.congested_phy})
+      .mix(scenario.cross_connections)
+      .mix(scenario.cross_flow_mbps)
+      .mix(std::uint64_t{scenario.send_ttl_exceeded})
+      .mix(scenario.sniffer_noise)
+      .mix(scenario.sniffer_count)
+      .mix(scenario.cellular_core_rtt)
+      .mix(scenario.netem_loss)
+      .mix(std::uint64_t{scenario.netem_reorder});
+  return hash.value();
+}
 
 }  // namespace
 
@@ -101,18 +179,6 @@ std::size_t ScenarioGrid::size() const {
          reorder.size() * workloads.size();
 }
 
-void WorkloadDigest::merge(const WorkloadDigest& other) {
-  expects(tool == other.tool,
-          "WorkloadDigest::merge requires matching tool kinds");
-  probes += other.probes;
-  lost += other.lost;
-  reported_rtt_ms.merge(other.reported_rtt_ms);
-  du_ms.merge(other.du_ms);
-  dk_ms.merge(other.dk_ms);
-  dv_ms.merge(other.dv_ms);
-  dn_ms.merge(other.dn_ms);
-}
-
 std::vector<double> CampaignReport::merged(
     std::vector<double> ShardResult::*field) const {
   std::vector<double> all;
@@ -135,13 +201,23 @@ std::vector<WorkloadDigest> CampaignReport::workload_digests() const {
   // Shards are already in scenario-index order, and each shard's digests
   // are in ascending ToolKind order, so folding front to back gives the
   // deterministic scenario-order merge the determinism contract requires.
-  WorkloadFold fold;
+  // (A checkpoint-restored shard's digests deserialize bit-identically, so
+  // the fold cannot tell a resumed campaign from an uninterrupted one.)
+  report::WorkloadFold fold;
   for (const ShardResult& shard : shards) {
     for (const WorkloadDigest& digest : shard.digests) {
       fold.slot(digest.tool).merge(digest);
     }
   }
   return fold.take();
+}
+
+std::size_t CampaignReport::completed_shards() const {
+  std::size_t completed = 0;
+  for (const ShardResult& shard : shards) {
+    if (shard.completed) ++completed;
+  }
+  return completed;
 }
 
 stats::MergingDigest CampaignReport::rtt_digest() const {
@@ -198,6 +274,12 @@ std::uint64_t Campaign::shard_seed(std::uint64_t campaign_seed,
 }
 
 ShardResult Campaign::run_shard(std::size_t scenario_index) const {
+  return run_shard(scenario_index, nullptr);
+}
+
+ShardResult Campaign::run_shard(
+    std::size_t scenario_index,
+    const std::shared_ptr<report::CheckpointWriter>& checkpoint) const {
   expects(scenario_index < spec_.scenarios.size(),
           "Campaign::run_shard index out of range");
   ScenarioSpec scenario = spec_.scenarios[scenario_index];
@@ -208,6 +290,34 @@ ShardResult Campaign::run_shard(std::size_t scenario_index) const {
   result.shard_seed = scenario.seed;
   result.phone_count = scenario.phones.size();
 
+  // The shard's sink chain: built-in sinks backing the ShardResult
+  // compatibility surface, the checkpoint sink when the campaign
+  // checkpoints, then whatever CampaignSpec::sinks plugs in.
+  const report::ShardInfo info{scenario_index, scenario.seed,
+                               scenario.phones.size()};
+  report::SinkChain chain;
+  auto digest_sink = std::make_unique<report::DigestSink>();
+  report::DigestSink* digests = digest_sink.get();
+  chain.add(std::move(digest_sink));
+  report::SampleBufferSink* buffers = nullptr;
+  if (spec_.keep_samples) {
+    auto buffer_sink = std::make_unique<report::SampleBufferSink>();
+    buffers = buffer_sink.get();
+    chain.add(std::move(buffer_sink));
+  }
+  if (spec_.sinks) {
+    for (auto& sink : spec_.sinks(info)) chain.add(std::move(sink));
+  }
+  // The checkpoint sink goes LAST: user sinks (e.g. the JSONL export) see
+  // shard_finished before the shard is durably marked complete, so a kill
+  // in between re-runs the shard (detectable duplicate export records)
+  // rather than silently never exporting it.
+  if (checkpoint != nullptr) {
+    chain.add(std::make_unique<report::CheckpointSink>(
+        checkpoint, shard_spec_hash(spec_, spec_.scenarios[scenario_index])));
+  }
+  chain.shard_started(info);
+
   Testbed testbed(std::move(scenario));
   testbed.settle(spec_.settle);
   if (testbed.spec().congested_phy) {
@@ -217,6 +327,11 @@ ShardResult Campaign::run_shard(std::size_t scenario_index) const {
 
   // One tool per phone, selected by the phone's WorkloadSpec; workload
   // fields left at zero fall back to the campaign-wide schedule defaults.
+  // Each tool feeds its completed probes into a per-phone event list via
+  // the probe listener (no post-hoc result() scraping); the lists flush
+  // through the sink chain in canonical order below.
+  std::vector<std::vector<report::ProbeEvent>> phone_events(
+      testbed.phone_count());
   std::vector<std::unique_ptr<tools::MeasurementTool>> instruments;
   std::vector<tools::MeasurementTool*> running;
   instruments.reserve(testbed.phone_count());
@@ -232,45 +347,75 @@ ShardResult Campaign::run_shard(std::size_t scenario_index) const {
     config.target = Testbed::kServerId;
     instruments.push_back(
         tools::make_tool(workload.tool, testbed.phone(i), config));
+    instruments.back()->set_probe_listener(
+        [&phone_events, i, scenario_index,
+         tool = workload.tool](const tools::ProbeRecord& record) {
+          report::ProbeEvent event;
+          event.scenario_index = scenario_index;
+          event.phone_index = i;
+          event.probe_index = record.index;
+          event.tool = tool;
+          event.timed_out = record.timed_out;
+          event.reported_rtt_ms = record.reported_rtt_ms;
+          if (!record.timed_out && record.response.has_value()) {
+            // The reported (tool-level) RTT overrides the stamp-derived du,
+            // as in the paper's user-level vantage point.
+            const auto sample = core::LayerSample::from_response(
+                *record.response, record.reported_rtt_ms);
+            if (sample.has_value()) {
+              event.layers = report::LayerBreakdown{
+                  sample->du_ms, sample->dk_ms, sample->dv_ms, sample->dn_ms};
+            }
+          }
+          phone_events[i].push_back(event);
+        });
     instruments.back()->start();
     running.push_back(instruments.back().get());
   }
   testbed.run_until_all_finished(running);
 
-  // Fold each phone's run into the shard result: exact counters, streaming
-  // per-workload digests (always), raw sample vectors (only when the
-  // campaign keeps them).
-  WorkloadFold fold;
-  for (std::size_t i = 0; i < instruments.size(); ++i) {
-    const tools::ToolRun& run = instruments[i]->result();
-    WorkloadDigest& slot = fold.slot(testbed.spec().phones[i].workload.tool);
-    slot.probes += run.probes.size();
-    slot.lost += run.loss_count();
-    result.probes_sent += run.probes.size();
-    result.probes_lost += run.loss_count();
-    for (const double rtt : run.reported_rtts_ms()) {
-      slot.reported_rtt_ms.add(rtt);
-      if (spec_.keep_samples) result.reported_rtt_ms.push_back(rtt);
-    }
-    for (const core::LayerSample& sample : testbed.layer_samples(run)) {
-      slot.du_ms.add(sample.du_ms);
-      slot.dk_ms.add(sample.dk_ms);
-      slot.dv_ms.add(sample.dv_ms);
-      slot.dn_ms.add(sample.dn_ms);
-      if (spec_.keep_samples) {
-        result.du_ms.push_back(sample.du_ms);
-        result.dk_ms.push_back(sample.dk_ms);
-        result.dv_ms.push_back(sample.dv_ms);
-        result.dn_ms.push_back(sample.dn_ms);
-      }
+  // Canonical event delivery: phones in scenario order, probes in schedule
+  // order within each phone (probes can *complete* out of schedule order
+  // when a timeout outlives later responses) — the ordering contract
+  // report::ResultSink documents, and byte-for-byte the order the legacy
+  // buffered fold used.
+  for (std::vector<report::ProbeEvent>& events : phone_events) {
+    std::sort(events.begin(), events.end(),
+              [](const report::ProbeEvent& a, const report::ProbeEvent& b) {
+                return a.probe_index < b.probe_index;
+              });
+    for (const report::ProbeEvent& event : events) {
+      result.probes_sent += 1;
+      if (event.timed_out) result.probes_lost += 1;
+      chain.probe_completed(event);
     }
   }
-  result.digests = fold.take();
+
+  // Compose the ShardResult view from the built-in sink outputs.
+  result.digests = digests->take_digests();
+  if (buffers != nullptr) {
+    report::SampleBufferSink::Buffers taken = buffers->take();
+    result.reported_rtt_ms = std::move(taken.reported_rtt_ms);
+    result.du_ms = std::move(taken.du_ms);
+    result.dk_ms = std::move(taken.dk_ms);
+    result.dv_ms = std::move(taken.dv_ms);
+    result.dn_ms = std::move(taken.dn_ms);
+  }
   if (testbed.cross_traffic_running()) testbed.stop_cross_traffic();
   result.frames_on_air = testbed.channel().frames_transmitted();
   result.events_fired = testbed.simulator().events_fired();
   result.sim_seconds =
       (testbed.simulator().now() - sim::TimePoint::epoch()).to_seconds();
+  result.completed = true;
+
+  report::ShardSummary summary;
+  summary.info = info;
+  summary.probes_sent = result.probes_sent;
+  summary.probes_lost = result.probes_lost;
+  summary.frames_on_air = result.frames_on_air;
+  summary.events_fired = result.events_fired;
+  summary.sim_seconds = result.sim_seconds;
+  chain.shard_finished(summary);
   return result;
 }
 
@@ -280,15 +425,59 @@ CampaignReport Campaign::run(std::size_t workers) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
-  workers = std::min(workers, shard_count);
 
   CampaignReport report;
   report.shards.resize(shard_count);
-  std::vector<std::exception_ptr> failures(shard_count);
+
+  // Checkpoint resume: restore every shard already on disk (digests +
+  // counters deserialize bit-identically), then append newly completed
+  // shards to the same file.
+  std::shared_ptr<report::CheckpointWriter> checkpoint;
+  if (!spec_.checkpoint_path.empty()) {
+    for (report::ShardCheckpoint& record :
+         report::load_checkpoint(spec_.checkpoint_path)) {
+      const std::size_t index = record.summary.info.scenario_index;
+      expects(index < shard_count,
+              "checkpoint does not match this campaign (shard out of range)");
+      expects(record.summary.info.shard_seed == shard_seed(spec_.seed, index),
+              "checkpoint does not match this campaign (seed mismatch)");
+      expects(record.spec_hash ==
+                  shard_spec_hash(spec_, spec_.scenarios[index]),
+              "checkpoint does not match this campaign (spec edited since "
+              "the checkpoint was written)");
+      ShardResult& restored = report.shards[index];
+      restored.completed = true;
+      restored.scenario_index = index;
+      restored.shard_seed = record.summary.info.shard_seed;
+      restored.phone_count = record.summary.info.phone_count;
+      restored.probes_sent = record.summary.probes_sent;
+      restored.probes_lost = record.summary.probes_lost;
+      restored.frames_on_air = record.summary.frames_on_air;
+      restored.events_fired = record.summary.events_fired;
+      restored.sim_seconds = record.summary.sim_seconds;
+      restored.digests = std::move(record.digests);
+    }
+    checkpoint = std::make_shared<report::CheckpointWriter>(
+        spec_.checkpoint_path);
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    if (!report.shards[i].completed) pending.push_back(i);
+  }
+  // The kill / incremental-sweep knob: cap how many pending shards this
+  // invocation executes (the cut is the scenario-order prefix, so resumes
+  // walk the campaign front to back).
+  if (spec_.max_shards > 0 && pending.size() > spec_.max_shards) {
+    pending.resize(spec_.max_shards);
+  }
+  workers = std::min(workers, std::max<std::size_t>(pending.size(), 1));
+  std::vector<std::exception_ptr> failures(pending.size());
 
   if (workers <= 1) {
-    for (std::size_t i = 0; i < shard_count; ++i) {
-      report.shards[i] = run_shard(i);
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      report.shards[pending[p]] = run_shard(pending[p], checkpoint);
     }
     return report;
   }
@@ -300,15 +489,17 @@ CampaignReport Campaign::run(std::size_t workers) {
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([this, &next, &report, &failures, shard_count] {
+    pool.emplace_back([this, &next, &report, &failures, &pending,
+                       &checkpoint] {
       while (true) {
-        const std::size_t index =
+        const std::size_t claim =
             next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= shard_count) return;
+        if (claim >= pending.size()) return;
+        const std::size_t index = pending[claim];
         try {
-          report.shards[index] = run_shard(index);
+          report.shards[index] = run_shard(index, checkpoint);
         } catch (...) {
-          failures[index] = std::current_exception();
+          failures[claim] = std::current_exception();
         }
       }
     });

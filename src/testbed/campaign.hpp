@@ -12,22 +12,34 @@
 //   * Shard i runs its scenario with seed Rng(campaign_seed).fork(i), so a
 //     shard's result is a pure function of (spec, campaign seed, i) — the
 //     merged report is bit-identical for ANY worker count.
-//   * Each shard folds its samples into fixed-size per-workload
-//     stats::MergingDigest accumulators as it runs; after the pool joins,
-//     shards are merged in scenario-index order. With keep_samples=false
-//     campaign memory is O(shards), not O(samples).
+//   * Each shard narrates its execution as typed report:: events (shard
+//     started, one per completed probe, shard finished) through a per-shard
+//     report::ResultSink chain: the built-in DigestSink (fixed-size
+//     per-workload stats::MergingDigest accumulators) and, with
+//     keep_samples, SampleBufferSink (the legacy raw vectors) back the
+//     ShardResult/CampaignReport compatibility surface; CampaignSpec::sinks
+//     plugs arbitrary consumers (JSONL export, checkpointing) into the same
+//     stream. After the pool joins, shards merge in scenario-index order.
+//     With keep_samples=false campaign memory is O(shards), not O(samples).
+//   * CampaignSpec::checkpoint_path persists every completed shard, so a
+//     killed sweep resumes from the last completed shard bit-identically.
 //
 // ScenarioGrid expands axis lists (phone count x profile x radio x RTT x
 // cross traffic x loss x reorder x workload) into the scenario vector, in a
 // fixed nesting order. The full contract (sharding, seed derivation,
-// streaming-merge semantics) is documented in docs/campaigns.md.
+// results pipeline, checkpoint format) is documented in docs/campaigns.md.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "phone/profile.hpp"
 #include "phone/smartphone.hpp"
+#include "report/checkpoint.hpp"
+#include "report/digest_sink.hpp"
+#include "report/sink.hpp"
 #include "stats/cdf.hpp"
 #include "stats/digest.hpp"
 #include "stats/summary.hpp"
@@ -83,30 +95,38 @@ struct CampaignSpec {
   /// (CampaignReport::merged()/rtt_summary()/rtt_cdf() need raw samples and
   /// are unavailable then; use the digest accessors.)
   bool keep_samples = true;
+  /// Extra per-shard result sinks (streaming results pipeline): invoked once
+  /// per shard, concurrently from worker threads, so the factory must be
+  /// thread-safe; see report::ResultSink for the event-delivery contract and
+  /// report::jsonl_sink_factory for a ready-made JSONL exporter.
+  report::SinkFactory sinks;
+  /// Non-empty: checkpoint/resume. Every completed shard appends its digests
+  /// + counters here (report::CheckpointSink); Campaign::run skips shards
+  /// already present and restores their ShardResult from the record (raw
+  /// sample vectors are not checkpointed), so a killed sweep resumes from
+  /// the last completed shard with bit-identical merged digests.
+  std::string checkpoint_path;
+  /// 0 = run every pending shard. Otherwise at most this many pending shards
+  /// execute in this invocation and the rest stay incomplete — the knob
+  /// behind kill/resume tests and incremental ("N shards per cron tick")
+  /// checkpointed sweeps.
+  std::size_t max_shards = 0;
 };
 
-/// Streaming accumulator for one workload kind: fixed-size digests of the
-/// reported RTTs and the Fig. 1 layer decomposition, plus exact counters.
-/// All sample units are **milliseconds**.
-struct WorkloadDigest {
-  /// The tool these samples came from.
-  tools::ToolKind tool = tools::ToolKind::icmp_ping;
-  /// Probes sent / lost by this workload (exact).
-  std::size_t probes = 0;
-  std::size_t lost = 0;
-  /// Tool-reported RTTs of the successful probes (ms).
-  stats::MergingDigest reported_rtt_ms;
-  /// Fig. 1 decomposition of the fully-stamped probes (ms; WiFi phones
-  /// only — cellular probes lack driver/air stamps).
-  stats::MergingDigest du_ms, dk_ms, dv_ms, dn_ms;
+/// The per-workload streaming accumulator now lives in the report::
+/// subsystem (it is what DigestSink / CheckpointSink emit); this alias keeps
+/// the historical testbed:: spelling working.
+using WorkloadDigest = report::WorkloadDigest;
 
-  /// Folds `other` (same tool kind) into this accumulator.
-  void merge(const WorkloadDigest& other);
-};
-
-/// One scenario's outcome. Sample vectors hold the scenario's phones in
-/// phone-index order (per-phone probe order within each phone).
+/// One scenario's outcome — a view composed from the shard's built-in sink
+/// outputs (DigestSink, SampleBufferSink). Sample vectors hold the
+/// scenario's phones in phone-index order (per-phone probe order within
+/// each phone).
 struct ShardResult {
+  /// False until the shard has executed (or been restored from a
+  /// checkpoint): a killed/partial run leaves unfinished shards with this
+  /// flag down and every counter and vector empty.
+  bool completed = false;
   std::size_t scenario_index = 0;
   /// The derived seed this shard ran with (Campaign::shard_seed).
   std::uint64_t shard_seed = 0;
@@ -152,6 +172,10 @@ struct CampaignReport {
   /// All workloads' reported-RTT digests merged into one distribution (ms).
   [[nodiscard]] stats::MergingDigest rtt_digest() const;
 
+  /// Shards that actually executed (or were restored from a checkpoint);
+  /// equals shards.size() for an uninterrupted, un-capped run.
+  [[nodiscard]] std::size_t completed_shards() const;
+
   /// Exact fleet totals (sums over shards).
   [[nodiscard]] std::size_t total_probes() const;
   [[nodiscard]] std::size_t total_lost() const;
@@ -177,12 +201,24 @@ class Campaign {
   /// concurrency) and merges the results. Deterministic for any worker
   /// count; a shard's failure (contract violation, deadlock guard) is
   /// rethrown after the pool joins, lowest shard index first.
+  ///
+  /// With CampaignSpec::checkpoint_path set, shards already recorded there
+  /// are restored instead of re-executed (their seed is validated against
+  /// shard_seed(), so a checkpoint from a different campaign is a contract
+  /// violation) and newly completed shards are appended — the merged
+  /// workload digests of a killed-and-resumed sweep are bit-identical to an
+  /// uninterrupted run's. With CampaignSpec::max_shards set, at most that
+  /// many pending shards execute (the rest stay !completed).
   [[nodiscard]] CampaignReport run(std::size_t workers = 0);
 
   /// Runs a single shard synchronously (what each worker executes).
   [[nodiscard]] ShardResult run_shard(std::size_t scenario_index) const;
 
  private:
+  [[nodiscard]] ShardResult run_shard(
+      std::size_t scenario_index,
+      const std::shared_ptr<report::CheckpointWriter>& checkpoint) const;
+
   CampaignSpec spec_;
 };
 

@@ -96,6 +96,16 @@ void CellularGateway::receive(Packet&& packet, net::Link* /*ingress*/) {
   it->second->pipeline().inject(std::move(packet));
 }
 
+ScenarioSpec& ScenarioSpec::assign_workloads(
+    const std::vector<WorkloadSpec>& mix) {
+  expects(!mix.empty(), "assign_workloads requires a non-empty workload mix");
+  expects(!phones.empty(), "assign_workloads requires at least one phone");
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    phones[i].workload = mix[i % mix.size()];
+  }
+  return *this;
+}
+
 std::size_t ScenarioSpec::count_radio(phone::RadioKind kind) const {
   std::size_t count = 0;
   for (const PhoneSpec& phone : phones) {

@@ -196,6 +196,13 @@ struct ScenarioSpec {
   /// The paper's Fig. 2 defaults as a scenario (what TestbedConfig maps to).
   [[nodiscard]] static ScenarioSpec fig2(const TestbedConfig& config = {});
 
+  /// Heterogeneous per-phone workloads within ONE scenario: assigns
+  /// mix[i % mix.size()] to phone i (round-robin), so e.g. a 4-phone
+  /// scenario with the 4-tool mix runs the whole Fig. 8 zoo on one channel,
+  /// contending against itself. Requires a non-empty mix and at least one
+  /// phone; returns *this for chaining.
+  ScenarioSpec& assign_workloads(const std::vector<WorkloadSpec>& mix);
+
   /// Number of phones with the given radio kind.
   [[nodiscard]] std::size_t count_radio(phone::RadioKind kind) const;
 };

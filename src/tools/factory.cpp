@@ -23,6 +23,20 @@ const char* to_string(ToolKind kind) {
   return "?";
 }
 
+const char* grid_name(ToolKind kind) {
+  switch (kind) {
+    case ToolKind::acutemon:
+      return "acutemon";
+    case ToolKind::icmp_ping:
+      return "icmp-ping";
+    case ToolKind::httping:
+      return "httping";
+    case ToolKind::java_ping:
+      return "java-ping";
+  }
+  return "?";
+}
+
 std::optional<ToolKind> parse_tool_kind(std::string_view name) {
   if (name == "AcuteMon" || name == "acutemon") return ToolKind::acutemon;
   if (name == "ping" || name == "icmp-ping") return ToolKind::icmp_ping;

@@ -33,6 +33,11 @@ inline constexpr std::size_t kToolKindCount = 4;
 /// Display name, matching each tool's MeasurementTool::name().
 [[nodiscard]] const char* to_string(ToolKind kind);
 
+/// Machine-stable kebab-case id ("acutemon", "icmp-ping", "httping",
+/// "java-ping") — the spelling the streaming-results exports (JSONL records,
+/// checkpoint files) write, round-tripped by parse_tool_kind().
+[[nodiscard]] const char* grid_name(ToolKind kind);
+
 /// Parses both the display names ("AcuteMon", "ping", ...) and the
 /// kebab-case grid spellings ("acutemon", "icmp-ping", "httping",
 /// "java-ping"). Returns nullopt for anything else.
@@ -42,8 +47,9 @@ inline constexpr std::size_t kToolKindCount = 4;
 /// (httping, Java ping, AcuteMon) adapt `config` exactly as their public
 /// constructors do; AcuteMon runs with the paper-default options
 /// (dpre = db = 20 ms, TCP connect probes, background thread on). Start the
-/// returned tool with MeasurementTool::start() — it is virtual, so
-/// AcuteMon's full two-thread protocol launches through the same call.
+/// returned tool with MeasurementTool::start() — the virtual launch() hook
+/// behind it runs AcuteMon's full two-thread protocol through the same
+/// call, and the once-only guard applies uniformly.
 [[nodiscard]] std::unique_ptr<MeasurementTool> make_tool(
     ToolKind kind, phone::Smartphone& phone, MeasurementTool::Config config);
 

@@ -85,12 +85,23 @@ class MeasurementTool {
 
   /// Completion callback, invoked once with the finished run.
   using DoneFn = std::function<void(const ToolRun&)>;
+  /// Per-probe observer: invoked once per completed probe (response or
+  /// timeout) with the finalized record, at completion time — this is how
+  /// tool completion feeds the campaign's streaming results pipeline
+  /// (report::ResultSink) instead of being scraped from result() post-hoc.
+  /// Records arrive in completion order, which can differ from schedule
+  /// order (a timeout outlives later responses).
+  using ProbeFn = std::function<void(const ProbeRecord&)>;
 
-  /// Launches the probe schedule; may be called once. `done` (optional)
-  /// fires on completion. Virtual so that factory-constructed tools with a
-  /// richer launch protocol (AcuteMon's warm-up + background thread) start
-  /// correctly through a MeasurementTool pointer.
-  virtual void start(DoneFn done = nullptr);
+  /// Launches the probe schedule; calling it a second time is a contract
+  /// violation — enforced here, at the single non-virtual entry point, for
+  /// every tool in the zoo (NVI: subclasses with a richer launch protocol,
+  /// e.g. AcuteMon's warm-up + background thread, override launch()).
+  /// `done` (optional) fires on completion.
+  void start(DoneFn done = nullptr);
+
+  /// Registers the per-probe observer; must be called before start().
+  void set_probe_listener(ProbeFn listener);
 
   /// True once every scheduled probe has completed or timed out.
   [[nodiscard]] bool finished() const { return finished_; }
@@ -103,6 +114,16 @@ class MeasurementTool {
   [[nodiscard]] const Config& config() const { return config_; }
 
  protected:
+  /// Launch hook behind start()'s once-only guard. The default arms the
+  /// base probe schedule immediately; tools with a lead-in protocol
+  /// (AcuteMon) override it and call begin_probes() when the lead elapses.
+  virtual void launch(DoneFn done);
+
+  /// Arms the base probe schedule: registers the response flow and starts
+  /// the periodic/sequential probe clock. Only reachable from launch()
+  /// overrides (the guard in start() has already fired).
+  void begin_probes(DoneFn done);
+
   /// The runtime the tool's process executes in (native C by default).
   [[nodiscard]] virtual phone::ExecMode exec_mode() const {
     return phone::ExecMode::native_c;
@@ -163,6 +184,7 @@ class MeasurementTool {
   bool finished_ = false;
   ToolRun run_;
   DoneFn done_;
+  ProbeFn probe_listener_;
 };
 
 }  // namespace acute::tools

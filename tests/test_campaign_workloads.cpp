@@ -230,6 +230,49 @@ TEST(CampaignWorkloads, StreamingModeHoldsSampleMemoryAtOShards) {
   EXPECT_GT(report.rtt_digest().quantile(0.5), 0.0);
 }
 
+TEST(CampaignWorkloads, AssignWorkloadsMixesToolsWithinOneScenario) {
+  // Heterogeneous per-phone workloads within ONE scenario: four phones on
+  // one channel, each running a different tool of the Fig. 8 zoo.
+  ScenarioSpec scenario;
+  scenario.phones.assign(4, PhoneSpec{});
+  scenario.emulated_rtt = 15_ms;
+  scenario.assign_workloads(all_four_workloads());
+  for (std::size_t i = 0; i < scenario.phones.size(); ++i) {
+    EXPECT_EQ(scenario.phones[i].workload, all_four_workloads()[i]);
+  }
+
+  CampaignSpec spec;
+  spec.seed = 9;
+  spec.scenarios = {scenario};
+  spec.probes_per_phone = 5;
+  spec.probe_interval = 200_ms;
+  spec.probe_timeout = 2_s;
+  const CampaignReport report = Campaign(spec).run(1);
+  ASSERT_EQ(report.shards.size(), 1u);
+  // One shard, four digests — every tool ran, in ascending ToolKind order.
+  const auto digests = report.shards.front().digests;
+  ASSERT_EQ(digests.size(), 4u);
+  EXPECT_EQ(digests[0].tool, ToolKind::acutemon);
+  EXPECT_EQ(digests[1].tool, ToolKind::icmp_ping);
+  EXPECT_EQ(digests[2].tool, ToolKind::httping);
+  EXPECT_EQ(digests[3].tool, ToolKind::java_ping);
+  for (const WorkloadDigest& digest : digests) {
+    EXPECT_EQ(digest.probes, 5u);
+  }
+}
+
+TEST(CampaignWorkloads, AssignWorkloadsRoundRobinsShorterMixes) {
+  ScenarioSpec scenario;
+  scenario.phones.assign(5, PhoneSpec{});
+  const std::vector<WorkloadSpec> mix = {WorkloadSpec{ToolKind::icmp_ping},
+                                         WorkloadSpec{ToolKind::httping}};
+  scenario.assign_workloads(mix);
+  for (std::size_t i = 0; i < scenario.phones.size(); ++i) {
+    EXPECT_EQ(scenario.phones[i].workload.tool, mix[i % 2].tool);
+  }
+  EXPECT_THROW(scenario.assign_workloads({}), sim::ContractViolation);
+}
+
 TEST(CampaignWorkloads, WorkloadOverridesBeatCampaignDefaults) {
   ScenarioGrid grid;
   grid.emulated_rtts = {10_ms};

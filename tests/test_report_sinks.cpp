@@ -1,0 +1,349 @@
+// Streaming results pipeline: digest snapshot/serialization exactness, the
+// checkpoint record round-trip (including torn-write tolerance), JSONL
+// export shape, and the sink event-delivery contract driven by a real
+// campaign shard.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/checkpoint.hpp"
+#include "report/digest_sink.hpp"
+#include "report/jsonl_sink.hpp"
+#include "report/sample_buffer_sink.hpp"
+#include "sim/contracts.hpp"
+#include "stats/digest_io.hpp"
+#include "testbed/campaign.hpp"
+
+namespace acute::report {
+namespace {
+
+using namespace acute::sim::literals;
+using stats::MergingDigest;
+using tools::ToolKind;
+
+/// A unique temp path per test (files live under the build tree's cwd).
+std::string temp_path(const std::string& name) {
+  return "report_test_" + name;
+}
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path(temp_path(name)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+MergingDigest sample_digest(int samples, double offset) {
+  MergingDigest digest;
+  for (int i = 0; i < samples; ++i) {
+    digest.add(offset + 0.1 * i + (i % 7) * 0.013);
+  }
+  return digest;
+}
+
+TEST(DigestSnapshot, RestoresBitIdenticalState) {
+  const MergingDigest original = sample_digest(1000, 20.0);
+  const MergingDigest restored =
+      MergingDigest::from_snapshot(original.snapshot());
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.mean(), original.mean());
+  EXPECT_EQ(restored.stddev(), original.stddev());
+  EXPECT_EQ(restored.min(), original.min());
+  EXPECT_EQ(restored.max(), original.max());
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(restored.quantile(q), original.quantile(q)) << "q=" << q;
+  }
+
+  // The resume-critical property: MERGING into a restored digest behaves
+  // bit-identically to merging into the original.
+  MergingDigest into_original = original;
+  MergingDigest into_restored = restored;
+  const MergingDigest other = sample_digest(500, 35.0);
+  into_original.merge(other);
+  into_restored.merge(other);
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(into_original.quantile(q), into_restored.quantile(q));
+  }
+  EXPECT_EQ(into_original.centroid_count(), into_restored.centroid_count());
+}
+
+TEST(DigestSnapshot, RejectsStructurallyInvalidSnapshots) {
+  stats::DigestSnapshot snap = sample_digest(100, 1.0).snapshot();
+  snap.count += 1;  // weights no longer sum to count
+  EXPECT_THROW((void)MergingDigest::from_snapshot(snap),
+               sim::ContractViolation);
+  stats::DigestSnapshot unsorted = sample_digest(100, 1.0).snapshot();
+  ASSERT_GE(unsorted.centroids.size(), 2u);
+  std::swap(unsorted.centroids.front(), unsorted.centroids.back());
+  EXPECT_THROW((void)MergingDigest::from_snapshot(unsorted),
+               sim::ContractViolation);
+}
+
+TEST(DigestIo, TextRoundTripIsExact) {
+  const MergingDigest original = sample_digest(777, -3.25);
+  std::stringstream stream;
+  stats::write_digest(stream, original);
+  const MergingDigest restored = stats::read_digest(stream);
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.mean(), original.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_EQ(restored.quantile(q), original.quantile(q));
+  }
+}
+
+TEST(DigestIo, DoubleBitsSurviveExtremes) {
+  for (const double x : {0.0, -0.0, 1e-310, -1e308, 3.141592653589793}) {
+    EXPECT_EQ(stats::double_bits(stats::double_from_bits(
+                  stats::double_bits(x))),
+              stats::double_bits(x));
+  }
+}
+
+TEST(DigestIo, RejectsMalformedStreams) {
+  std::stringstream bad_magic("notadigest 1 2 3");
+  EXPECT_THROW((void)stats::read_digest(bad_magic), sim::ContractViolation);
+  std::stringstream truncated("dgst 128 10");
+  EXPECT_THROW((void)stats::read_digest(truncated), sim::ContractViolation);
+}
+
+ShardCheckpoint sample_checkpoint(std::size_t index) {
+  ShardCheckpoint record;
+  record.summary.info = ShardInfo{index, 0xdeadbeef + index, 2};
+  record.summary.probes_sent = 40;
+  record.summary.probes_lost = 3;
+  record.summary.frames_on_air = 1234;
+  record.summary.events_fired = 98765;
+  record.summary.sim_seconds = 12.5;
+  record.spec_hash = 0xfeedface12345678ull;
+  WorkloadDigest digest;
+  digest.tool = ToolKind::httping;
+  digest.probes = 40;
+  digest.lost = 3;
+  digest.reported_rtt_ms = sample_digest(37, 30.0);
+  digest.du_ms = sample_digest(37, 31.0);
+  digest.dk_ms = sample_digest(37, 29.0);
+  digest.dv_ms = sample_digest(37, 28.0);
+  digest.dn_ms = sample_digest(37, 27.0);
+  record.digests.push_back(std::move(digest));
+  return record;
+}
+
+TEST(Checkpoint, AppendLoadRoundTrip) {
+  TempFile file("ckpt_roundtrip");
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(4));
+    writer.append(sample_checkpoint(9));
+  }
+  const auto records = load_checkpoint(file.path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].summary.info.scenario_index, 4u);
+  EXPECT_EQ(records[1].summary.info.scenario_index, 9u);
+  const ShardCheckpoint expected = sample_checkpoint(4);
+  const ShardCheckpoint& loaded = records[0];
+  EXPECT_EQ(loaded.summary.info.shard_seed, expected.summary.info.shard_seed);
+  EXPECT_EQ(loaded.summary.probes_sent, expected.summary.probes_sent);
+  EXPECT_EQ(loaded.summary.probes_lost, expected.summary.probes_lost);
+  EXPECT_EQ(loaded.summary.frames_on_air, expected.summary.frames_on_air);
+  EXPECT_EQ(loaded.summary.events_fired, expected.summary.events_fired);
+  EXPECT_EQ(loaded.summary.sim_seconds, expected.summary.sim_seconds);
+  EXPECT_EQ(loaded.spec_hash, expected.spec_hash);
+  ASSERT_EQ(loaded.digests.size(), 1u);
+  EXPECT_EQ(loaded.digests[0].tool, ToolKind::httping);
+  EXPECT_EQ(loaded.digests[0].probes, 40u);
+  EXPECT_EQ(loaded.digests[0].reported_rtt_ms.quantile(0.5),
+            expected.digests[0].reported_rtt_ms.quantile(0.5));
+  EXPECT_EQ(loaded.digests[0].dn_ms.mean(), expected.digests[0].dn_ms.mean());
+}
+
+TEST(Checkpoint, MissingFileIsAFreshCampaign) {
+  EXPECT_TRUE(load_checkpoint(temp_path("never_written")).empty());
+}
+
+TEST(Checkpoint, TornTrailingRecordIsSkipped) {
+  TempFile file("ckpt_torn");
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(0));
+    writer.append(sample_checkpoint(1));
+  }
+  // Simulate a kill mid-append: chop the file inside the last record.
+  std::string contents;
+  {
+    std::ifstream in(file.path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  {
+    std::ofstream out(file.path, std::ios::trunc);
+    out << contents.substr(0, contents.size() - 40);
+  }
+  const auto records = load_checkpoint(file.path);
+  ASSERT_EQ(records.size(), 1u);  // the torn record 1 is gone, 0 survives
+  EXPECT_EQ(records[0].summary.info.scenario_index, 0u);
+
+  // Appending after the kill must close the torn line first: the new
+  // record may not glue onto the torn one (or the resume would lose its
+  // own first shard on every subsequent load).
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(7));
+  }
+  const auto repaired = load_checkpoint(file.path);
+  ASSERT_EQ(repaired.size(), 2u);
+  EXPECT_EQ(repaired[0].summary.info.scenario_index, 0u);
+  EXPECT_EQ(repaired[1].summary.info.scenario_index, 7u);
+}
+
+TEST(DigestSinkTest, FoldsEventsLikeTheLegacyPath) {
+  DigestSink sink;
+  ProbeEvent event;
+  event.tool = ToolKind::icmp_ping;
+  event.reported_rtt_ms = 10.0;
+  event.layers = LayerBreakdown{10.0, 8.0, 6.0, 4.0};
+  sink.probe_completed(event);
+  event.reported_rtt_ms = 20.0;
+  event.layers.reset();  // unstamped (cellular-style) probe
+  sink.probe_completed(event);
+  event.timed_out = true;
+  event.reported_rtt_ms = 0;
+  sink.probe_completed(event);
+
+  const auto digests = sink.take_digests();
+  ASSERT_EQ(digests.size(), 1u);
+  EXPECT_EQ(digests[0].tool, ToolKind::icmp_ping);
+  EXPECT_EQ(digests[0].probes, 3u);
+  EXPECT_EQ(digests[0].lost, 1u);
+  EXPECT_EQ(digests[0].reported_rtt_ms.count(), 2u);  // timeouts excluded
+  EXPECT_EQ(digests[0].du_ms.count(), 1u);            // only stamped probes
+  EXPECT_EQ(sink.take_digests().size(), 0u);          // take() drains
+}
+
+TEST(SampleBufferSinkTest, BuffersMatchLegacyVectors) {
+  SampleBufferSink sink;
+  ProbeEvent event;
+  event.reported_rtt_ms = 10.0;
+  event.layers = LayerBreakdown{10.0, 8.0, 6.0, 4.0};
+  sink.probe_completed(event);
+  event.reported_rtt_ms = 20.0;
+  event.layers.reset();
+  sink.probe_completed(event);
+  event.timed_out = true;
+  sink.probe_completed(event);
+  const auto buffers = sink.take();
+  EXPECT_EQ(buffers.reported_rtt_ms, (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(buffers.du_ms, (std::vector<double>{10.0}));
+  EXPECT_EQ(buffers.dn_ms, (std::vector<double>{4.0}));
+}
+
+/// Records the event stream verbatim, for the delivery-contract assertions.
+struct RecordingSink : ResultSink {
+  std::vector<ShardInfo>* started;
+  std::vector<ProbeEvent>* events;
+  std::vector<ShardSummary>* finished;
+  void shard_started(const ShardInfo& info) override {
+    started->push_back(info);
+  }
+  void probe_completed(const ProbeEvent& event) override {
+    events->push_back(event);
+  }
+  void shard_finished(const ShardSummary& summary) override {
+    finished->push_back(summary);
+  }
+};
+
+TEST(CampaignSinks, DeliverEventsInCanonicalOrder) {
+  // A 2-phone shard through the real engine: the custom sink must see
+  // shard_started, then phone-major probe events in schedule order, then
+  // shard_finished with counters matching the ShardResult view.
+  testbed::ScenarioSpec scenario;
+  scenario.phones.assign(2, testbed::PhoneSpec{});
+  scenario.emulated_rtt = 10_ms;
+  testbed::CampaignSpec spec;
+  spec.scenarios = {scenario};
+  spec.probes_per_phone = 5;
+  spec.probe_interval = 100_ms;
+
+  std::vector<ShardInfo> started;
+  std::vector<ProbeEvent> events;
+  std::vector<ShardSummary> finished;
+  spec.sinks = [&](const ShardInfo&) {
+    std::vector<std::unique_ptr<ResultSink>> sinks;
+    auto sink = std::make_unique<RecordingSink>();
+    sink->started = &started;
+    sink->events = &events;
+    sink->finished = &finished;
+    sinks.push_back(std::move(sink));
+    return sinks;
+  };
+
+  const testbed::CampaignReport report = testbed::Campaign(spec).run(1);
+  ASSERT_EQ(started.size(), 1u);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(started[0].scenario_index, 0u);
+  EXPECT_EQ(started[0].phone_count, 2u);
+  EXPECT_EQ(started[0].shard_seed, report.shards[0].shard_seed);
+
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].phone_index, i / 5) << "event " << i;
+    EXPECT_EQ(events[i].probe_index, static_cast<int>(i % 5));
+    EXPECT_EQ(events[i].tool, ToolKind::icmp_ping);
+  }
+  EXPECT_EQ(finished[0].probes_sent, report.shards[0].probes_sent);
+  EXPECT_EQ(finished[0].probes_lost, report.shards[0].probes_lost);
+  EXPECT_EQ(finished[0].frames_on_air, report.shards[0].frames_on_air);
+  EXPECT_EQ(finished[0].events_fired, report.shards[0].events_fired);
+
+  // The compatibility view agrees with the event stream.
+  std::vector<double> event_rtts;
+  for (const ProbeEvent& event : events) {
+    if (!event.timed_out) event_rtts.push_back(event.reported_rtt_ms);
+  }
+  EXPECT_EQ(event_rtts, report.shards[0].reported_rtt_ms);
+}
+
+TEST(JsonlExport, WritesOneRecordPerProbe) {
+  TempFile file("jsonl_export");
+  testbed::ScenarioGrid grid;
+  grid.emulated_rtts = {10_ms};
+  grid.workloads = {testbed::WorkloadSpec{ToolKind::icmp_ping},
+                    testbed::WorkloadSpec{ToolKind::httping}};
+  testbed::CampaignSpec spec;
+  spec.scenarios = grid.expand();
+  spec.probes_per_phone = 4;
+  spec.probe_interval = 100_ms;
+  spec.keep_samples = false;
+  auto writer = std::make_shared<JsonlWriter>(file.path);
+  spec.sinks = jsonl_sink_factory(writer);
+  const testbed::CampaignReport report = testbed::Campaign(spec).run(2);
+
+  std::ifstream in(file.path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  std::size_t httping_lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"scenario\":"), std::string::npos);
+    EXPECT_NE(line.find("\"tool\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"rtt_ms\":"), std::string::npos);
+    if (line.find("\"tool\":\"httping\"") != std::string::npos) {
+      ++httping_lines;
+    }
+  }
+  EXPECT_EQ(lines, report.total_probes());
+  EXPECT_EQ(httping_lines, 4u);
+}
+
+}  // namespace
+}  // namespace acute::report

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "core/acutemon.hpp"
 #include "stats/summary.hpp"
 #include "testbed/testbed.hpp"
 #include "tools/httping.hpp"
@@ -180,6 +182,45 @@ TEST(MeasurementTool, StartTwiceViolatesContract) {
   ping.start();
   EXPECT_THROW(ping.start(), sim::ContractViolation);
   testbed.run_until_finished(ping);
+}
+
+TEST(MeasurementTool, StartGuardCoversRichLaunchProtocols) {
+  // The once-only guard lives in the non-virtual start() entry, so a tool
+  // whose launch is *deferred* (AcuteMon arms its probe schedule only after
+  // the warm-up lead) trips immediately on the second call — it cannot
+  // slip a second schedule in before the first one arms.
+  Testbed testbed;
+  testbed.settle(500_ms);
+  core::AcuteMon monitor(testbed.phone(), tool_config(2, 10_ms));
+  monitor.start();
+  EXPECT_THROW(monitor.start(), sim::ContractViolation);
+  // The historical spelling shares the same guard.
+  EXPECT_THROW(monitor.start_measurement(), sim::ContractViolation);
+  testbed.run_until_finished(monitor);
+  EXPECT_TRUE(monitor.finished());
+  EXPECT_EQ(monitor.result().probes.size(), 2u);
+}
+
+TEST(MeasurementTool, ProbeListenerSeesEveryCompletedProbe) {
+  Testbed testbed;
+  testbed.settle(500_ms);
+  IcmpPing ping(testbed.phone(), tool_config(5, 10_ms));
+  std::vector<int> seen;
+  ping.set_probe_listener([&seen](const ProbeRecord& record) {
+    EXPECT_FALSE(record.timed_out);
+    EXPECT_GT(record.reported_rtt_ms, 0.0);
+    seen.push_back(record.index);
+  });
+  ping.start();
+  testbed.run_until_finished(ping);
+  EXPECT_EQ(seen.size(), 5u);
+
+  // Registration after start() violates the listener's contract.
+  IcmpPing late(testbed.phone(), tool_config(1, 10_ms));
+  late.start();
+  EXPECT_THROW(late.set_probe_listener([](const ProbeRecord&) {}),
+               sim::ContractViolation);
+  testbed.run_until_finished(late);
 }
 
 TEST(MeasurementTool, ConfigContracts) {
