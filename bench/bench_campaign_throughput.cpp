@@ -1,15 +1,28 @@
-// Campaign-engine throughput: scenarios/sec and packets/sec through the
-// sharded worker pool, the per-workload tool matrix (streaming-digest mode),
-// plus the zero-copy packet-path micro numbers, written to
-// BENCH_campaign.json so future PRs can track the perf trajectory.
+// Campaign-engine throughput: the worker-scaling ladder on a 10^4-shard
+// lazily-iterated grid (with per-stage time breakdown), the serial
+// events/sec anchor on the legacy 48-scenario grid, the per-workload tool
+// matrix (streaming-digest mode), plus the zero-copy packet-path micro
+// numbers — written to BENCH_campaign.json so future PRs can track the
+// perf trajectory.
+//
+// Scaling numbers are only meaningful relative to the cores the process
+// can actually use, so the JSON records hardware_concurrency AND the
+// effective core count (CPU affinity mask) of the machine that produced
+// it: a flat ladder on a 1-core container is physics, not contention.
 //
 // Usage: bench_campaign_throughput [--smoke] [--workers N] [--json PATH]
-//   --smoke    8 shards on 2 workers (CI: drives the threaded pool path,
-//              the lossy netem axes AND a non-ping workload on every push)
-//   --workers  max worker count to scale to (default: hardware concurrency,
-//              but at least 8 so the committed JSON always carries the full
-//              1/2/4/8 ladder; extra workers just oversubscribe)
-//   --json     output path (default: BENCH_campaign.json in the cwd)
+//                                  [--scaling-guard]
+//   --smoke          8 shards on 2 workers (CI: drives the threaded pool
+//                    path, the lossy netem axes AND a non-ping workload on
+//                    every push)
+//   --workers        top of the scaling ladder (default 16; intermediate
+//                    1/2/4/8 rows always run)
+//   --json           output path (default: BENCH_campaign.json in the cwd)
+//   --scaling-guard  exit non-zero unless 8-worker scenarios/sec exceeds
+//                    1.5x the 1-worker row — enforced only when >= 4
+//                    effective cores are available (on fewer cores the
+//                    guard prints the diagnosis and passes: a worker pool
+//                    cannot beat physics)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +31,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "net/packet.hpp"
 #include "testbed/campaign.hpp"
@@ -37,7 +54,7 @@ constexpr double kPreRefactorCopiesPerProbe = 25.1;
 
 // events/s of the committed workers=1 row on the 48-scenario default grid
 // before the allocation-free event core (std::function + shared_ptr cancel
-// state) — the before/after anchor for this PR's speedup column.
+// state) — the before/after anchor for the perf trajectory.
 constexpr double kPreEventCoreEventsPerSec = 4612723.6;
 
 double wall_seconds_since(
@@ -47,15 +64,32 @@ double wall_seconds_since(
       .count();
 }
 
+/// Cores this process may actually run on — the affinity mask, not the
+/// machine's nominal core count (containers routinely pin to fewer).
+std::size_t effective_cores() {
+#ifdef __linux__
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof mask, &mask) == 0) {
+    const int count = CPU_COUNT(&mask);
+    if (count > 0) return static_cast<std::size_t>(count);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 struct PoolRun {
   std::size_t workers = 0;
   double wall_seconds = 0;
   double scenarios_per_sec = 0;
   double probes_per_sec = 0;
-  double frames_per_sec = 0;
   double events_per_sec = 0;
   std::size_t probes = 0;
   std::size_t lost = 0;
+  /// Per-shard stage seconds summed across workers (campaign.hpp) plus the
+  /// report-side digest merge, timed here.
+  testbed::StageSeconds stage;
+  double merge_seconds = 0;
 };
 
 PoolRun run_pool(const testbed::CampaignSpec& spec, std::size_t workers) {
@@ -65,12 +99,16 @@ PoolRun run_pool(const testbed::CampaignSpec& spec, std::size_t workers) {
   PoolRun run;
   run.workers = workers;
   run.wall_seconds = wall_seconds_since(start);
+  const auto merge_start = std::chrono::steady_clock::now();
+  const auto digests = report.workload_digests();
+  run.merge_seconds = wall_seconds_since(merge_start);
+  if (digests.empty()) std::fprintf(stderr, "warning: empty merge\n");
   run.scenarios_per_sec = double(report.shards.size()) / run.wall_seconds;
   run.probes_per_sec = double(report.total_probes()) / run.wall_seconds;
-  run.frames_per_sec = double(report.total_frames()) / run.wall_seconds;
   run.events_per_sec = double(report.total_events()) / run.wall_seconds;
   run.probes = report.total_probes();
   run.lost = report.total_lost();
+  run.stage = report.stage;
   return run;
 }
 
@@ -100,7 +138,10 @@ PacketPath measure_packet_path() {
   return path;
 }
 
-testbed::CampaignSpec default_campaign() {
+/// The legacy 48-scenario materialized grid: the serial events/sec anchor
+/// row keeps the before/after trajectory against kPreEventCoreEventsPerSec
+/// comparable across PRs.
+testbed::CampaignSpec anchor_campaign() {
   testbed::ScenarioGrid grid;
   grid.phone_counts = {1, 2, 4};
   grid.profiles = {phone::PhoneProfile::nexus5(),
@@ -113,6 +154,30 @@ testbed::CampaignSpec default_campaign() {
   spec.scenarios = grid.expand();
   spec.probes_per_phone = 10;
   spec.probe_interval = Duration::millis(200);
+  return spec;
+}
+
+/// The scaling grid: 10^4 minimal shards (one phone, one probe each),
+/// iterated lazily — shards are cheap enough that pool mechanics (claim
+/// path, shared-writer contention, per-shard construction) dominate, which
+/// is exactly what the ladder must expose.
+testbed::CampaignSpec scaling_campaign() {
+  testbed::ScenarioGrid grid;
+  grid.emulated_rtts.clear();
+  for (int i = 0; i < 50; ++i) {
+    grid.emulated_rtts.push_back(Duration::millis(2 + i));
+  }
+  grid.loss_rates.clear();
+  for (int i = 0; i < 100; ++i) grid.loss_rates.push_back(i * 0.003);
+  grid.reorder = {false, true};
+  testbed::CampaignSpec spec;
+  spec.seed = 2016;
+  spec.grid = grid;
+  spec.probes_per_phone = 1;
+  spec.probe_interval = Duration::millis(50);
+  spec.probe_timeout = Duration::millis(400);
+  spec.settle = Duration::millis(50);
+  spec.keep_samples = false;
   return spec;
 }
 
@@ -177,90 +242,157 @@ WorkloadRow run_workload(tools::ToolKind kind, std::size_t workers) {
   return row;
 }
 
+void print_pool_run(const PoolRun& run) {
+  std::printf(
+      "  workers=%2zu  wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
+      "events/s=%.0f  stages(build/sim/sink/merge)="
+      "%.3f/%.3f/%.3f/%.3fs  (lost %zu/%zu)\n",
+      run.workers, run.wall_seconds, run.scenarios_per_sec,
+      run.probes_per_sec, run.events_per_sec, run.stage.build,
+      run.stage.simulate, run.stage.sink, run.merge_seconds, run.lost,
+      run.probes);
+}
+
+void json_pool_run(std::FILE* json, const PoolRun& run, bool last) {
+  std::fprintf(
+      json,
+      "      {\"workers\": %zu, \"wall_seconds\": %.4f, "
+      "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
+      "\"events_per_sec\": %.1f, \"probes\": %zu, \"lost\": %zu, "
+      "\"stage_seconds\": {\"build\": %.4f, \"simulate\": %.4f, "
+      "\"sink\": %.4f, \"merge\": %.4f}}%s\n",
+      run.workers, run.wall_seconds, run.scenarios_per_sec,
+      run.probes_per_sec, run.events_per_sec, run.probes, run.lost,
+      run.stage.build, run.stage.simulate, run.stage.sink, run.merge_seconds,
+      last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  // Default ladder top: at least 8 so the committed JSON always carries the
-  // full 1/2/4/8 scaling rows (worker counts beyond the core count just
-  // oversubscribe; shard results are seed-deterministic either way).
-  std::size_t max_workers =
-      std::max<std::size_t>(std::thread::hardware_concurrency(), 8);
+  bool scaling_guard = false;
+  std::size_t max_workers = 16;
   std::string json_path = "BENCH_campaign.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--scaling-guard") == 0) {
+      scaling_guard = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       max_workers = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--workers N] [--json PATH]\n",
+                   "usage: %s [--smoke] [--workers N] [--json PATH] "
+                   "[--scaling-guard]\n",
                    argv[0]);
       return 1;
     }
   }
   if (max_workers == 0) max_workers = 1;
 
-  const testbed::CampaignSpec spec =
-      smoke ? smoke_campaign() : default_campaign();
-  std::printf("campaign: %zu scenarios, %d probes/phone%s\n",
-              spec.scenarios.size(), spec.probes_per_phone,
-              smoke ? " (smoke)" : "");
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  const std::size_t cores = effective_cores();
+  std::printf("host: hardware_concurrency=%zu effective_cores=%zu\n",
+              hardware, cores);
 
-  std::vector<PoolRun> runs;
-  // Smoke mode runs the pool with 2 workers so the threaded claim loop is
-  // exercised on every push; full mode records the 1/2/4/8 scaling ladder
-  // (workers beyond --workers N are skipped, except the serial anchor row).
-  std::vector<std::size_t> worker_counts;
   if (smoke) {
-    worker_counts.push_back(2);
-  } else {
-    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
-                                      std::size_t{4}, std::size_t{8}}) {
-      if (workers == 1 || workers <= max_workers) {
-        worker_counts.push_back(workers);
-      }
+    const testbed::CampaignSpec spec = smoke_campaign();
+    std::printf("campaign: %zu scenarios, %d probes/phone (smoke)\n",
+                spec.scenarios.size(), spec.probes_per_phone);
+    const PoolRun run = run_pool(spec, 2);
+    print_pool_run(run);
+    std::printf("packet path: measuring...\n");
+    const PacketPath path = measure_packet_path();
+    std::printf("  roundtrip=%.0f ns/20-probe run  copies/probe=%.1f\n",
+                path.roundtrip_ns, path.copies_per_probe);
+    std::FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
     }
-  }
-  for (const std::size_t workers : worker_counts) {
-    const PoolRun run = run_pool(spec, workers);
-    runs.push_back(run);
-    std::printf(
-        "  workers=%zu  wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
-        "frames/s=%.0f  events/s=%.0f  (lost %zu/%zu)\n",
-        run.workers, run.wall_seconds, run.scenarios_per_sec,
-        run.probes_per_sec, run.frames_per_sec, run.events_per_sec, run.lost,
-        run.probes);
-  }
-  if (!smoke && !runs.empty()) {
-    std::printf(
-        "  events/s vs pre-event-core baseline (%.0f): %.2fx (workers=1)\n",
-        kPreEventCoreEventsPerSec,
-        runs.front().events_per_sec / kPreEventCoreEventsPerSec);
+    std::fprintf(json,
+                 "{\n"
+                 "  \"host\": {\"hardware_concurrency\": %zu, "
+                 "\"effective_cores\": %zu},\n"
+                 "  \"campaign\": {\n"
+                 "    \"smoke\": true,\n"
+                 "    \"scenarios\": %zu,\n"
+                 "    \"pool_runs\": [\n",
+                 hardware, cores, spec.scenarios.size());
+    json_pool_run(json, run, /*last=*/true);
+    std::fprintf(json,
+                 "    ]\n"
+                 "  },\n"
+                 "  \"packet_path\": {\n"
+                 "    \"roundtrip_ns_per_20probe_run\": %.1f,\n"
+                 "    \"copies_per_probe\": %.2f\n"
+                 "  }\n"
+                 "}\n",
+                 path.roundtrip_ns, path.copies_per_probe);
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
   }
 
-  // Per-workload matrix (full mode): one row per tool kind on the same
-  // 8-scenario grid, streaming-digest mode.
+  // Serial anchor: the legacy 48-scenario grid, workers=1, comparable
+  // against the committed pre-event-core events/sec.
+  const testbed::CampaignSpec anchor_spec = anchor_campaign();
+  std::printf("anchor: %zu scenarios, %d probes/phone, workers=1\n",
+              anchor_spec.scenarios.size(), anchor_spec.probes_per_phone);
+  const PoolRun anchor = run_pool(anchor_spec, 1);
+  print_pool_run(anchor);
+  std::printf(
+      "  events/s vs pre-event-core baseline (%.0f): %.2fx\n",
+      kPreEventCoreEventsPerSec,
+      anchor.events_per_sec / kPreEventCoreEventsPerSec);
+
+  // The scaling ladder: 10^4 lazy shards, 1/2/4/8/16 workers.
+  const testbed::CampaignSpec scaling_spec = scaling_campaign();
+  testbed::Campaign sizing(scaling_spec);
+  std::printf("scaling grid: %zu lazy shards, %d probe/phone\n",
+              sizing.scenario_count(), scaling_spec.probes_per_phone);
+  std::vector<PoolRun> ladder;
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+        std::size_t{16}}) {
+    if (workers > max_workers && workers != 1) continue;
+    const PoolRun run = run_pool(scaling_spec, workers);
+    ladder.push_back(run);
+    print_pool_run(run);
+  }
+  double scaling_efficiency = 0;
+  const PoolRun* eight = nullptr;
+  for (const PoolRun& run : ladder) {
+    if (run.workers == 8) eight = &run;
+  }
+  if (eight != nullptr && !ladder.empty()) {
+    scaling_efficiency = eight->scenarios_per_sec /
+                         ladder.front().scenarios_per_sec;
+    std::printf("  scaling: 8-worker/1-worker scenarios/s = %.2fx "
+                "(%zu effective cores)\n",
+                scaling_efficiency, cores);
+  }
+
+  // Per-workload matrix: one row per tool kind on the same 8-scenario
+  // grid, streaming-digest mode.
   std::vector<WorkloadRow> matrix;
-  if (!smoke) {
-    const std::size_t matrix_workers = std::min<std::size_t>(max_workers, 4);
-    std::printf("workload matrix (8 scenarios/tool, %zu workers, streaming "
-                "merge):\n",
-                matrix_workers);
-    for (const auto kind :
-         {tools::ToolKind::acutemon, tools::ToolKind::icmp_ping,
-          tools::ToolKind::httping, tools::ToolKind::java_ping}) {
-      const WorkloadRow row = run_workload(kind, matrix_workers);
-      matrix.push_back(row);
-      std::printf(
-          "  %-10s wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
-          "median=%.2f ms  (lost %zu/%zu)\n",
-          tools::to_string(row.kind), row.wall_seconds,
-          row.scenarios_per_sec, row.probes_per_sec, row.median_rtt_ms,
-          row.lost, row.probes);
-    }
+  const std::size_t matrix_workers = std::min<std::size_t>(max_workers, 4);
+  std::printf("workload matrix (8 scenarios/tool, %zu workers, streaming "
+              "merge):\n",
+              matrix_workers);
+  for (const auto kind :
+       {tools::ToolKind::acutemon, tools::ToolKind::icmp_ping,
+        tools::ToolKind::httping, tools::ToolKind::java_ping}) {
+    const WorkloadRow row = run_workload(kind, matrix_workers);
+    matrix.push_back(row);
+    std::printf(
+        "  %-10s wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
+        "median=%.2f ms  (lost %zu/%zu)\n",
+        tools::to_string(row.kind), row.wall_seconds, row.scenarios_per_sec,
+        row.probes_per_sec, row.median_rtt_ms, row.lost, row.probes);
   }
 
   std::printf("packet path: measuring...\n");
@@ -279,57 +411,53 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n"
+               "  \"host\": {\"hardware_concurrency\": %zu, "
+               "\"effective_cores\": %zu},\n"
                "  \"campaign\": {\n"
-               "    \"smoke\": %s,\n"
-               "    \"scenarios\": %zu,\n"
-               "    \"probes_per_phone\": %d,\n"
-               "    \"pool_runs\": [\n",
-               smoke ? "true" : "false", spec.scenarios.size(),
-               spec.probes_per_phone);
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const PoolRun& run = runs[i];
+               "    \"smoke\": false,\n"
+               "    \"anchor\": {\n"
+               "      \"scenarios\": %zu,\n"
+               "      \"probes_per_phone\": %d,\n"
+               "      \"workers\": 1,\n"
+               "      \"events_per_sec\": %.1f,\n"
+               "      \"baseline_events_per_sec\": %.1f,\n"
+               "      \"events_per_sec_vs_baseline\": %.3f\n"
+               "    },\n"
+               "    \"scaling\": {\n"
+               "      \"scenarios\": %zu,\n"
+               "      \"lazy_grid\": true,\n"
+               "      \"probes_per_phone\": %d,\n"
+               "      \"ladder\": [\n",
+               hardware, cores, anchor_spec.scenarios.size(),
+               anchor_spec.probes_per_phone, anchor.events_per_sec,
+               kPreEventCoreEventsPerSec,
+               anchor.events_per_sec / kPreEventCoreEventsPerSec,
+               sizing.scenario_count(), scaling_spec.probes_per_phone);
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    json_pool_run(json, ladder[i], i + 1 == ladder.size());
+  }
+  std::fprintf(json,
+               "      ],\n"
+               "      \"scaling_efficiency_8_workers\": %.3f\n"
+               "    },\n"
+               "    \"workload_matrix\": [\n",
+               scaling_efficiency);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const WorkloadRow& row = matrix[i];
     std::fprintf(json,
-                 "      {\"workers\": %zu, \"wall_seconds\": %.4f, "
+                 "      {\"tool\": \"%s\", \"wall_seconds\": %.4f, "
                  "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
-                 "\"frames_per_sec\": %.1f, \"events_per_sec\": %.1f, "
-                 "\"probes\": %zu, \"lost\": %zu}%s\n",
-                 run.workers, run.wall_seconds, run.scenarios_per_sec,
-                 run.probes_per_sec, run.frames_per_sec, run.events_per_sec,
-                 run.probes, run.lost, i + 1 < runs.size() ? "," : "");
-  }
-  std::fprintf(json, "    ]");
-  if (!smoke && !runs.empty()) {
-    // Before/after anchor: the serial (workers=1) row against the committed
-    // pre-event-core number, both on the same 48-scenario default grid.
-    std::fprintf(json,
-                 ",\n"
-                 "    \"baseline_events_per_sec\": %.1f,\n"
-                 "    \"events_per_sec_vs_baseline\": %.3f",
-                 kPreEventCoreEventsPerSec,
-                 runs.front().events_per_sec / kPreEventCoreEventsPerSec);
-  }
-  if (!matrix.empty()) {
-    // Per-workload scenarios/s rows (8-scenario grid each, streaming merge).
-    std::fprintf(json, ",\n    \"workload_matrix\": [\n");
-    for (std::size_t i = 0; i < matrix.size(); ++i) {
-      const WorkloadRow& row = matrix[i];
-      std::fprintf(json,
-                   "      {\"tool\": \"%s\", \"wall_seconds\": %.4f, "
-                   "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
-                   "\"median_rtt_ms\": %.2f, \"probes\": %zu, "
-                   "\"lost\": %zu}%s\n",
-                   tools::to_string(row.kind), row.wall_seconds,
-                   row.scenarios_per_sec, row.probes_per_sec,
-                   row.median_rtt_ms, row.probes, row.lost,
-                   i + 1 < matrix.size() ? "," : "");
-    }
-    std::fprintf(json, "    ]");
+                 "\"median_rtt_ms\": %.2f, \"probes\": %zu, "
+                 "\"lost\": %zu}%s\n",
+                 tools::to_string(row.kind), row.wall_seconds,
+                 row.scenarios_per_sec, row.probes_per_sec,
+                 row.median_rtt_ms, row.probes, row.lost,
+                 i + 1 < matrix.size() ? "," : "");
   }
   std::fprintf(json,
-               "\n"
+               "    ]\n"
                "  },\n"
-               "  \"packet_path\": {\n");
-  std::fprintf(json,
+               "  \"packet_path\": {\n"
                "    \"roundtrip_ns_per_20probe_run\": %.1f,\n"
                "    \"copies_per_probe\": %.2f,\n"
                "    \"pre_refactor_roundtrip_ns\": %.1f,\n"
@@ -340,5 +468,24 @@ int main(int argc, char** argv) {
                kPreRefactorRoundTripNs, kPreRefactorCopiesPerProbe);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
+
+  if (scaling_guard) {
+    if (cores < 4) {
+      std::printf(
+          "scaling guard: SKIPPED — %zu effective core(s); a worker pool "
+          "cannot scale without cores to run on\n",
+          cores);
+      return 0;
+    }
+    if (eight == nullptr || scaling_efficiency <= 1.5) {
+      std::fprintf(stderr,
+                   "scaling guard: FAILED — 8-worker scenarios/s is only "
+                   "%.2fx the 1-worker row (need > 1.5x on %zu cores)\n",
+                   scaling_efficiency, cores);
+      return 1;
+    }
+    std::printf("scaling guard: OK (%.2fx on %zu cores)\n",
+                scaling_efficiency, cores);
+  }
   return 0;
 }

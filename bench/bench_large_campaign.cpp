@@ -1,0 +1,177 @@
+// Large-campaign smoke: a >= 10^4-shard lazily-iterated campaign driven to
+// completion through incremental checkpointed ticks (the kill/resume ops
+// pattern), asserting the memory story the million-shard design promises:
+//
+//   * no O(shards) scenario vector — the grid is iterated via at(i);
+//   * the checkpoint compacts on every resume, so the file ends at exactly
+//     one line per shard no matter how many ticks ran;
+//   * peak RSS stays under a hard bound (O(completed-shard digests) for
+//     the report + O(workers) live simulation state).
+//
+// Exits non-zero on any violated bound — wired into CI as the scale gate.
+//
+// Usage: bench_large_campaign [--shards N] [--ticks N] [--workers N]
+//                             [--rss-limit-mb M]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <sys/resource.h>
+
+#include "report/checkpoint.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace acute;
+using sim::Duration;
+
+namespace {
+
+std::size_t peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<std::size_t>(usage.ru_maxrss) / 1024;
+}
+
+/// A lazy grid of at least `shards` minimal scenarios (one phone, one
+/// probe): rtt x loss x reorder axes sized to cover the request.
+testbed::CampaignSpec large_campaign(std::size_t shards,
+                                     const std::string& checkpoint) {
+  testbed::ScenarioGrid grid;
+  grid.emulated_rtts.clear();
+  for (int i = 0; i < 50; ++i) {
+    grid.emulated_rtts.push_back(Duration::millis(2 + i));
+  }
+  grid.reorder = {false, true};
+  const std::size_t loss_steps = (shards + 99) / 100;  // 50 * 2 per step
+  grid.loss_rates.clear();
+  for (std::size_t i = 0; i < loss_steps; ++i) {
+    grid.loss_rates.push_back(double(i) * (0.3 / double(loss_steps)));
+  }
+  testbed::CampaignSpec spec;
+  spec.seed = 2016;
+  spec.grid = grid;
+  spec.probes_per_phone = 1;
+  spec.probe_interval = Duration::millis(50);
+  spec.probe_timeout = Duration::millis(400);
+  spec.settle = Duration::millis(50);
+  spec.keep_samples = false;
+  spec.checkpoint_path = checkpoint;
+  return spec;
+}
+
+std::size_t file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t shards = 10000;
+  std::size_t ticks = 4;
+  std::size_t workers = 4;
+  std::size_t rss_limit_mb = 512;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
+      ticks = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rss-limit-mb") == 0 && i + 1 < argc) {
+      rss_limit_mb = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--shards N] [--ticks N] [--workers N] "
+                   "[--rss-limit-mb M]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (ticks == 0) ticks = 1;
+
+  const std::string checkpoint = "large_campaign.ckpt";
+  std::remove(checkpoint.c_str());
+  testbed::CampaignSpec spec = large_campaign(shards, checkpoint);
+  const std::size_t total = testbed::Campaign(spec).scenario_count();
+  std::printf("large campaign: %zu lazy shards, %zu ticks, %zu workers, "
+              "RSS limit %zu MB\n",
+              total, ticks, workers, rss_limit_mb);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t completed = 0;
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    // Each tick constructs a fresh Campaign and resumes from the
+    // checkpoint — in-process kill/resume: nothing but the file carries
+    // state across ticks. The last tick runs uncapped to finish the sweep.
+    testbed::CampaignSpec tick_spec = large_campaign(shards, checkpoint);
+    if (tick + 1 < ticks) tick_spec.max_shards = (total + ticks - 1) / ticks;
+    const testbed::CampaignReport report =
+        testbed::Campaign(tick_spec).run(workers);
+    if (report.completed_shards() <= completed && tick + 1 < ticks) {
+      std::fprintf(stderr, "FAILED: tick %zu made no progress (%zu shards)\n",
+                   tick, report.completed_shards());
+      return 1;
+    }
+    completed = report.completed_shards();
+    std::printf(
+        "  tick %zu: %zu/%zu shards done, checkpoint %zu lines, "
+        "peak RSS %zu MB (restore %.3fs)\n",
+        tick, completed, total, file_lines(checkpoint), peak_rss_mb(),
+        report.stage.restore);
+    if (completed == total) break;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  int failures = 0;
+  if (completed != total) {
+    std::fprintf(stderr, "FAILED: only %zu of %zu shards completed\n",
+                 completed, total);
+    ++failures;
+  }
+  // One resume with nothing pending: the load path must compact the file
+  // to exactly one line per shard and restore every digest.
+  const testbed::CampaignReport final_report =
+      testbed::Campaign(large_campaign(shards, checkpoint)).run(1);
+  if (final_report.completed_shards() != total) {
+    std::fprintf(stderr, "FAILED: final resume restored %zu of %zu shards\n",
+                 final_report.completed_shards(), total);
+    ++failures;
+  }
+  const std::size_t lines = file_lines(checkpoint);
+  if (lines != total) {
+    std::fprintf(stderr,
+                 "FAILED: compacted checkpoint has %zu lines for %zu "
+                 "shards\n",
+                 lines, total);
+    ++failures;
+  }
+  if (final_report.workload_digests().empty() ||
+      final_report.total_probes() == 0) {
+    std::fprintf(stderr, "FAILED: merged report is empty\n");
+    ++failures;
+  }
+  const std::size_t rss = peak_rss_mb();
+  if (rss > rss_limit_mb) {
+    std::fprintf(stderr, "FAILED: peak RSS %zu MB exceeds limit %zu MB\n",
+                 rss, rss_limit_mb);
+    ++failures;
+  }
+  std::remove(checkpoint.c_str());
+  std::printf(
+      "large campaign %s: %zu shards in %.1fs wall, %zu probes "
+      "(%zu lost), peak RSS %zu MB (limit %zu)\n",
+      failures == 0 ? "OK" : "FAILED", total, wall,
+      final_report.total_probes(), final_report.total_lost(), rss,
+      rss_limit_mb);
+  return failures == 0 ? 0 : 1;
+}

@@ -60,4 +60,48 @@ class AtomicIdAllocator {
   std::atomic<UInt> next_;
 };
 
+/// Thread-scalable variant: the shared atomic cursor leases *blocks* of
+/// consecutive ids, and each thread consumes its leased block through a
+/// thread-local Cache — one shared RMW per BlockSize ids instead of one per
+/// id. On the campaign hot path (every simulated packet allocates an id)
+/// this turns a process-global contention point into per-worker local
+/// arithmetic. Ids are process-unique and never 0, but *not* dense across
+/// threads: a thread's unused block tail is simply discarded. With uint64
+/// ids, leaked tails exhaust the space only after ~2^54 blocks.
+template <typename UInt, UInt BlockSize = 1024>
+class BlockIdAllocator {
+  static_assert(std::is_unsigned_v<UInt>,
+                "BlockIdAllocator requires an unsigned type");
+  static_assert(BlockSize > 0, "BlockIdAllocator needs a non-empty block");
+
+ public:
+  /// One thread's lease: [next, end) with unsigned wrap; next == end means
+  /// exhausted. Declare as thread_local at the call site.
+  struct Cache {
+    UInt next = 0;
+    UInt end = 0;
+  };
+
+  constexpr explicit BlockIdAllocator(UInt first = 1)
+      : cursor_(first ? first : 1) {}
+
+  /// Returns the next id from `cache`, leasing a fresh block when it runs
+  /// dry; skips 0 when the id space wraps through it.
+  [[nodiscard]] UInt next(Cache& cache) {
+    for (;;) {
+      if (cache.next == cache.end) {
+        const UInt begin =
+            cursor_.fetch_add(BlockSize, std::memory_order_relaxed);
+        cache.next = begin;
+        cache.end = static_cast<UInt>(begin + BlockSize);
+      }
+      const UInt id = cache.next++;
+      if (id != 0) return id;
+    }
+  }
+
+ private:
+  std::atomic<UInt> cursor_;
+};
+
 }  // namespace acute::net

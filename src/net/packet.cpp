@@ -77,8 +77,14 @@ const PacketOpCounters& Packet::op_counters() { return g_packet_ops; }
 void Packet::reset_op_counters() { g_packet_ops = PacketOpCounters{}; }
 
 std::uint64_t Packet::allocate_id() {
-  static AtomicIdAllocator<std::uint64_t> allocator{1};
-  return allocator.next();
+  // Every simulated packet passes through here, so campaign workers used to
+  // serialize on one fetch_add per packet; block leasing makes the shared
+  // RMW one-per-1024 ids. Ids stay process-unique (never dense across
+  // threads — nothing may depend on packet-id adjacency, and nothing does:
+  // multi-worker claim order already interleaved them arbitrarily).
+  static BlockIdAllocator<std::uint64_t> allocator{1};
+  thread_local BlockIdAllocator<std::uint64_t>::Cache cache;
+  return allocator.next(cache);
 }
 
 Packet Packet::make(PacketType type, Protocol protocol, NodeId src, NodeId dst,

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -16,6 +17,10 @@ using sim::expects;
 void CheckpointWriter::append(const ShardCheckpoint& checkpoint) {
   // Render the whole record first so the locked append is one write: a
   // kill can tear at most the record's own line, never interleave shards.
+  writer_.append_block(render_checkpoint_record(checkpoint));
+}
+
+std::string render_checkpoint_record(const ShardCheckpoint& checkpoint) {
   std::ostringstream line;
   const ShardSummary& s = checkpoint.summary;
   char hash_hex[17];
@@ -47,7 +52,32 @@ void CheckpointWriter::append(const ShardCheckpoint& checkpoint) {
     stats::write_digest(line, digest.dn_ms);
   }
   line << " end\n";
-  writer_.append_block(line.str());
+  return line.str();
+}
+
+void compact_checkpoint(const std::string& path,
+                        const std::vector<ShardCheckpoint>& records) {
+  // Last record per scenario wins — the same rule resume's restore loop
+  // applies — then ascending scenario order, so the compacted file reads
+  // like an uninterrupted front-to-back sweep.
+  std::map<std::size_t, const ShardCheckpoint*> latest;
+  for (const ShardCheckpoint& record : records) {
+    latest[record.summary.info.scenario_index] = &record;
+  }
+  const std::string temp = path + ".compact";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    expects(out.is_open(), "compact_checkpoint: cannot open temp file");
+    for (const auto& [index, record] : latest) {
+      out << render_checkpoint_record(*record);
+    }
+    out.flush();
+    expects(out.good(), "compact_checkpoint: short write to temp file");
+  }
+  // rename() replaces atomically on POSIX: readers see the old complete
+  // file or the new complete file, never a prefix.
+  expects(std::rename(temp.c_str(), path.c_str()) == 0,
+          "compact_checkpoint: rename over checkpoint failed");
 }
 
 namespace {

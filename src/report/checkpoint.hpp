@@ -69,6 +69,22 @@ class CheckpointWriter {
 [[nodiscard]] std::vector<ShardCheckpoint> load_checkpoint(
     const std::string& path);
 
+/// Renders one record as exactly the line CheckpointWriter::append would
+/// write, trailing newline included (load_checkpoint parses it back
+/// bit-identically).
+[[nodiscard]] std::string render_checkpoint_record(
+    const ShardCheckpoint& checkpoint);
+
+/// Rewrites `path` to one record per shard: `records` (typically the result
+/// of load_checkpoint) are deduplicated by scenario index — the last record
+/// wins, matching resume's restore order — and written in ascending
+/// scenario order. The rewrite is crash-safe: a sibling temp file is
+/// renamed over `path`, so a kill mid-compaction leaves either the old file
+/// or the new one, never a truncated hybrid. Call before opening an
+/// append-mode CheckpointWriter on the same path.
+void compact_checkpoint(const std::string& path,
+                        const std::vector<ShardCheckpoint>& records);
+
 /// Per-shard sink: folds the shard's events and appends the record when the
 /// shard finishes. The writer must outlive every shard of the campaign.
 class CheckpointSink : public ResultSink {

@@ -18,12 +18,20 @@ namespace acute::report {
 
 /// Identity of one campaign shard (= one scenario execution).
 struct ShardInfo {
-  /// Index into CampaignSpec::scenarios (also the merge position).
+  /// Index into the campaign's scenario list (also the merge position).
   std::size_t scenario_index = 0;
   /// The derived seed the shard runs with (Campaign::shard_seed).
   std::uint64_t shard_seed = 0;
   /// Phones in the shard's scenario.
   std::size_t phone_count = 0;
+  /// Dense position of this shard in the invocation's pending order:
+  /// shards a Campaign::run call executes are numbered 0,1,2,... in
+  /// ascending scenario-index order, with checkpoint-restored shards
+  /// skipped. Workers claim sequences in order, so an order-sensitive
+  /// shared consumer (the JSONL reorder buffer) can release per-shard
+  /// output gap-free without knowing the campaign's shape. Invocation-
+  /// local — never persisted.
+  std::size_t run_sequence = 0;
 };
 
 /// Fig. 1 layer decomposition of one fully-stamped probe, **milliseconds**.

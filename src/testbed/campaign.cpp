@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <thread>
@@ -131,37 +132,61 @@ std::uint64_t shard_spec_hash(const CampaignSpec& spec,
 
 }  // namespace
 
-std::vector<ScenarioSpec> ScenarioGrid::expand() const {
-  expects(!phone_counts.empty() && !profiles.empty() && !radios.empty() &&
-              !emulated_rtts.empty() && !cross_traffic.empty() &&
-              !loss_rates.empty() && !reorder.empty() && !workloads.empty(),
+namespace {
+
+/// Shared axis validation of expand() and at().
+void validate_grid(const ScenarioGrid& grid) {
+  expects(!grid.phone_counts.empty() && !grid.profiles.empty() &&
+              !grid.radios.empty() && !grid.emulated_rtts.empty() &&
+              !grid.cross_traffic.empty() && !grid.loss_rates.empty() &&
+              !grid.reorder.empty() && !grid.workloads.empty(),
           "ScenarioGrid axes must all be non-empty");
-  for (const double loss : loss_rates) {
+  for (const double loss : grid.loss_rates) {
     expects(loss >= 0.0 && loss < 1.0,
             "ScenarioGrid loss rates must be in [0, 1)");
   }
+  for (const std::size_t count : grid.phone_counts) {
+    expects(count > 0, "ScenarioGrid phone counts must be positive");
+  }
+}
+
+/// The one scenario-construction routine behind expand() and at(): builds
+/// the scenario for one tuple of axis positions. Sharing it is what makes
+/// at(i) == expand()[i] hold element for element by construction.
+ScenarioSpec scenario_from_axes(const ScenarioGrid& grid, std::size_t count_i,
+                                std::size_t profile_i, std::size_t radio_i,
+                                std::size_t rtt_i, std::size_t cross_i,
+                                std::size_t loss_i, std::size_t reorder_i,
+                                std::size_t workload_i) {
+  ScenarioSpec scenario;
+  PhoneSpec phone;
+  phone.profile = grid.profiles[profile_i];
+  phone.radio = grid.radios[radio_i];
+  phone.workload = grid.workloads[workload_i];
+  scenario.phones.assign(grid.phone_counts[count_i], phone);
+  scenario.emulated_rtt = grid.emulated_rtts[rtt_i];
+  scenario.congested_phy = grid.cross_traffic[cross_i];
+  scenario.netem_loss = grid.loss_rates[loss_i];
+  scenario.netem_reorder = grid.reorder[reorder_i];
+  return scenario;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> ScenarioGrid::expand() const {
+  validate_grid(*this);
   std::vector<ScenarioSpec> scenarios;
   scenarios.reserve(size());
-  for (const std::size_t count : phone_counts) {
-    expects(count > 0, "ScenarioGrid phone counts must be positive");
-    for (const phone::PhoneProfile& profile : profiles) {
-      for (const phone::RadioKind radio : radios) {
-        for (const Duration rtt : emulated_rtts) {
-          for (const bool cross : cross_traffic) {
-            for (const double loss : loss_rates) {
-              for (const bool allow_reorder : reorder) {
-                for (const WorkloadSpec& workload : workloads) {
-                  ScenarioSpec scenario;
-                  PhoneSpec phone;
-                  phone.profile = profile;
-                  phone.radio = radio;
-                  phone.workload = workload;
-                  scenario.phones.assign(count, phone);
-                  scenario.emulated_rtt = rtt;
-                  scenario.congested_phy = cross;
-                  scenario.netem_loss = loss;
-                  scenario.netem_reorder = allow_reorder;
-                  scenarios.push_back(std::move(scenario));
+  for (std::size_t c = 0; c < phone_counts.size(); ++c) {
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      for (std::size_t r = 0; r < radios.size(); ++r) {
+        for (std::size_t t = 0; t < emulated_rtts.size(); ++t) {
+          for (std::size_t x = 0; x < cross_traffic.size(); ++x) {
+            for (std::size_t l = 0; l < loss_rates.size(); ++l) {
+              for (std::size_t o = 0; o < reorder.size(); ++o) {
+                for (std::size_t w = 0; w < workloads.size(); ++w) {
+                  scenarios.push_back(
+                      scenario_from_axes(*this, c, p, r, t, x, l, o, w));
                 }
               }
             }
@@ -171,6 +196,27 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
     }
   }
   return scenarios;
+}
+
+ScenarioSpec ScenarioGrid::at(std::size_t index) const {
+  validate_grid(*this);
+  expects(index < size(), "ScenarioGrid::at index out of range");
+  // Decode the index as mixed-radix digits, innermost (workload) first —
+  // the inverse of expand()'s nesting order.
+  auto digit = [&index](std::size_t radix) {
+    const std::size_t d = index % radix;
+    index /= radix;
+    return d;
+  };
+  const std::size_t w = digit(workloads.size());
+  const std::size_t o = digit(reorder.size());
+  const std::size_t l = digit(loss_rates.size());
+  const std::size_t x = digit(cross_traffic.size());
+  const std::size_t t = digit(emulated_rtts.size());
+  const std::size_t r = digit(radios.size());
+  const std::size_t p = digit(profiles.size());
+  const std::size_t c = digit(phone_counts.size());
+  return scenario_from_axes(*this, c, p, r, t, x, l, o, w);
 }
 
 std::size_t ScenarioGrid::size() const {
@@ -259,11 +305,28 @@ double CampaignReport::total_sim_seconds() const {
 }
 
 Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
-  expects(!spec_.scenarios.empty(), "Campaign requires at least one scenario");
+  expects(spec_.scenarios.empty() || !spec_.grid.has_value(),
+          "Campaign takes scenarios OR a lazy grid, not both");
+  if (spec_.grid.has_value()) {
+    expects(spec_.grid->size() > 0, "Campaign requires at least one scenario");
+  } else {
+    expects(!spec_.scenarios.empty(),
+            "Campaign requires at least one scenario");
+  }
   expects(spec_.probes_per_phone > 0,
           "Campaign requires probes_per_phone > 0");
   expects(spec_.probe_timeout > Duration{},
           "Campaign requires a positive probe timeout");
+}
+
+std::size_t Campaign::scenario_count() const {
+  return spec_.grid.has_value() ? spec_.grid->size() : spec_.scenarios.size();
+}
+
+ScenarioSpec Campaign::scenario_at(std::size_t index) const {
+  expects(index < scenario_count(), "Campaign scenario index out of range");
+  return spec_.grid.has_value() ? spec_.grid->at(index)
+                                : spec_.scenarios[index];
 }
 
 std::uint64_t Campaign::shard_seed(std::uint64_t campaign_seed,
@@ -274,15 +337,24 @@ std::uint64_t Campaign::shard_seed(std::uint64_t campaign_seed,
 }
 
 ShardResult Campaign::run_shard(std::size_t scenario_index) const {
-  return run_shard(scenario_index, nullptr);
+  return run_shard(scenario_index, /*run_sequence=*/0, nullptr, nullptr);
 }
 
 ShardResult Campaign::run_shard(
-    std::size_t scenario_index,
-    const std::shared_ptr<report::CheckpointWriter>& checkpoint) const {
-  expects(scenario_index < spec_.scenarios.size(),
+    std::size_t scenario_index, std::size_t run_sequence,
+    const std::shared_ptr<report::CheckpointWriter>& checkpoint,
+    StageSeconds* stage) const {
+  expects(scenario_index < scenario_count(),
           "Campaign::run_shard index out of range");
-  ScenarioSpec scenario = spec_.scenarios[scenario_index];
+  const auto stage_start = std::chrono::steady_clock::now();
+  auto stage_lap = [last = stage_start]() mutable {
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(now - last).count();
+    last = now;
+    return seconds;
+  };
+  ScenarioSpec scenario = scenario_at(scenario_index);
   scenario.seed = shard_seed(spec_.seed, scenario_index);
 
   ShardResult result;
@@ -294,7 +366,7 @@ ShardResult Campaign::run_shard(
   // compatibility surface, the checkpoint sink when the campaign
   // checkpoints, then whatever CampaignSpec::sinks plugs in.
   const report::ShardInfo info{scenario_index, scenario.seed,
-                               scenario.phones.size()};
+                               scenario.phones.size(), run_sequence};
   report::SinkChain chain;
   auto digest_sink = std::make_unique<report::DigestSink>();
   report::DigestSink* digests = digest_sink.get();
@@ -313,12 +385,16 @@ ShardResult Campaign::run_shard(
   // in between re-runs the shard (detectable duplicate export records)
   // rather than silently never exporting it.
   if (checkpoint != nullptr) {
+    // The scenario's seed was overwritten above, but the hash covers only
+    // the outcome-determining shape fields, so hashing the local copy
+    // equals hashing the stored/grid-built spec.
     chain.add(std::make_unique<report::CheckpointSink>(
-        checkpoint, shard_spec_hash(spec_, spec_.scenarios[scenario_index])));
+        checkpoint, shard_spec_hash(spec_, scenario)));
   }
   chain.shard_started(info);
 
   Testbed testbed(std::move(scenario));
+  if (stage != nullptr) stage->build += stage_lap();
   testbed.settle(spec_.settle);
   if (testbed.spec().congested_phy) {
     testbed.start_cross_traffic();
@@ -373,6 +449,7 @@ ShardResult Campaign::run_shard(
     running.push_back(instruments.back().get());
   }
   testbed.run_until_all_finished(running);
+  if (stage != nullptr) stage->simulate += stage_lap();
 
   // Canonical event delivery: phones in scenario order, probes in schedule
   // order within each phone (probes can *complete* out of schedule order
@@ -416,11 +493,30 @@ ShardResult Campaign::run_shard(
   summary.events_fired = result.events_fired;
   summary.sim_seconds = result.sim_seconds;
   chain.shard_finished(summary);
+  if (stage != nullptr) stage->sink += stage_lap();
   return result;
 }
 
+namespace {
+
+/// The work-claim cursor on its own cache line: workers of a big campaign
+/// hammer this one atomic, and without the padding it false-shares with
+/// whatever the compiler packs next to it on run()'s stack.
+struct alignas(64) ClaimCursor {
+  std::atomic<std::size_t> next{0};
+};
+
+/// Per-worker accumulators, one cache line each so workers never
+/// false-share their hot counters while shards retire.
+struct alignas(64) WorkerLane {
+  StageSeconds stage;
+  std::size_t shards_run = 0;
+};
+
+}  // namespace
+
 CampaignReport Campaign::run(std::size_t workers) {
-  const std::size_t shard_count = spec_.scenarios.size();
+  const std::size_t shard_count = scenario_count();
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
@@ -430,21 +526,32 @@ CampaignReport Campaign::run(std::size_t workers) {
   report.shards.resize(shard_count);
 
   // Checkpoint resume: restore every shard already on disk (digests +
-  // counters deserialize bit-identically), then append newly completed
-  // shards to the same file.
+  // counters deserialize bit-identically), compact the file back to one
+  // line per shard, then append newly completed shards to it.
   std::shared_ptr<report::CheckpointWriter> checkpoint;
   if (!spec_.checkpoint_path.empty()) {
-    for (report::ShardCheckpoint& record :
-         report::load_checkpoint(spec_.checkpoint_path)) {
+    const auto restore_start = std::chrono::steady_clock::now();
+    std::vector<report::ShardCheckpoint> records =
+        report::load_checkpoint(spec_.checkpoint_path);
+    for (report::ShardCheckpoint& record : records) {
       const std::size_t index = record.summary.info.scenario_index;
       expects(index < shard_count,
               "checkpoint does not match this campaign (shard out of range)");
       expects(record.summary.info.shard_seed == shard_seed(spec_.seed, index),
               "checkpoint does not match this campaign (seed mismatch)");
-      expects(record.spec_hash ==
-                  shard_spec_hash(spec_, spec_.scenarios[index]),
+      expects(record.spec_hash == shard_spec_hash(spec_, scenario_at(index)),
               "checkpoint does not match this campaign (spec edited since "
               "the checkpoint was written)");
+    }
+    // Validation passed: rewrite the file to exactly one record per
+    // completed shard (drops torn fragments and duplicate re-runs), so a
+    // many-times-resumed sweep's checkpoint stays O(completed shards)
+    // instead of growing with every kill.
+    if (!records.empty()) {
+      report::compact_checkpoint(spec_.checkpoint_path, records);
+    }
+    for (report::ShardCheckpoint& record : records) {
+      const std::size_t index = record.summary.info.scenario_index;
       ShardResult& restored = report.shards[index];
       restored.completed = true;
       restored.scenario_index = index;
@@ -459,52 +566,79 @@ CampaignReport Campaign::run(std::size_t workers) {
     }
     checkpoint = std::make_shared<report::CheckpointWriter>(
         spec_.checkpoint_path);
+    report.stage.restore = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               restore_start)
+                               .count();
   }
 
   std::vector<std::size_t> pending;
-  pending.reserve(shard_count);
+  pending.reserve(std::min<std::size_t>(
+      shard_count, spec_.max_shards > 0 ? spec_.max_shards : shard_count));
   for (std::size_t i = 0; i < shard_count; ++i) {
-    if (!report.shards[i].completed) pending.push_back(i);
+    if (report.shards[i].completed) continue;
+    pending.push_back(i);
+    // The kill / incremental-sweep knob: cap how many pending shards this
+    // invocation executes (the cut is the scenario-order prefix, so
+    // resumes walk the campaign front to back).
+    if (spec_.max_shards > 0 && pending.size() == spec_.max_shards) break;
   }
-  // The kill / incremental-sweep knob: cap how many pending shards this
-  // invocation executes (the cut is the scenario-order prefix, so resumes
-  // walk the campaign front to back).
-  if (spec_.max_shards > 0 && pending.size() > spec_.max_shards) {
-    pending.resize(spec_.max_shards);
-  }
+  // Never spawn more threads than pending shards: a tiny incremental tick
+  // (or a fully-restored rerun) must not pay pool spin-up for workers that
+  // would find the claim cursor already exhausted.
   workers = std::min(workers, std::max<std::size_t>(pending.size(), 1));
   std::vector<std::exception_ptr> failures(pending.size());
 
   if (workers <= 1) {
     for (std::size_t p = 0; p < pending.size(); ++p) {
-      report.shards[pending[p]] = run_shard(pending[p], checkpoint);
+      report.shards[pending[p]] =
+          run_shard(pending[p], /*run_sequence=*/p, checkpoint,
+                    &report.stage);
     }
     return report;
   }
 
-  // Work-stealing by atomic index: each worker owns the slots it claims, so
-  // no locking is needed; determinism comes from per-shard seeding, not
-  // from the claim order.
-  std::atomic<std::size_t> next{0};
+  // Work-stealing by atomic cursor: each worker owns the slots it claims,
+  // so no locking is needed; determinism comes from per-shard seeding, not
+  // from the claim order. Claims are *batched* — one fetch_add leases
+  // `batch` consecutive sequences — so a million-shard sweep performs
+  // O(shards / batch) RMWs on the shared line instead of one per shard.
+  // Batches stay small enough that tail imbalance is at most one batch per
+  // worker.
+  const std::size_t batch = std::clamp<std::size_t>(
+      pending.size() / (workers * 8), std::size_t{1}, std::size_t{16});
+  ClaimCursor cursor;
+  std::vector<WorkerLane> lanes(workers);
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([this, &next, &report, &failures, &pending,
-                       &checkpoint] {
+    pool.emplace_back([this, &cursor, &report, &failures, &pending,
+                       &checkpoint, &lane = lanes[w], batch] {
       while (true) {
-        const std::size_t claim =
-            next.fetch_add(1, std::memory_order_relaxed);
-        if (claim >= pending.size()) return;
-        const std::size_t index = pending[claim];
-        try {
-          report.shards[index] = run_shard(index, checkpoint);
-        } catch (...) {
-          failures[claim] = std::current_exception();
+        const std::size_t begin =
+            cursor.next.fetch_add(batch, std::memory_order_relaxed);
+        if (begin >= pending.size()) return;
+        const std::size_t end = std::min(begin + batch, pending.size());
+        for (std::size_t p = begin; p < end; ++p) {
+          const std::size_t index = pending[p];
+          try {
+            report.shards[index] =
+                run_shard(index, /*run_sequence=*/p, checkpoint,
+                          &lane.stage);
+            ++lane.shards_run;
+          } catch (...) {
+            failures[p] = std::current_exception();
+          }
         }
       }
     });
   }
   for (std::thread& worker : pool) worker.join();
+  for (const WorkerLane& lane : lanes) {
+    report.stage.build += lane.stage.build;
+    report.stage.simulate += lane.stage.simulate;
+    report.stage.sink += lane.stage.sink;
+  }
   for (const std::exception_ptr& failure : failures) {
     if (failure != nullptr) std::rethrow_exception(failure);
   }

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,7 +74,13 @@ struct ScenarioGrid {
   /// byte-identical scenario vectors.
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
-  /// Number of scenarios expand() will produce.
+  /// The scenario expand()[index] would hold, built on demand — the O(1)
+  /// memory iteration path of big campaigns (CampaignSpec::grid). at(i) and
+  /// expand() share one construction routine, so they are identical
+  /// element for element by construction (pinned by test_campaign_lazy).
+  [[nodiscard]] ScenarioSpec at(std::size_t index) const;
+
+  /// Number of scenarios expand() will produce / at() accepts.
   [[nodiscard]] std::size_t size() const;
 };
 
@@ -81,7 +88,14 @@ struct CampaignSpec {
   /// Campaign seed S; shard i derives its scenario seed as Rng(S).fork(i).
   std::uint64_t seed = 42;
   /// The scenarios to execute, one shard each (usually ScenarioGrid output).
+  /// Leave empty and set `grid` instead for big sweeps.
   std::vector<ScenarioSpec> scenarios;
+  /// Lazy alternative to `scenarios`: shard i builds its ScenarioSpec on
+  /// demand from grid->at(i), so campaign spec memory is O(1) instead of
+  /// O(shards) — the 10^5–10^6-shard mode. Exactly one of `scenarios` /
+  /// `grid` may be set; shard indices, seeds, hashes and merge order are
+  /// identical to running grid->expand() materialized.
+  std::optional<ScenarioGrid> grid;
   /// Default per-phone probe schedule; a phone's WorkloadSpec may override
   /// any of the three fields (its zero/<=0 fields fall back to these).
   int probes_per_phone = 20;
@@ -117,6 +131,25 @@ struct CampaignSpec {
 /// subsystem (it is what DigestSink / CheckpointSink emit); this alias keeps
 /// the historical testbed:: spelling working.
 using WorkloadDigest = report::WorkloadDigest;
+
+/// Wall-clock seconds spent per campaign pipeline stage. Per-shard stages
+/// (build / simulate / sink) are summed across workers — with W workers the
+/// sum can exceed the campaign's wall time W-fold; the ratios are what
+/// matter. `restore` is the serial checkpoint load/compact phase of
+/// Campaign::run. The report-side digest merge happens lazily in the
+/// accessors, so benches time it themselves.
+struct StageSeconds {
+  /// Scenario materialization + sink-chain setup + Testbed construction.
+  double build = 0;
+  /// settle() + cross-traffic warmup + tool setup +
+  /// run_until_all_finished().
+  double simulate = 0;
+  /// Canonical event flush through the sink chain (digest folds, JSONL
+  /// blocks, checkpoint append) + shard_finished delivery.
+  double sink = 0;
+  /// Checkpoint load, validation and compaction (serial, resume only).
+  double restore = 0;
+};
 
 /// One scenario's outcome — a view composed from the shard's built-in sink
 /// outputs (DigestSink, SampleBufferSink). Sample vectors hold the
@@ -154,6 +187,8 @@ struct ShardResult {
 /// Merged campaign outcome; shards are ordered by scenario index.
 struct CampaignReport {
   std::vector<ShardResult> shards;
+  /// Per-stage time breakdown of the run (see StageSeconds).
+  StageSeconds stage;
 
   /// Concatenation of a per-shard sample vector across shards, in scenario
   /// index order (the canonical merge used by the summaries below).
@@ -186,10 +221,18 @@ struct CampaignReport {
 
 class Campaign {
  public:
-  /// Requires at least one scenario and a positive probe count.
+  /// Requires at least one scenario (exactly one of CampaignSpec::scenarios
+  /// / CampaignSpec::grid set) and a positive probe count.
   explicit Campaign(CampaignSpec spec);
 
   [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+
+  /// Number of shards (scenarios.size() or grid->size()).
+  [[nodiscard]] std::size_t scenario_count() const;
+
+  /// The scenario shard `index` runs (materialized copy; the lazy-grid path
+  /// builds it on demand). Seed not yet assigned — run_shard does that.
+  [[nodiscard]] ScenarioSpec scenario_at(std::size_t index) const;
 
   /// The deterministic seed shard `shard_index` runs its scenario with:
   /// Rng(campaign_seed).fork(shard_index). Depends only on the arguments,
@@ -215,9 +258,13 @@ class Campaign {
   [[nodiscard]] ShardResult run_shard(std::size_t scenario_index) const;
 
  private:
+  /// `run_sequence` is the shard's dense position in this invocation's
+  /// pending order (report::ShardInfo::run_sequence); `stage` (optional)
+  /// accumulates the shard's build/simulate/sink wall seconds.
   [[nodiscard]] ShardResult run_shard(
-      std::size_t scenario_index,
-      const std::shared_ptr<report::CheckpointWriter>& checkpoint) const;
+      std::size_t scenario_index, std::size_t run_sequence,
+      const std::shared_ptr<report::CheckpointWriter>& checkpoint,
+      StageSeconds* stage) const;
 
   CampaignSpec spec_;
 };

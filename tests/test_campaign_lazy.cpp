@@ -1,0 +1,260 @@
+// Lazy campaign iteration: ScenarioGrid::at(i) must agree with expand()[i]
+// element for element, a grid-backed Campaign must be indistinguishable
+// from its materialized twin, and the determinism contract (bit-identical
+// merged digests for any worker count) must hold on a 10^4-shard grid
+// iterated lazily — the memory-bounded mode million-shard sweeps run in.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/jsonl_sink.hpp"
+#include "report/sink.hpp"
+#include "sim/contracts.hpp"
+#include "testbed/campaign.hpp"
+
+namespace acute::testbed {
+namespace {
+
+using namespace acute::sim::literals;
+using phone::PhoneProfile;
+using phone::RadioKind;
+using tools::ToolKind;
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path("lazy_test_" + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Field-for-field scenario equality over everything the grid axes set
+/// (plus the seed, which neither path assigns).
+void expect_scenarios_equal(const ScenarioSpec& a, const ScenarioSpec& b,
+                            std::size_t index) {
+  SCOPED_TRACE("scenario index " + std::to_string(index));
+  ASSERT_EQ(a.phones.size(), b.phones.size());
+  for (std::size_t p = 0; p < a.phones.size(); ++p) {
+    EXPECT_EQ(a.phones[p].profile.name, b.phones[p].profile.name);
+    EXPECT_EQ(a.phones[p].radio, b.phones[p].radio);
+    EXPECT_EQ(a.phones[p].workload.tool, b.phones[p].workload.tool);
+    EXPECT_EQ(a.phones[p].workload.probe_count, b.phones[p].workload.probe_count);
+    EXPECT_EQ(a.phones[p].workload.interval, b.phones[p].workload.interval);
+    EXPECT_EQ(a.phones[p].workload.timeout, b.phones[p].workload.timeout);
+  }
+  EXPECT_EQ(a.emulated_rtt, b.emulated_rtt);
+  EXPECT_EQ(a.congested_phy, b.congested_phy);
+  EXPECT_EQ(a.netem_loss, b.netem_loss);
+  EXPECT_EQ(a.netem_reorder, b.netem_reorder);
+  EXPECT_EQ(a.seed, b.seed);
+}
+
+TEST(LazyGrid, AtMatchesExpandElementForElement) {
+  // Every axis gets >= 2 entries, so every mixed-radix digit of at()'s
+  // index decode is exercised (512 scenarios).
+  ScenarioGrid grid;
+  grid.phone_counts = {1, 2};
+  grid.profiles = {PhoneProfile::nexus5(), PhoneProfile::nexus4()};
+  grid.radios = {RadioKind::wifi, RadioKind::cellular};
+  grid.emulated_rtts = {10_ms, 30_ms};
+  grid.cross_traffic = {false, true};
+  grid.loss_rates = {0.0, 0.1};
+  grid.reorder = {false, true};
+  grid.workloads = {WorkloadSpec{ToolKind::icmp_ping},
+                    WorkloadSpec{ToolKind::httping}};
+  const std::vector<ScenarioSpec> expanded = grid.expand();
+  ASSERT_EQ(expanded.size(), grid.size());
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    expect_scenarios_equal(grid.at(i), expanded[i], i);
+  }
+}
+
+TEST(LazyGrid, AtRejectsOutOfRangeAndInvalidAxes) {
+  ScenarioGrid grid;
+  EXPECT_THROW((void)grid.at(grid.size()), sim::ContractViolation);
+  grid.loss_rates = {1.0};
+  EXPECT_THROW((void)grid.at(0), sim::ContractViolation);
+}
+
+/// A small-but-mixed grid cheap enough to execute in full.
+ScenarioGrid small_grid() {
+  ScenarioGrid grid;
+  grid.profiles = {PhoneProfile::nexus5(), PhoneProfile::nexus4()};
+  grid.emulated_rtts = {12_ms};
+  grid.loss_rates = {0.0, 0.2};
+  grid.workloads = {WorkloadSpec{ToolKind::icmp_ping},
+                    WorkloadSpec{ToolKind::httping}};
+  return grid;
+}
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.seed = 77;
+  spec.probes_per_phone = 6;
+  spec.probe_interval = 150_ms;
+  spec.probe_timeout = 1_s;
+  spec.keep_samples = false;
+  return spec;
+}
+
+void expect_digests_bit_identical(const CampaignReport& a,
+                                  const CampaignReport& b) {
+  const auto da = a.workload_digests();
+  const auto db = b.workload_digests();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].tool, db[i].tool);
+    EXPECT_EQ(da[i].probes, db[i].probes);
+    EXPECT_EQ(da[i].lost, db[i].lost);
+    for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+      EXPECT_EQ(da[i].reported_rtt_ms.quantile(q),
+                db[i].reported_rtt_ms.quantile(q));
+      EXPECT_EQ(da[i].du_ms.quantile(q), db[i].du_ms.quantile(q));
+      EXPECT_EQ(da[i].dn_ms.quantile(q), db[i].dn_ms.quantile(q));
+    }
+  }
+  EXPECT_EQ(a.total_probes(), b.total_probes());
+  EXPECT_EQ(a.total_lost(), b.total_lost());
+  EXPECT_EQ(a.total_frames(), b.total_frames());
+  EXPECT_EQ(a.total_events(), b.total_events());
+}
+
+TEST(LazyCampaign, GridBackedRunEqualsMaterializedRun) {
+  CampaignSpec lazy = small_spec();
+  lazy.grid = small_grid();
+  CampaignSpec materialized = small_spec();
+  materialized.scenarios = small_grid().expand();
+
+  const CampaignReport from_grid = Campaign(lazy).run(2);
+  const CampaignReport from_vector = Campaign(materialized).run(2);
+  ASSERT_EQ(from_grid.shards.size(), from_vector.shards.size());
+  for (std::size_t i = 0; i < from_grid.shards.size(); ++i) {
+    EXPECT_EQ(from_grid.shards[i].shard_seed,
+              from_vector.shards[i].shard_seed);
+    EXPECT_EQ(from_grid.shards[i].events_fired,
+              from_vector.shards[i].events_fired);
+  }
+  expect_digests_bit_identical(from_grid, from_vector);
+}
+
+TEST(LazyCampaign, RejectsBothScenariosAndGrid) {
+  CampaignSpec spec = small_spec();
+  spec.grid = small_grid();
+  spec.scenarios = small_grid().expand();
+  EXPECT_THROW(Campaign{spec}, sim::ContractViolation);
+}
+
+TEST(LazyCampaign, LazyGridResumesThroughCheckpoints) {
+  TempFile checkpoint("grid_resume");
+  const CampaignReport uninterrupted = [&] {
+    CampaignSpec spec = small_spec();
+    spec.grid = small_grid();
+    return Campaign(spec).run(1);
+  }();
+
+  CampaignSpec killed = small_spec();
+  killed.grid = small_grid();
+  killed.checkpoint_path = checkpoint.path;
+  killed.max_shards = 3;
+  EXPECT_EQ(Campaign(killed).run(2).completed_shards(), 3u);
+
+  CampaignSpec resumed = small_spec();
+  resumed.grid = small_grid();
+  resumed.checkpoint_path = checkpoint.path;
+  const CampaignReport report = Campaign(resumed).run(2);
+  EXPECT_EQ(report.completed_shards(), report.shards.size());
+  expect_digests_bit_identical(report, uninterrupted);
+}
+
+/// The at-scale determinism pin: 10^4 lazily-iterated shards, merged
+/// digests bit-identical between 1 and 8 workers. Shards are minimal (one
+/// phone, one probe, short settle) so the whole test stays a few seconds.
+CampaignSpec ten_thousand_shard_spec() {
+  ScenarioGrid grid;
+  grid.emulated_rtts.clear();
+  for (int i = 0; i < 50; ++i) {
+    grid.emulated_rtts.push_back(sim::Duration::millis(2 + i));
+  }
+  grid.loss_rates.clear();
+  for (int i = 0; i < 100; ++i) grid.loss_rates.push_back(i * 0.003);
+  grid.reorder = {false, true};
+  CampaignSpec spec;
+  spec.seed = 2016;
+  spec.grid = grid;
+  spec.probes_per_phone = 1;
+  spec.probe_interval = 50_ms;
+  spec.probe_timeout = 400_ms;
+  spec.settle = 50_ms;
+  spec.keep_samples = false;
+  return spec;
+}
+
+TEST(LazyCampaign, TenThousandShardsBitIdenticalAcrossWorkerCounts) {
+  Campaign serial(ten_thousand_shard_spec());
+  ASSERT_EQ(serial.scenario_count(), 10000u);
+  const CampaignReport one = serial.run(1);
+  const CampaignReport eight = Campaign(ten_thousand_shard_spec()).run(8);
+  ASSERT_EQ(one.shards.size(), eight.shards.size());
+  EXPECT_GT(one.total_lost(), 0u);  // the loss axis actually bites
+  expect_digests_bit_identical(one, eight);
+}
+
+TEST(Campaign, NeverSpawnsMoreWorkersThanPendingShards) {
+  // Observable through the sink factory: it runs on the executing worker's
+  // thread, so the set of distinct thread ids bounds the pool size. With 2
+  // pending shards and 8 requested workers, at most 2 threads may execute.
+  CampaignSpec spec = small_spec();
+  ScenarioGrid grid = small_grid();
+  grid.workloads = {WorkloadSpec{ToolKind::icmp_ping}};
+  grid.profiles = {PhoneProfile::nexus5()};
+  spec.grid = grid;  // 2 shards (loss axis)
+  std::mutex mutex;
+  std::set<std::thread::id> threads;
+  spec.sinks = [&mutex, &threads](const report::ShardInfo&) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      threads.insert(std::this_thread::get_id());
+    }
+    return std::vector<std::unique_ptr<report::ResultSink>>{};
+  };
+  const CampaignReport report = Campaign(spec).run(8);
+  EXPECT_EQ(report.completed_shards(), 2u);
+  EXPECT_LE(threads.size(), 2u);
+}
+
+TEST(LazyCampaign, JsonlExportIsByteIdenticalAcrossWorkerCounts) {
+  // The reorder buffer's contract: same campaign, any worker count, same
+  // bytes on disk — not merely the same record set.
+  auto run_with = [](std::size_t workers, const std::string& path) {
+    CampaignSpec spec = small_spec();
+    spec.grid = small_grid();
+    auto writer = std::make_shared<report::JsonlWriter>(path);
+    spec.sinks = report::jsonl_sink_factory(writer);
+    (void)Campaign(spec).run(workers);
+  };
+  TempFile serial("jsonl_1worker");
+  TempFile threaded("jsonl_8worker");
+  run_with(1, serial.path);
+  run_with(8, threaded.path);
+  const std::string serial_bytes = read_file(serial.path);
+  ASSERT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, read_file(threaded.path));
+}
+
+}  // namespace
+}  // namespace acute::testbed

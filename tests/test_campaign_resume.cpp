@@ -220,9 +220,61 @@ TEST(CampaignResume, TornCheckpointLineRerunsOnlyThatShard) {
   EXPECT_EQ(resumed.completed_shards(), resumed.shards.size());
   expect_digests_bit_identical(resumed, Campaign(resume_campaign()).run(1));
   // The rerun shard re-recorded itself: the healed file now restores all
-  // shards (the torn fragment stays as one unparseable line).
+  // shards (resume's compaction pass dropped the torn fragment entirely).
   EXPECT_EQ(report::load_checkpoint(checkpoint.path).size(),
             resumed.shards.size());
+}
+
+std::size_t raw_line_count(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+TEST(CampaignResume, ResumeCompactsTheCheckpointToOneLinePerShard) {
+  // A many-times-killed sweep accretes torn fragments (and, with unlucky
+  // kills, duplicate records) in its checkpoint. Resume must rewrite the
+  // file to one line per completed shard — and keep resuming bit-
+  // identically afterwards (resume -> compact -> resume round trip).
+  TempFile checkpoint("compact");
+  const CampaignReport uninterrupted = Campaign(resume_campaign()).run(1);
+
+  CampaignSpec tick = resume_campaign();
+  tick.checkpoint_path = checkpoint.path;
+  tick.max_shards = 3;
+  (void)Campaign(tick).run(1);
+
+  // Simulate kill debris: a duplicated record and a torn trailing line.
+  {
+    const auto records = report::load_checkpoint(checkpoint.path);
+    ASSERT_EQ(records.size(), 3u);
+    std::ofstream out(checkpoint.path, std::ios::app);
+    out << report::render_checkpoint_record(records[1]);
+    out << "ckpt1 2 99 torn-mid-writ";
+  }
+  ASSERT_EQ(raw_line_count(checkpoint.path), 5u);
+
+  // Second tick: load compacts (3 unique records survive) before the next
+  // 3 shards append.
+  (void)Campaign(tick).run(2);
+  EXPECT_EQ(raw_line_count(checkpoint.path), 6u);
+  EXPECT_EQ(report::load_checkpoint(checkpoint.path).size(), 6u);
+
+  // Final resume completes the sweep; every merged digest bit-identical to
+  // the uninterrupted run, and the file is again one line per shard.
+  CampaignSpec rest = resume_campaign();
+  rest.checkpoint_path = checkpoint.path;
+  const CampaignReport resumed = Campaign(rest).run(2);
+  EXPECT_EQ(resumed.completed_shards(), resumed.shards.size());
+  expect_digests_bit_identical(resumed, uninterrupted);
+
+  // One more resume: nothing pending, the load compacts the finished file
+  // to exactly shards.size() lines and restores everything bit-identically.
+  const CampaignReport rerun = Campaign(rest).run(1);
+  EXPECT_EQ(raw_line_count(checkpoint.path), rerun.shards.size());
+  expect_digests_bit_identical(rerun, uninterrupted);
 }
 
 TEST(CampaignResume, RestoredShardsCarryCountersButNoSamples) {

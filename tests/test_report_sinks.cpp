@@ -202,6 +202,91 @@ TEST(Checkpoint, TornTrailingRecordIsSkipped) {
   EXPECT_EQ(repaired[1].summary.info.scenario_index, 7u);
 }
 
+TEST(Checkpoint, CompactionDedupesAndSortsRecords) {
+  TempFile file("ckpt_compact");
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(9));
+    writer.append(sample_checkpoint(2));
+    writer.append(sample_checkpoint(9));  // duplicate re-run: last wins
+    writer.append(sample_checkpoint(5));
+  }
+  // Tear the tail as a kill would; compaction input is what load accepts.
+  {
+    std::ofstream out(file.path, std::ios::app);
+    out << "ckpt1 11 123 torn-fragmen";
+  }
+  compact_checkpoint(file.path, load_checkpoint(file.path));
+
+  std::size_t lines = 0;
+  {
+    std::ifstream in(file.path);
+    std::string line;
+    while (std::getline(in, line)) ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // 9's duplicate and the torn fragment are gone
+  const auto records = load_checkpoint(file.path);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].summary.info.scenario_index, 2u);
+  EXPECT_EQ(records[1].summary.info.scenario_index, 5u);
+  EXPECT_EQ(records[2].summary.info.scenario_index, 9u);
+  // Byte-exact round trip: a compacted record re-renders identically.
+  EXPECT_EQ(render_checkpoint_record(records[2]),
+            render_checkpoint_record(sample_checkpoint(9)));
+}
+
+TEST(JsonlReorder, ReleasesBlocksInSequenceOrder) {
+  TempFile file("jsonl_reorder");
+  {
+    JsonlWriter writer(file.path, /*append=*/false, /*window=*/8);
+    writer.submit_block(2, "c\n");
+    writer.submit_block(1, "b\n");
+    writer.submit_block(0, "a\n");
+    writer.submit_block(3, "d\n");
+  }
+  std::ifstream in(file.path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a\nb\nc\nd\n");
+}
+
+TEST(JsonlReorder, AbandonedSequenceDoesNotStallTheWindow) {
+  TempFile file("jsonl_abandon");
+  {
+    JsonlWriter writer(file.path, /*append=*/false, /*window=*/8);
+    writer.submit_block(2, "late\n");
+    writer.abandon(0);  // a dead shard must release its slot
+    writer.submit_block(1, "mid\n");
+  }
+  std::ifstream in(file.path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "mid\nlate\n");
+}
+
+TEST(JsonlReorder, SequenceRestartBeginsANewInvocation) {
+  // A writer reused across Campaign::run invocations (incremental resume
+  // ticks) sees run sequences restart at zero. reset_sequence() starts the
+  // new epoch explicitly; a submit below the release point (here: the
+  // out-of-order 1 before 0) is also auto-detected as a restart.
+  TempFile file("jsonl_epoch");
+  {
+    JsonlWriter writer(file.path, /*append=*/false, /*window=*/4);
+    writer.submit_block(0, "tick1-a\n");
+    writer.submit_block(1, "tick1-b\n");
+    writer.reset_sequence();
+    writer.submit_block(1, "tick2-b\n");
+    writer.submit_block(0, "tick2-a\n");
+    writer.submit_block(2, "tick2-c\n");
+    writer.submit_block(0, "tick3-a\n");  // auto-detected restart
+  }
+  std::ifstream in(file.path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(),
+            "tick1-a\ntick1-b\ntick2-a\ntick2-b\ntick2-c\ntick3-a\n");
+}
+
 TEST(DigestSinkTest, FoldsEventsLikeTheLegacyPath) {
   DigestSink sink;
   ProbeEvent event;
