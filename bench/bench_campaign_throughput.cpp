@@ -35,6 +35,7 @@
 #ifdef __linux__
 #include <sched.h>
 #endif
+#include <sys/resource.h>
 
 #include "net/packet.hpp"
 #include "testbed/campaign.hpp"
@@ -64,6 +65,16 @@ double wall_seconds_since(
       .count();
 }
 
+/// Process-lifetime peak RSS in bytes (ru_maxrss is KB on Linux). The
+/// per-rung values are monotone across the ladder — each records the
+/// process peak as of that rung's end — so the first rung to hit a plateau
+/// is the one that set it.
+std::size_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
 /// Cores this process may actually run on — the affinity mask, not the
 /// machine's nominal core count (containers routinely pin to fewer).
 std::size_t effective_cores() {
@@ -90,6 +101,8 @@ struct PoolRun {
   /// report-side digest merge, timed here.
   testbed::StageSeconds stage;
   double merge_seconds = 0;
+  /// Process peak RSS (bytes) when this rung finished.
+  std::size_t peak_rss = 0;
 };
 
 PoolRun run_pool(const testbed::CampaignSpec& spec, std::size_t workers) {
@@ -103,12 +116,15 @@ PoolRun run_pool(const testbed::CampaignSpec& spec, std::size_t workers) {
   const auto digests = report.workload_digests();
   run.merge_seconds = wall_seconds_since(merge_start);
   if (digests.empty()) std::fprintf(stderr, "warning: empty merge\n");
-  run.scenarios_per_sec = double(report.shards.size()) / run.wall_seconds;
+  // shard_count() is retention-mode agnostic: the frontier ladder leaves
+  // report.shards empty.
+  run.scenarios_per_sec = double(report.shard_count()) / run.wall_seconds;
   run.probes_per_sec = double(report.total_probes()) / run.wall_seconds;
   run.events_per_sec = double(report.total_events()) / run.wall_seconds;
   run.probes = report.total_probes();
   run.lost = report.total_lost();
   run.stage = report.stage;
+  run.peak_rss = peak_rss_bytes();
   return run;
 }
 
@@ -178,6 +194,9 @@ testbed::CampaignSpec scaling_campaign() {
   spec.probe_timeout = Duration::millis(400);
   spec.settle = Duration::millis(50);
   spec.keep_samples = false;
+  // The ladder runs the frontier fold (the 10^5–10^6-shard mode the bench
+  // is a proxy for): per-shard digests are freed as shards retire.
+  spec.retain_shards = false;
   return spec;
 }
 
@@ -232,7 +251,7 @@ WorkloadRow run_workload(tools::ToolKind kind, std::size_t workers) {
   WorkloadRow row;
   row.kind = kind;
   row.wall_seconds = wall_seconds_since(start);
-  row.scenarios_per_sec = double(report.shards.size()) / row.wall_seconds;
+  row.scenarios_per_sec = double(report.shard_count()) / row.wall_seconds;
   row.probes_per_sec = double(report.total_probes()) / row.wall_seconds;
   row.probes = report.total_probes();
   row.lost = report.total_lost();
@@ -246,11 +265,11 @@ void print_pool_run(const PoolRun& run) {
   std::printf(
       "  workers=%2zu  wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
       "events/s=%.0f  stages(build/sim/sink/merge)="
-      "%.3f/%.3f/%.3f/%.3fs  (lost %zu/%zu)\n",
+      "%.3f/%.3f/%.3f/%.3fs  rss=%.1fMB  (lost %zu/%zu)\n",
       run.workers, run.wall_seconds, run.scenarios_per_sec,
       run.probes_per_sec, run.events_per_sec, run.stage.build,
-      run.stage.simulate, run.stage.sink, run.merge_seconds, run.lost,
-      run.probes);
+      run.stage.simulate, run.stage.sink, run.merge_seconds,
+      double(run.peak_rss) / (1024.0 * 1024.0), run.lost, run.probes);
 }
 
 void json_pool_run(std::FILE* json, const PoolRun& run, bool last) {
@@ -259,12 +278,13 @@ void json_pool_run(std::FILE* json, const PoolRun& run, bool last) {
       "      {\"workers\": %zu, \"wall_seconds\": %.4f, "
       "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
       "\"events_per_sec\": %.1f, \"probes\": %zu, \"lost\": %zu, "
+      "\"peak_rss_bytes\": %zu, "
       "\"stage_seconds\": {\"build\": %.4f, \"simulate\": %.4f, "
       "\"sink\": %.4f, \"merge\": %.4f}}%s\n",
       run.workers, run.wall_seconds, run.scenarios_per_sec,
       run.probes_per_sec, run.events_per_sec, run.probes, run.lost,
-      run.stage.build, run.stage.simulate, run.stage.sink, run.merge_seconds,
-      last ? "" : ",");
+      run.peak_rss, run.stage.build, run.stage.simulate, run.stage.sink,
+      run.merge_seconds, last ? "" : ",");
 }
 
 }  // namespace
@@ -426,6 +446,7 @@ int main(int argc, char** argv) {
                "    \"scaling\": {\n"
                "      \"scenarios\": %zu,\n"
                "      \"lazy_grid\": true,\n"
+               "      \"frontier_merge\": true,\n"
                "      \"probes_per_phone\": %d,\n"
                "      \"ladder\": [\n",
                hardware, cores, anchor_spec.scenarios.size(),

@@ -5,13 +5,17 @@
 //   * no O(shards) scenario vector — the grid is iterated via at(i);
 //   * the checkpoint compacts on every resume, so the file ends at exactly
 //     one line per shard no matter how many ticks ran;
-//   * peak RSS stays under a hard bound (O(completed-shard digests) for
-//     the report + O(workers) live simulation state).
+//   * peak RSS stays under a hard bound: the default frontier mode
+//     (retain_shards=false) folds each completed shard into the campaign
+//     accumulators and frees its digests, so retention is O(workers +
+//     reorder window) — independent of shard count. --retain-shards runs
+//     the legacy buffered model (O(shards) digest retention, ~20 KB/shard)
+//     for comparison; it cannot pass the 10^5-shard tier's bound.
 //
 // Exits non-zero on any violated bound — wired into CI as the scale gate.
 //
 // Usage: bench_large_campaign [--shards N] [--ticks N] [--workers N]
-//                             [--rss-limit-mb M]
+//                             [--rss-limit-mb M] [--retain-shards]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +43,8 @@ std::size_t peak_rss_mb() {
 /// A lazy grid of at least `shards` minimal scenarios (one phone, one
 /// probe): rtt x loss x reorder axes sized to cover the request.
 testbed::CampaignSpec large_campaign(std::size_t shards,
-                                     const std::string& checkpoint) {
+                                     const std::string& checkpoint,
+                                     bool retain_shards) {
   testbed::ScenarioGrid grid;
   grid.emulated_rtts.clear();
   for (int i = 0; i < 50; ++i) {
@@ -59,6 +64,7 @@ testbed::CampaignSpec large_campaign(std::size_t shards,
   spec.probe_timeout = Duration::millis(400);
   spec.settle = Duration::millis(50);
   spec.keep_samples = false;
+  spec.retain_shards = retain_shards;
   spec.checkpoint_path = checkpoint;
   return spec;
 }
@@ -78,6 +84,7 @@ int main(int argc, char** argv) {
   std::size_t ticks = 4;
   std::size_t workers = 4;
   std::size_t rss_limit_mb = 512;
+  bool retain_shards = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoull(argv[++i], nullptr, 10);
@@ -87,10 +94,12 @@ int main(int argc, char** argv) {
       workers = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--rss-limit-mb") == 0 && i + 1 < argc) {
       rss_limit_mb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--retain-shards") == 0) {
+      retain_shards = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards N] [--ticks N] [--workers N] "
-                   "[--rss-limit-mb M]\n",
+                   "[--rss-limit-mb M] [--retain-shards]\n",
                    argv[0]);
       return 1;
     }
@@ -99,11 +108,13 @@ int main(int argc, char** argv) {
 
   const std::string checkpoint = "large_campaign.ckpt";
   std::remove(checkpoint.c_str());
-  testbed::CampaignSpec spec = large_campaign(shards, checkpoint);
+  testbed::CampaignSpec spec = large_campaign(shards, checkpoint,
+                                              retain_shards);
   const std::size_t total = testbed::Campaign(spec).scenario_count();
   std::printf("large campaign: %zu lazy shards, %zu ticks, %zu workers, "
-              "RSS limit %zu MB\n",
-              total, ticks, workers, rss_limit_mb);
+              "RSS limit %zu MB, %s merge\n",
+              total, ticks, workers, rss_limit_mb,
+              retain_shards ? "buffered" : "frontier");
 
   const auto start = std::chrono::steady_clock::now();
   std::size_t completed = 0;
@@ -111,7 +122,8 @@ int main(int argc, char** argv) {
     // Each tick constructs a fresh Campaign and resumes from the
     // checkpoint — in-process kill/resume: nothing but the file carries
     // state across ticks. The last tick runs uncapped to finish the sweep.
-    testbed::CampaignSpec tick_spec = large_campaign(shards, checkpoint);
+    testbed::CampaignSpec tick_spec =
+        large_campaign(shards, checkpoint, retain_shards);
     if (tick + 1 < ticks) tick_spec.max_shards = (total + ticks - 1) / ticks;
     const testbed::CampaignReport report =
         testbed::Campaign(tick_spec).run(workers);
@@ -141,7 +153,8 @@ int main(int argc, char** argv) {
   // One resume with nothing pending: the load path must compact the file
   // to exactly one line per shard and restore every digest.
   const testbed::CampaignReport final_report =
-      testbed::Campaign(large_campaign(shards, checkpoint)).run(1);
+      testbed::Campaign(large_campaign(shards, checkpoint, retain_shards))
+          .run(1);
   if (final_report.completed_shards() != total) {
     std::fprintf(stderr, "FAILED: final resume restored %zu of %zu shards\n",
                  final_report.completed_shards(), total);

@@ -1,5 +1,8 @@
 #include "report/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,31 +58,6 @@ std::string render_checkpoint_record(const ShardCheckpoint& checkpoint) {
   return line.str();
 }
 
-void compact_checkpoint(const std::string& path,
-                        const std::vector<ShardCheckpoint>& records) {
-  // Last record per scenario wins — the same rule resume's restore loop
-  // applies — then ascending scenario order, so the compacted file reads
-  // like an uninterrupted front-to-back sweep.
-  std::map<std::size_t, const ShardCheckpoint*> latest;
-  for (const ShardCheckpoint& record : records) {
-    latest[record.summary.info.scenario_index] = &record;
-  }
-  const std::string temp = path + ".compact";
-  {
-    std::ofstream out(temp, std::ios::trunc);
-    expects(out.is_open(), "compact_checkpoint: cannot open temp file");
-    for (const auto& [index, record] : latest) {
-      out << render_checkpoint_record(*record);
-    }
-    out.flush();
-    expects(out.good(), "compact_checkpoint: short write to temp file");
-  }
-  // rename() replaces atomically on POSIX: readers see the old complete
-  // file or the new complete file, never a prefix.
-  expects(std::rename(temp.c_str(), path.c_str()) == 0,
-          "compact_checkpoint: rename over checkpoint failed");
-}
-
 namespace {
 
 /// Parses one record line; returns false on any malformation (torn write).
@@ -125,17 +103,123 @@ bool parse_record(const std::string& line, ShardCheckpoint& out) {
   }
 }
 
+/// fsyncs `path` through a throwaway read-only fd (fsync flushes the file's
+/// dirty pages regardless of which descriptor requests it).
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  expects(fd >= 0, "compact_checkpoint: cannot reopen temp file for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  expects(rc == 0, "compact_checkpoint: fsync of temp file failed");
+}
+
+/// Renames `temp` over `path` durably: the temp file's bytes are fsync'd
+/// first — so a power cut cannot promote a file whose data never reached
+/// the platter — and the containing directory is fsync'd after (best
+/// effort: some filesystems refuse directory fds) so the rename itself
+/// survives the cut.
+void durable_replace(const std::string& temp, const std::string& path) {
+  fsync_path(temp);
+  // rename() replaces atomically on POSIX: readers see the old complete
+  // file or the new complete file, never a prefix.
+  expects(std::rename(temp.c_str(), path.c_str()) == 0,
+          "compact_checkpoint: rename over checkpoint failed");
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
 }  // namespace
+
+void compact_checkpoint(const std::string& path,
+                        const std::vector<ShardCheckpoint>& records) {
+  // Last record per scenario wins — the same rule resume's restore loop
+  // applies — then ascending scenario order, so the compacted file reads
+  // like an uninterrupted front-to-back sweep.
+  std::map<std::size_t, const ShardCheckpoint*> latest;
+  for (const ShardCheckpoint& record : records) {
+    latest[record.summary.info.scenario_index] = &record;
+  }
+  const std::string temp = path + ".compact";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    expects(out.is_open(), "compact_checkpoint: cannot open temp file");
+    for (const auto& [index, record] : latest) {
+      out << render_checkpoint_record(*record);
+    }
+    out.flush();
+    expects(out.good(), "compact_checkpoint: short write to temp file");
+  }
+  durable_replace(temp, path);
+}
+
+void compact_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return;  // nothing to compact
+  // Pass 1: byte offset of each scenario's winning (last complete) record.
+  // std::map iteration order gives the ascending-scenario output order.
+  std::map<std::size_t, std::streamoff> latest;
+  {
+    ShardCheckpoint record;
+    std::string line;
+    for (std::streamoff pos = in.tellg(); std::getline(in, line);
+         pos = in.tellg()) {
+      if (parse_record(line, record)) {
+        latest[record.summary.info.scenario_index] = pos;
+      }
+    }
+    in.clear();  // getline hit EOF; clear so the pass-2 seeks work
+  }
+  const std::string temp = path + ".compact";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    expects(out.is_open(), "compact_checkpoint: cannot open temp file");
+    ShardCheckpoint record;
+    std::string line;
+    for (const auto& [index, pos] : latest) {
+      in.seekg(pos);
+      expects(std::getline(in, line).good() || in.eof(),
+              "compact_checkpoint: checkpoint shrank during compaction");
+      expects(parse_record(line, record),
+              "compact_checkpoint: record vanished during compaction");
+      expects(record.summary.info.scenario_index == index,
+              "compact_checkpoint: record moved during compaction");
+      out << render_checkpoint_record(record);
+      in.clear();
+    }
+    out.flush();
+    expects(out.good(), "compact_checkpoint: short write to temp file");
+  }
+  durable_replace(temp, path);
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) : in_(path) {}
+
+bool CheckpointReader::next(ShardCheckpoint& out) {
+  while (std::getline(in_, line_)) {
+    if (parse_record(line_, out)) return true;
+  }
+  return false;
+}
+
+void for_each_checkpoint(const std::string& path,
+                         const std::function<void(ShardCheckpoint&&)>& fn) {
+  CheckpointReader reader(path);
+  ShardCheckpoint record;
+  while (reader.next(record)) fn(std::move(record));
+}
 
 std::vector<ShardCheckpoint> load_checkpoint(const std::string& path) {
   std::vector<ShardCheckpoint> records;
-  std::ifstream in(path);
-  if (!in.is_open()) return records;  // fresh campaign
-  std::string line;
-  while (std::getline(in, line)) {
-    ShardCheckpoint record;
-    if (parse_record(line, record)) records.push_back(std::move(record));
-  }
+  for_each_checkpoint(path, [&](ShardCheckpoint&& record) {
+    records.push_back(std::move(record));
+  });
   return records;
 }
 

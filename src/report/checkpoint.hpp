@@ -22,6 +22,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,9 +65,38 @@ class CheckpointWriter {
   LineWriter writer_;
 };
 
+/// Streaming cursor over the records at `path`, in file order. Holds one
+/// record's worth of state: the campaign restore folds a compacted file
+/// (ascending-unique scenario order) through this instead of materializing
+/// an O(shards) vector. A missing file is an immediately-exhausted cursor.
+/// Records appended by a concurrent writer after construction land beyond
+/// the cursor's initial extent and are simply read if reached — callers
+/// that must not see them (resume) stop after a known record count.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path);
+
+  /// Parses the next complete record into `out`; false once the file is
+  /// exhausted. Malformed lines — the torn last line of a killed writer —
+  /// are skipped, the same rule load_checkpoint applies.
+  bool next(ShardCheckpoint& out);
+
+ private:
+  std::ifstream in_;
+  std::string line_;
+};
+
+/// Applies `fn` to every complete record at `path` in file order, one
+/// record in memory at a time. A missing file applies `fn` zero times (a
+/// fresh campaign); malformed lines are skipped.
+void for_each_checkpoint(const std::string& path,
+                         const std::function<void(ShardCheckpoint&&)>& fn);
+
 /// Parses every complete record at `path`; a missing file yields an empty
 /// vector (a fresh campaign). Records that fail to parse — the torn last
 /// line of a killed writer — are skipped, so their shards rerun.
+/// Materializes the whole file: prefer CheckpointReader/for_each_checkpoint
+/// for large campaigns.
 [[nodiscard]] std::vector<ShardCheckpoint> load_checkpoint(
     const std::string& path);
 
@@ -78,12 +109,20 @@ class CheckpointWriter {
 /// Rewrites `path` to one record per shard: `records` (typically the result
 /// of load_checkpoint) are deduplicated by scenario index — the last record
 /// wins, matching resume's restore order — and written in ascending
-/// scenario order. The rewrite is crash-safe: a sibling temp file is
-/// renamed over `path`, so a kill mid-compaction leaves either the old file
-/// or the new one, never a truncated hybrid. Call before opening an
-/// append-mode CheckpointWriter on the same path.
+/// scenario order. The rewrite is crash-safe: the temp file is flushed and
+/// fsync'd before being renamed over `path` (with a best-effort directory
+/// fsync after), so a power cut mid-compaction leaves either the old
+/// complete file or the new complete file, never a truncated hybrid. Call
+/// before opening an append-mode CheckpointWriter on the same path.
 void compact_checkpoint(const std::string& path,
                         const std::vector<ShardCheckpoint>& records);
+
+/// Streaming compaction: same result and crash-safety as the overload
+/// above, without ever materializing the file. Pass 1 records the byte
+/// offset of the last complete record per scenario index (O(shards) offsets,
+/// not digests); pass 2 seeks to each winner in ascending scenario order and
+/// re-renders it into the temp file. A missing file is a no-op.
+void compact_checkpoint(const std::string& path);
 
 /// Per-shard sink: folds the shard's events and appends the record when the
 /// shard finishes. The writer must outlive every shard of the campaign.

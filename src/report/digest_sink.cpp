@@ -20,6 +20,20 @@ void WorkloadDigest::merge(const WorkloadDigest& other) {
   dn_ms.merge(other.dn_ms);
 }
 
+void WorkloadDigest::merge(WorkloadDigest&& other) {
+  expects(tool == other.tool,
+          "WorkloadDigest::merge requires matching tool kinds");
+  probes += other.probes;
+  lost += other.lost;
+  reported_rtt_ms.merge(std::move(other.reported_rtt_ms));
+  du_ms.merge(std::move(other.du_ms));
+  dk_ms.merge(std::move(other.dk_ms));
+  dv_ms.merge(std::move(other.dv_ms));
+  dn_ms.merge(std::move(other.dn_ms));
+  other.probes = 0;
+  other.lost = 0;
+}
+
 WorkloadDigest& WorkloadFold::slot(tools::ToolKind kind) {
   auto& entry = slots_[tools::tool_kind_index(kind)];
   if (!entry.has_value()) {
@@ -38,6 +52,22 @@ std::vector<WorkloadDigest> WorkloadFold::take() {
     }
   }
   return out;
+}
+
+std::vector<WorkloadDigest> WorkloadFold::snapshot() const {
+  std::vector<WorkloadDigest> out;
+  for (const auto& entry : slots_) {
+    if (entry.has_value()) out.push_back(*entry);
+  }
+  return out;
+}
+
+void WorkloadFold::fold_shard(std::vector<WorkloadDigest>&& digests) {
+  for (WorkloadDigest& digest : digests) {
+    slot(digest.tool).merge(std::move(digest));
+  }
+  digests.clear();
+  digests.shrink_to_fit();
 }
 
 void fold_probe(WorkloadFold& fold, const ProbeEvent& event) {

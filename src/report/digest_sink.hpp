@@ -35,6 +35,10 @@ struct WorkloadDigest {
 
   /// Folds `other` (same tool kind) into this accumulator.
   void merge(const WorkloadDigest& other);
+  /// Consuming fold: bit-identical to merge(const&); adopts other's digest
+  /// storage where possible and leaves `other` empty-but-valid with its
+  /// heap buffers released (the frontier's per-shard free).
+  void merge(WorkloadDigest&& other);
 };
 
 /// Group-by-ToolKind accumulator shared by the per-shard sink and the
@@ -48,6 +52,16 @@ class WorkloadFold {
 
   /// The populated accumulators, ascending ToolKind. Leaves the fold empty.
   [[nodiscard]] std::vector<WorkloadDigest> take();
+
+  /// Copies of the populated accumulators, ascending ToolKind; the fold
+  /// keeps its state (the repeatable-read surface of campaign reports).
+  /// Bit-identical to what take() would return.
+  [[nodiscard]] std::vector<WorkloadDigest> snapshot() const;
+
+  /// Folds one shard's take()-ordered digests into the campaign-level
+  /// slots, consuming them: the canonical frontier step. Bit-identical to
+  /// `for (d : digests) slot(d.tool).merge(d)` with copies.
+  void fold_shard(std::vector<WorkloadDigest>&& digests);
 
  private:
   std::array<std::optional<WorkloadDigest>, tools::kToolKindCount> slots_;

@@ -58,6 +58,45 @@ void MergingDigest::merge(const MergingDigest& other) {
   compress();
 }
 
+void MergingDigest::merge(MergingDigest&& other) {
+  if (&other == this) {
+    merge(static_cast<const MergingDigest&>(other));
+    return;
+  }
+  if (count_ != 0 || compression_ != other.compression_) {
+    // Non-empty target (or mismatched scale): the copy-free fast path below
+    // would change which centroid list seeds the union, so fall back to the
+    // copying merge and only salvage other's storage afterwards.
+    merge(static_cast<const MergingDigest&>(other));
+  } else if (other.count_ != 0) {
+    // Adopt-after-compress: merge(const&) into an empty digest compresses
+    // `other`, copies its (already k1-bound) centroids, and re-runs
+    // compress() — which is a no-op on an already-compacted list. Adopting
+    // the compacted storage wholesale is therefore bit-identical, and the
+    // moved vectors keep their capacities (buffer_ stays at 4*compression),
+    // so later compaction triggers at exactly the same sample counts.
+    other.compress();
+    centroids_ = std::move(other.centroids_);
+    buffer_ = std::move(other.buffer_);
+    compacted_ = true;
+    count_ = other.count_;
+    sum_ = other.sum_;
+    sum_sq_ = other.sum_sq_;
+    min_ = other.min_;
+    max_ = other.max_;
+  }
+  // Leave `other` empty-but-valid with released heap storage either way —
+  // the frontier fold relies on the donor shrinking to its footprint floor.
+  other.centroids_ = {};
+  other.buffer_ = {};
+  other.compacted_ = true;
+  other.count_ = 0;
+  other.sum_ = 0;
+  other.sum_sq_ = 0;
+  other.min_ = 0;
+  other.max_ = 0;
+}
+
 void MergingDigest::compress() const {
   if (buffer_.empty() && compacted_) return;
   compacted_ = true;

@@ -57,6 +57,15 @@ class MergingDigest {
   /// merge order.
   void merge(const MergingDigest& other);
 
+  /// Consuming merge: bit-identical observable result to merge(const&), but
+  /// when this digest is still empty (the first shard folded into a
+  /// campaign-level slot) it adopts other's compacted centroid storage and
+  /// insert buffer wholesale instead of copying them. Buffer capacities are
+  /// preserved exactly, so compaction triggers at the same sample counts —
+  /// the t-digest bit-identity contract is untouched. `other` is left
+  /// empty-but-valid.
+  void merge(MergingDigest&& other);
+
   /// Number of samples added (exact).
   [[nodiscard]] std::uint64_t count() const { return count_; }
   /// True when no sample has been added.

@@ -4,7 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <functional>
+#include <limits>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -220,9 +224,22 @@ ScenarioSpec ScenarioGrid::at(std::size_t index) const {
 }
 
 std::size_t ScenarioGrid::size() const {
-  return phone_counts.size() * profiles.size() * radios.size() *
-         emulated_rtts.size() * cross_traffic.size() * loss_rates.size() *
-         reorder.size() * workloads.size();
+  // Guarded mixed-radix product: eight axis lists can overflow std::size_t
+  // long before they could ever run, and a silently-wrapped size would make
+  // at()'s range check accept garbage indices. Fail loudly instead.
+  const std::size_t axes[] = {phone_counts.size(),  profiles.size(),
+                              radios.size(),        emulated_rtts.size(),
+                              cross_traffic.size(), loss_rates.size(),
+                              reorder.size(),       workloads.size()};
+  std::size_t total = 1;
+  for (const std::size_t axis : axes) {
+    if (axis == 0) return 0;
+    expects(total <= std::numeric_limits<std::size_t>::max() / axis,
+            "ScenarioGrid::size overflows std::size_t "
+            "(cross product of axis lengths is too large)");
+    total *= axis;
+  }
+  return total;
 }
 
 std::vector<double> CampaignReport::merged(
@@ -244,6 +261,9 @@ stats::Cdf CampaignReport::rtt_cdf() const {
 }
 
 std::vector<WorkloadDigest> CampaignReport::workload_digests() const {
+  // Frontier mode already folded every completed shard in ascending
+  // scenario order as it retired; just copy the accumulators out.
+  if (frontier.active) return frontier.workloads.snapshot();
   // Shards are already in scenario-index order, and each shard's digests
   // are in ascending ToolKind order, so folding front to back gives the
   // deterministic scenario-order merge the determinism contract requires.
@@ -258,7 +278,12 @@ std::vector<WorkloadDigest> CampaignReport::workload_digests() const {
   return fold.take();
 }
 
+std::size_t CampaignReport::shard_count() const {
+  return frontier.active ? frontier.shard_count : shards.size();
+}
+
 std::size_t CampaignReport::completed_shards() const {
+  if (frontier.active) return frontier.completed;
   std::size_t completed = 0;
   for (const ShardResult& shard : shards) {
     if (shard.completed) ++completed;
@@ -275,30 +300,37 @@ stats::MergingDigest CampaignReport::rtt_digest() const {
 }
 
 std::size_t CampaignReport::total_probes() const {
+  if (frontier.active) return frontier.probes;
   std::size_t total = 0;
   for (const ShardResult& shard : shards) total += shard.probes_sent;
   return total;
 }
 
 std::size_t CampaignReport::total_lost() const {
+  if (frontier.active) return frontier.lost;
   std::size_t total = 0;
   for (const ShardResult& shard : shards) total += shard.probes_lost;
   return total;
 }
 
 std::uint64_t CampaignReport::total_frames() const {
+  if (frontier.active) return frontier.frames;
   std::uint64_t total = 0;
   for (const ShardResult& shard : shards) total += shard.frames_on_air;
   return total;
 }
 
 std::uint64_t CampaignReport::total_events() const {
+  if (frontier.active) return frontier.events;
   std::uint64_t total = 0;
   for (const ShardResult& shard : shards) total += shard.events_fired;
   return total;
 }
 
 double CampaignReport::total_sim_seconds() const {
+  // The frontier accumulated this double sum in the same ascending shard
+  // order as this loop, so the two modes agree to the last bit.
+  if (frontier.active) return frontier.sim_seconds;
   double total = 0;
   for (const ShardResult& shard : shards) total += shard.sim_seconds;
   return total;
@@ -317,6 +349,9 @@ Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
           "Campaign requires probes_per_phone > 0");
   expects(spec_.probe_timeout > Duration{},
           "Campaign requires a positive probe timeout");
+  expects(spec_.retain_shards || !spec_.keep_samples,
+          "Campaign frontier mode (retain_shards=false) requires "
+          "keep_samples=false: raw sample vectors cannot be folded away");
 }
 
 std::size_t Campaign::scenario_count() const {
@@ -513,56 +548,221 @@ struct alignas(64) WorkerLane {
   std::size_t shards_run = 0;
 };
 
+/// Rebuilds the ShardResult view a completed shard would have produced
+/// with keep_samples=false from its checkpoint record (digests deserialize
+/// bit-identically; raw sample vectors are not checkpointed).
+ShardResult restored_shard(report::ShardCheckpoint&& record) {
+  ShardResult restored;
+  restored.completed = true;
+  restored.scenario_index = record.summary.info.scenario_index;
+  restored.shard_seed = record.summary.info.shard_seed;
+  restored.phone_count = record.summary.info.phone_count;
+  restored.probes_sent = record.summary.probes_sent;
+  restored.probes_lost = record.summary.probes_lost;
+  restored.frames_on_air = record.summary.frames_on_air;
+  restored.events_fired = record.summary.events_fired;
+  restored.sim_seconds = record.summary.sim_seconds;
+  restored.digests = std::move(record.digests);
+  return restored;
+}
+
+/// The merge frontier (CampaignSpec::retain_shards=false): an in-order fold
+/// over scenario indices, same shape as the JSONL sink's reorder window. A
+/// cursor sweeps 0..N-1; each index is folded into the campaign-level
+/// FoldedTotals the moment every lower index has folded, then its digests
+/// are freed. Shards that complete ahead of the cursor wait in `held_` —
+/// bounded in practice by the batched ascending claim order to
+/// O(workers × claim batch), the same skew bound as the JSONL window — so
+/// peak digest retention is O(workers), not O(shards).
+///
+/// Order proof: the cursor visits indices strictly ascending and folds
+/// exactly the shards the buffered model would retain (fresh submissions,
+/// checkpoint-restored records, nothing for skipped/abandoned ones), so
+/// the fold sequence is identical to CampaignReport::workload_digests()'s
+/// post-join loop over `shards` — bit-identical digests and double sums
+/// for any worker count and across kill/resume.
+///
+/// submit()/abandon() never block: the caller either advances the cursor
+/// itself (folding under the mutex) or parks its result and returns, so
+/// the frontier cannot deadlock against the JSONL reorder window (both are
+/// drained in the same ascending order by whoever holds the release point).
+class MergeFrontier {
+ public:
+  /// How the cursor treats each scenario index.
+  enum class Slot : unsigned char {
+    skipped,   ///< will not complete this run (max_shards cap / abandoned)
+    restored,  ///< fed from the compacted checkpoint, in file order
+    fresh,     ///< a pending shard; a worker will submit() or abandon() it
+  };
+
+  /// `feed` returns the next restored shard from the (ascending, unique)
+  /// compacted checkpoint; called exactly once per `restored` slot, in
+  /// ascending index order, under the frontier lock.
+  MergeFrontier(std::vector<Slot> slots,
+                std::function<ShardResult(std::size_t)> feed,
+                CampaignReport::FoldedTotals& totals)
+      : slots_(std::move(slots)), feed_(std::move(feed)), totals_(totals) {
+    // Fold any leading restored/skipped run right away: the cursor must
+    // always rest on a fresh slot (or the end), or a resumed tick's fresh
+    // results would all park behind a restored prefix no submit can match.
+    const std::lock_guard<std::mutex> lock(mu_);
+    advance_locked();
+  }
+
+  /// Folds a freshly-completed shard, or parks it until the cursor arrives.
+  void submit(std::size_t index, ShardResult&& result) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    expects(index < slots_.size() && slots_[index] == Slot::fresh,
+            "MergeFrontier::submit on a non-pending slot");
+    held_.emplace(index, std::move(result));
+    high_water_ = std::max(high_water_, held_.size());
+    advance_locked();
+  }
+
+  /// Releases a failed shard's slot so the fold cannot stall on it (the
+  /// failure itself is rethrown by run() after the pool joins).
+  void abandon(std::size_t index) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    expects(index < slots_.size() && slots_[index] == Slot::fresh,
+            "MergeFrontier::abandon on a non-pending slot");
+    slots_[index] = Slot::skipped;
+    advance_locked();
+  }
+
+  /// Drains any skipped/restored tail after the pool joins; every fresh
+  /// slot must have been submitted or abandoned by then.
+  void finalize() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    advance_locked();
+    expects(cursor_ == slots_.size() && held_.empty(),
+            "MergeFrontier::finalize with unfolded shards");
+  }
+
+  /// Peak number of out-of-order shards parked at once (memory telemetry).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  void advance_locked() {
+    while (cursor_ < slots_.size()) {
+      switch (slots_[cursor_]) {
+        case Slot::skipped:
+          ++cursor_;
+          break;
+        case Slot::restored:
+          fold(feed_(cursor_));
+          ++cursor_;
+          break;
+        case Slot::fresh: {
+          const auto it = held_.find(cursor_);
+          if (it == held_.end()) return;  // a worker still owns this index
+          fold(std::move(it->second));
+          held_.erase(it);
+          ++cursor_;
+          break;
+        }
+      }
+    }
+  }
+
+  /// The one fold step: counters in ascending scenario order (so double
+  /// sums match the buffered accessors bit for bit), then the consuming
+  /// digest merge that frees the shard's buffers.
+  void fold(ShardResult&& result) {
+    ++totals_.completed;
+    totals_.probes += result.probes_sent;
+    totals_.lost += result.probes_lost;
+    totals_.frames += result.frames_on_air;
+    totals_.events += result.events_fired;
+    totals_.sim_seconds += result.sim_seconds;
+    totals_.workloads.fold_shard(std::move(result.digests));
+  }
+
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::function<ShardResult(std::size_t)> feed_;
+  CampaignReport::FoldedTotals& totals_;
+  std::map<std::size_t, ShardResult> held_;
+  std::size_t cursor_ = 0;
+  std::size_t high_water_ = 0;
+};
+
 }  // namespace
 
 CampaignReport Campaign::run(std::size_t workers) {
   const std::size_t shard_count = scenario_count();
+  const bool frontier_mode = !spec_.retain_shards;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
 
   CampaignReport report;
-  report.shards.resize(shard_count);
+  report.frontier.active = frontier_mode;
+  report.frontier.shard_count = shard_count;
+  if (!frontier_mode) report.shards.resize(shard_count);
 
   // Checkpoint resume: restore every shard already on disk (digests +
   // counters deserialize bit-identically), compact the file back to one
-  // line per shard, then append newly completed shards to it.
+  // line per shard, then append newly completed shards to it. Buffered
+  // mode materializes the records straight into report.shards; frontier
+  // mode only *validates* them here (streaming, one record in memory) and
+  // re-reads the compacted file — ascending, one record per shard — as the
+  // fold reaches each restored index.
   std::shared_ptr<report::CheckpointWriter> checkpoint;
+  std::vector<bool> restored_set;
+  std::unique_ptr<report::CheckpointReader> restored_feed;
   if (!spec_.checkpoint_path.empty()) {
     const auto restore_start = std::chrono::steady_clock::now();
-    std::vector<report::ShardCheckpoint> records =
-        report::load_checkpoint(spec_.checkpoint_path);
-    for (report::ShardCheckpoint& record : records) {
-      const std::size_t index = record.summary.info.scenario_index;
-      expects(index < shard_count,
-              "checkpoint does not match this campaign (shard out of range)");
-      expects(record.summary.info.shard_seed == shard_seed(spec_.seed, index),
-              "checkpoint does not match this campaign (seed mismatch)");
-      expects(record.spec_hash == shard_spec_hash(spec_, scenario_at(index)),
-              "checkpoint does not match this campaign (spec edited since "
-              "the checkpoint was written)");
-    }
-    // Validation passed: rewrite the file to exactly one record per
-    // completed shard (drops torn fragments and duplicate re-runs), so a
-    // many-times-resumed sweep's checkpoint stays O(completed shards)
-    // instead of growing with every kill.
-    if (!records.empty()) {
-      report::compact_checkpoint(spec_.checkpoint_path, records);
-    }
-    for (report::ShardCheckpoint& record : records) {
-      const std::size_t index = record.summary.info.scenario_index;
-      ShardResult& restored = report.shards[index];
-      restored.completed = true;
-      restored.scenario_index = index;
-      restored.shard_seed = record.summary.info.shard_seed;
-      restored.phone_count = record.summary.info.phone_count;
-      restored.probes_sent = record.summary.probes_sent;
-      restored.probes_lost = record.summary.probes_lost;
-      restored.frames_on_air = record.summary.frames_on_air;
-      restored.events_fired = record.summary.events_fired;
-      restored.sim_seconds = record.summary.sim_seconds;
-      restored.digests = std::move(record.digests);
+    if (frontier_mode) {
+      restored_set.assign(shard_count, false);
+      std::size_t restored_count = 0;
+      report::for_each_checkpoint(
+          spec_.checkpoint_path, [&](report::ShardCheckpoint&& record) {
+            const std::size_t index = record.summary.info.scenario_index;
+            expects(index < shard_count,
+                    "checkpoint does not match this campaign (shard out of "
+                    "range)");
+            expects(
+                record.summary.info.shard_seed == shard_seed(spec_.seed, index),
+                "checkpoint does not match this campaign (seed mismatch)");
+            expects(
+                record.spec_hash == shard_spec_hash(spec_, scenario_at(index)),
+                "checkpoint does not match this campaign (spec edited since "
+                "the checkpoint was written)");
+            if (!restored_set[index]) {
+              restored_set[index] = true;
+              ++restored_count;
+            }
+          });
+      if (restored_count > 0) {
+        report::compact_checkpoint(spec_.checkpoint_path);
+      }
+      restored_feed =
+          std::make_unique<report::CheckpointReader>(spec_.checkpoint_path);
+    } else {
+      std::vector<report::ShardCheckpoint> records =
+          report::load_checkpoint(spec_.checkpoint_path);
+      for (report::ShardCheckpoint& record : records) {
+        const std::size_t index = record.summary.info.scenario_index;
+        expects(index < shard_count,
+                "checkpoint does not match this campaign (shard out of range)");
+        expects(record.summary.info.shard_seed == shard_seed(spec_.seed, index),
+                "checkpoint does not match this campaign (seed mismatch)");
+        expects(record.spec_hash == shard_spec_hash(spec_, scenario_at(index)),
+                "checkpoint does not match this campaign (spec edited since "
+                "the checkpoint was written)");
+      }
+      // Validation passed: rewrite the file to exactly one record per
+      // completed shard (drops torn fragments and duplicate re-runs), so a
+      // many-times-resumed sweep's checkpoint stays O(completed shards)
+      // instead of growing with every kill.
+      if (!records.empty()) {
+        report::compact_checkpoint(spec_.checkpoint_path, records);
+      }
+      for (report::ShardCheckpoint& record : records) {
+        const std::size_t index = record.summary.info.scenario_index;
+        report.shards[index] = restored_shard(std::move(record));
+      }
     }
     checkpoint = std::make_shared<report::CheckpointWriter>(
         spec_.checkpoint_path);
@@ -576,13 +776,46 @@ CampaignReport Campaign::run(std::size_t workers) {
   pending.reserve(std::min<std::size_t>(
       shard_count, spec_.max_shards > 0 ? spec_.max_shards : shard_count));
   for (std::size_t i = 0; i < shard_count; ++i) {
-    if (report.shards[i].completed) continue;
+    const bool already_done = frontier_mode
+                                  ? (!restored_set.empty() && restored_set[i])
+                                  : report.shards[i].completed;
+    if (already_done) continue;
     pending.push_back(i);
     // The kill / incremental-sweep knob: cap how many pending shards this
     // invocation executes (the cut is the scenario-order prefix, so
     // resumes walk the campaign front to back).
     if (spec_.max_shards > 0 && pending.size() == spec_.max_shards) break;
   }
+
+  // Frontier setup: classify every index so the in-order fold knows what
+  // to wait for (fresh), what to pull from the compacted checkpoint
+  // (restored) and what to step over (the capped tail).
+  std::unique_ptr<MergeFrontier> frontier;
+  if (frontier_mode) {
+    std::vector<MergeFrontier::Slot> slots(shard_count,
+                                           MergeFrontier::Slot::skipped);
+    if (!restored_set.empty()) {
+      for (std::size_t i = 0; i < shard_count; ++i) {
+        if (restored_set[i]) slots[i] = MergeFrontier::Slot::restored;
+      }
+    }
+    for (const std::size_t index : pending) {
+      slots[index] = MergeFrontier::Slot::fresh;
+    }
+    auto feed = [reader = restored_feed.get()](std::size_t expected_index) {
+      report::ShardCheckpoint record;
+      expects(reader != nullptr && reader->next(record),
+              "campaign frontier: compacted checkpoint exhausted before all "
+              "restored shards were folded");
+      expects(record.summary.info.scenario_index == expected_index,
+              "campaign frontier: compacted checkpoint out of order");
+      return restored_shard(std::move(record));
+    };
+    frontier = std::make_unique<MergeFrontier>(std::move(slots),
+                                               std::move(feed),
+                                               report.frontier);
+  }
+
   // Never spawn more threads than pending shards: a tiny incremental tick
   // (or a fully-restored rerun) must not pay pool spin-up for workers that
   // would find the claim cursor already exhausted.
@@ -591,10 +824,21 @@ CampaignReport Campaign::run(std::size_t workers) {
 
   if (workers <= 1) {
     for (std::size_t p = 0; p < pending.size(); ++p) {
-      report.shards[pending[p]] =
-          run_shard(pending[p], /*run_sequence=*/p, checkpoint,
-                    &report.stage);
+      const std::size_t index = pending[p];
+      if (frontier != nullptr) {
+        try {
+          frontier->submit(index, run_shard(index, /*run_sequence=*/p,
+                                            checkpoint, &report.stage));
+        } catch (...) {
+          frontier->abandon(index);
+          throw;
+        }
+      } else {
+        report.shards[index] =
+            run_shard(index, /*run_sequence=*/p, checkpoint, &report.stage);
+      }
     }
+    if (frontier != nullptr) frontier->finalize();
     return report;
   }
 
@@ -613,7 +857,7 @@ CampaignReport Campaign::run(std::size_t workers) {
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([this, &cursor, &report, &failures, &pending,
-                       &checkpoint, &lane = lanes[w], batch] {
+                       &checkpoint, &frontier, &lane = lanes[w], batch] {
       while (true) {
         const std::size_t begin =
             cursor.next.fetch_add(batch, std::memory_order_relaxed);
@@ -622,18 +866,30 @@ CampaignReport Campaign::run(std::size_t workers) {
         for (std::size_t p = begin; p < end; ++p) {
           const std::size_t index = pending[p];
           try {
-            report.shards[index] =
-                run_shard(index, /*run_sequence=*/p, checkpoint,
-                          &lane.stage);
+            ShardResult result =
+                run_shard(index, /*run_sequence=*/p, checkpoint, &lane.stage);
             ++lane.shards_run;
+            if (frontier != nullptr) {
+              // Retire into the in-order fold (never blocks: either this
+              // worker advances the cursor or the result parks until the
+              // cursor arrives); the shard's digests are freed as soon as
+              // the fold consumes them.
+              frontier->submit(index, std::move(result));
+            } else {
+              report.shards[index] = std::move(result);
+            }
           } catch (...) {
             failures[p] = std::current_exception();
+            // Release the slot so the fold cannot stall behind a failed
+            // shard; the exception is rethrown below after the join.
+            if (frontier != nullptr) frontier->abandon(index);
           }
         }
       }
     });
   }
   for (std::thread& worker : pool) worker.join();
+  if (frontier != nullptr) frontier->finalize();
   for (const WorkerLane& lane : lanes) {
     report.stage.build += lane.stage.build;
     report.stage.simulate += lane.stage.simulate;

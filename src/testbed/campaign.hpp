@@ -125,6 +125,18 @@ struct CampaignSpec {
   /// behind kill/resume tests and incremental ("N shards per cron tick")
   /// checkpointed sweeps.
   std::size_t max_shards = 0;
+  /// When false, run() switches to the *merge frontier*: each completed (or
+  /// checkpoint-restored) shard is folded into campaign-level accumulators
+  /// as soon as every lower-indexed shard has folded, then its digests are
+  /// freed — peak report memory is O(workers + reorder window), not
+  /// O(shards), the 10^5–10^6-shard mode. CampaignReport::shards stays
+  /// empty then (use the digest/total accessors and shard_count()); the
+  /// fold order is the same ascending-scenario order as the buffered merge,
+  /// so the folded digests are bit-identical for any worker count and
+  /// across kill/resume. Requires keep_samples=false (raw sample vectors
+  /// cannot be folded away). Default true preserves the legacy per-shard
+  /// ShardResult surface for small sweeps.
+  bool retain_shards = true;
 };
 
 /// The per-workload streaming accumulator now lives in the report::
@@ -186,9 +198,34 @@ struct ShardResult {
 
 /// Merged campaign outcome; shards are ordered by scenario index.
 struct CampaignReport {
+  /// Per-shard results (buffered mode). Empty when the campaign ran with
+  /// CampaignSpec::retain_shards=false — the frontier fold consumed each
+  /// shard into `frontier` instead of retaining it.
   std::vector<ShardResult> shards;
   /// Per-stage time breakdown of the run (see StageSeconds).
   StageSeconds stage;
+
+  /// Campaign-level accumulators the merge frontier folds completed shards
+  /// into, in ascending scenario-index order — the same order (and thus the
+  /// same bits) as the buffered accessors' post-join merge. Only populated
+  /// when `active` (retain_shards=false); the accessors below read from it
+  /// automatically then.
+  struct FoldedTotals {
+    /// True when the campaign ran in frontier mode.
+    bool active = false;
+    /// Total shards in the campaign (shards.size() is 0 in frontier mode).
+    std::size_t shard_count = 0;
+    /// Shards folded (executed or restored) by this run.
+    std::size_t completed = 0;
+    /// Exact fleet counters, summed in ascending scenario order.
+    std::size_t probes = 0;
+    std::size_t lost = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t events = 0;
+    double sim_seconds = 0;
+    /// Per-workload digest accumulators (ascending ToolKind slots).
+    report::WorkloadFold workloads;
+  } frontier;
 
   /// Concatenation of a per-shard sample vector across shards, in scenario
   /// index order (the canonical merge used by the summaries below).
@@ -202,13 +239,19 @@ struct CampaignReport {
 
   /// Per-workload streaming accumulators merged across all shards in
   /// scenario-index order, returned by ascending ToolKind; only kinds that
-  /// ran appear. Works in both keep_samples modes.
+  /// ran appear. Works in both keep_samples modes and both retention modes
+  /// (frontier mode reads the already-folded accumulators; bit-identical).
   [[nodiscard]] std::vector<WorkloadDigest> workload_digests() const;
   /// All workloads' reported-RTT digests merged into one distribution (ms).
   [[nodiscard]] stats::MergingDigest rtt_digest() const;
 
+  /// Total shards in the campaign: shards.size() in buffered mode, the
+  /// frontier's shard count otherwise. Use this instead of shards.size()
+  /// in retention-mode-agnostic code.
+  [[nodiscard]] std::size_t shard_count() const;
+
   /// Shards that actually executed (or were restored from a checkpoint);
-  /// equals shards.size() for an uninterrupted, un-capped run.
+  /// equals shard_count() for an uninterrupted, un-capped run.
   [[nodiscard]] std::size_t completed_shards() const;
 
   /// Exact fleet totals (sums over shards).

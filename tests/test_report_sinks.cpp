@@ -235,6 +235,83 @@ TEST(Checkpoint, CompactionDedupesAndSortsRecords) {
             render_checkpoint_record(sample_checkpoint(9)));
 }
 
+TEST(Checkpoint, StreamingCompactionMatchesMaterializedCompaction) {
+  // Same input (duplicates + torn tail), two compactors: the streaming
+  // one-record-at-a-time overload must produce byte-identical output to
+  // the load-then-compact legacy overload.
+  auto write_messy = [](const std::string& path) {
+    CheckpointWriter writer(path);
+    writer.append(sample_checkpoint(9));
+    writer.append(sample_checkpoint(2));
+    writer.append(sample_checkpoint(9));
+    writer.append(sample_checkpoint(5));
+    std::ofstream out(path, std::ios::app);
+    out << "ckpt1 11 123 torn-fragmen";
+  };
+  TempFile materialized("ckpt_compact_mat");
+  TempFile streaming("ckpt_compact_stream");
+  write_messy(materialized.path);
+  write_messy(streaming.path);
+  compact_checkpoint(materialized.path, load_checkpoint(materialized.path));
+  compact_checkpoint(streaming.path);
+  std::ifstream a(materialized.path), b(streaming.path);
+  std::stringstream a_bytes, b_bytes;
+  a_bytes << a.rdbuf();
+  b_bytes << b.rdbuf();
+  ASSERT_FALSE(a_bytes.str().empty());
+  EXPECT_EQ(a_bytes.str(), b_bytes.str());
+}
+
+TEST(Checkpoint, StreamingCompactionOfMissingFileIsANoop) {
+  const std::string path = temp_path("ckpt_compact_missing");
+  compact_checkpoint(path);  // must not create the file or throw
+  EXPECT_FALSE(std::ifstream(path).is_open());
+}
+
+TEST(Checkpoint, ReaderStreamsRecordsInFileOrderSkippingTornLines) {
+  TempFile file("ckpt_reader");
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(3));
+    writer.append(sample_checkpoint(1));
+  }
+  {
+    std::ofstream out(file.path, std::ios::app);
+    out << "ckpt1 11 torn\n";  // a torn line in the middle, not just the tail
+  }
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(6));
+  }
+  CheckpointReader reader(file.path);
+  ShardCheckpoint record;
+  std::vector<std::size_t> order;
+  while (reader.next(record)) {
+    order.push_back(record.summary.info.scenario_index);
+    EXPECT_EQ(record.digests.size(), 1u);  // each record parses in full
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 1, 6}));
+
+  // for_each_checkpoint is the same cursor behind a fold callback, and
+  // load_checkpoint is for_each into a vector — all three must agree.
+  std::vector<std::size_t> folded;
+  for_each_checkpoint(file.path, [&](ShardCheckpoint&& r) {
+    folded.push_back(r.summary.info.scenario_index);
+  });
+  EXPECT_EQ(folded, order);
+  const auto loaded = load_checkpoint(file.path);
+  ASSERT_EQ(loaded.size(), order.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].summary.info.scenario_index, order[i]);
+  }
+}
+
+TEST(Checkpoint, ReaderOnMissingFileIsImmediatelyExhausted) {
+  CheckpointReader reader(temp_path("ckpt_reader_missing"));
+  ShardCheckpoint record;
+  EXPECT_FALSE(reader.next(record));
+}
+
 TEST(JsonlReorder, ReleasesBlocksInSequenceOrder) {
   TempFile file("jsonl_reorder");
   {
