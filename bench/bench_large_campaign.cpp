@@ -13,14 +13,22 @@
 //     for comparison; it cannot pass the 10^5-shard tier's bound.
 //
 // Exits non-zero on any violated bound — wired into CI as the scale gate.
+// --alloc-limit N adds a fourth bound: heap allocations per shard across
+// the whole ticked sweep (counting global allocator, includes checkpoint
+// restores) must stay <= N — the shard-context pool's steady-state
+// guarantee, enforced alongside the RSS ceiling.
 //
 // Usage: bench_large_campaign [--shards N] [--ticks N] [--workers N]
-//                             [--rss-limit-mb M] [--retain-shards]
+//                             [--rss-limit-mb M] [--alloc-limit N]
+//                             [--retain-shards]
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <string>
 
 #include <sys/resource.h>
@@ -30,6 +38,43 @@
 
 using namespace acute;
 using sim::Duration;
+
+// Counting global allocator (atomic: pool workers allocate concurrently).
+// Same idiom as tests/test_sim_alloc.cpp.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t al = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + al - 1) / al * al;
+  void* p = std::aligned_alloc(al, rounded == 0 ? al : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -84,6 +129,7 @@ int main(int argc, char** argv) {
   std::size_t ticks = 4;
   std::size_t workers = 4;
   std::size_t rss_limit_mb = 512;
+  std::size_t alloc_limit = 0;  // allocs/shard budget; 0 disables the gate
   bool retain_shards = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -94,12 +140,15 @@ int main(int argc, char** argv) {
       workers = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--rss-limit-mb") == 0 && i + 1 < argc) {
       rss_limit_mb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--alloc-limit") == 0 && i + 1 < argc) {
+      alloc_limit = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--retain-shards") == 0) {
       retain_shards = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards N] [--ticks N] [--workers N] "
-                   "[--rss-limit-mb M] [--retain-shards]\n",
+                   "[--rss-limit-mb M] [--alloc-limit N] "
+                   "[--retain-shards]\n",
                    argv[0]);
       return 1;
     }
@@ -117,6 +166,8 @@ int main(int argc, char** argv) {
               retain_shards ? "buffered" : "frontier");
 
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t allocs_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
   std::size_t completed = 0;
   for (std::size_t tick = 0; tick < ticks; ++tick) {
     // Each tick constructs a fresh Campaign and resumes from the
@@ -140,6 +191,8 @@ int main(int argc, char** argv) {
         report.stage.restore);
     if (completed == total) break;
   }
+  const std::uint64_t sweep_allocs =
+      g_heap_allocations.load(std::memory_order_relaxed) - allocs_before;
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -179,12 +232,27 @@ int main(int argc, char** argv) {
                  rss, rss_limit_mb);
     ++failures;
   }
+  // Allocation budget: the whole ticked sweep — shards, checkpoint writes,
+  // per-tick restores — amortized over the shard count. The warm context
+  // pool keeps the per-shard contribution near zero; a regression that
+  // reintroduces per-shard construction blows straight through any sane
+  // budget.
+  const double allocs_per_shard =
+      total > 0 ? double(sweep_allocs) / double(total) : 0.0;
+  if (alloc_limit > 0 && allocs_per_shard > double(alloc_limit)) {
+    std::fprintf(stderr,
+                 "FAILED: %.1f heap allocations per shard exceeds the "
+                 "budget of %zu\n",
+                 allocs_per_shard, alloc_limit);
+    ++failures;
+  }
   std::remove(checkpoint.c_str());
   std::printf(
       "large campaign %s: %zu shards in %.1fs wall, %zu probes "
-      "(%zu lost), peak RSS %zu MB (limit %zu)\n",
+      "(%zu lost), peak RSS %zu MB (limit %zu), %.1f allocs/shard%s\n",
       failures == 0 ? "OK" : "FAILED", total, wall,
       final_report.total_probes(), final_report.total_lost(), rss,
-      rss_limit_mb);
+      rss_limit_mb, allocs_per_shard,
+      alloc_limit > 0 ? "" : " (no budget)");
   return failures == 0 ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -64,6 +65,18 @@ class RrcMachine {
 
   RrcMachine(const RrcMachine&) = delete;
   RrcMachine& operator=(const RrcMachine&) = delete;
+
+  /// Returns the machine to the state the constructor would leave it in
+  /// with these arguments (shard-context reuse contract).
+  void reset(sim::Rng rng, RrcConfig config) {
+    rng_ = std::move(rng);
+    config_ = config;
+    state_ = RrcState::idle;
+    promotion_done_ = sim::TimePoint{};
+    demotion_timer_.reset();
+    promotions_ = 0;
+    demotions_ = 0;
+  }
 
   /// Requests to transmit `bytes` now. Returns the delay before the radio
   /// can actually send (promotion cost, zero when already in a suitable

@@ -31,6 +31,16 @@ class RrcRadioLayer : public stack::StackLayer {
 
   void set_egress(EgressFn egress) { egress_ = std::move(egress); }
 
+  /// Returns the layer to the state the constructor would leave it in with
+  /// this RRC machine; the egress hand-off is cleared — the gateway re-sets
+  /// it on attach (shard-context reuse contract).
+  void reset(RrcMachine& rrc) {
+    rrc_ = &rrc;
+    egress_ = nullptr;
+    uplink_ = 0;
+    downlink_ = 0;
+  }
+
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "rrc-radio"; }
   /// Downward: RRC promotion (state transition + demotion-timer reset) and

@@ -36,6 +36,14 @@ AcuteMon::AcuteMon(phone::Smartphone& phone, Config config, Options options)
   background_flow_ = phone.allocate_flow_id();
 }
 
+void AcuteMon::reinitialize(Config config) {
+  MeasurementTool::reinitialize(sequential(std::move(config)));
+  background_timer_.reset(options_.background_interval);
+  background_sent_ = 0;
+  warmup_sent_ = false;
+  background_flow_ = phone().allocate_flow_id();
+}
+
 Packet AcuteMon::make_keepalive(PacketType type) const {
   // Warm-up/background packets die at the first-hop router: TTL = 1.
   Packet pkt = Packet::make(type, Protocol::udp,

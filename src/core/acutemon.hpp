@@ -40,6 +40,11 @@ class AcuteMon : public tools::MeasurementTool {
   AcuteMon(phone::Smartphone& phone, Config config);
 
   [[nodiscard]] std::string name() const override { return "AcuteMon"; }
+
+  /// Constructor-equivalent reset with the options kept: re-adapts the
+  /// schedule, re-allocates both flow ids in constructor order and clears
+  /// the BT state (shard-context reuse contract).
+  void reinitialize(Config config) override;
   [[nodiscard]] const Options& options() const { return options_; }
 
   /// Background packets emitted so far (≈ K * nRTT / db; §4.1's example:

@@ -26,6 +26,21 @@ Link::Link(sim::Simulator& sim, Node& a, Node& b, Duration propagation,
   b_to_a_.to = a_;
 }
 
+void Link::reset(Node& a, Node& b, Duration propagation,
+                 double bandwidth_bps) {
+  expects(!propagation.is_negative(),
+          "Link propagation delay must be non-negative");
+  expects(bandwidth_bps > 0, "Link bandwidth must be positive");
+  expects(a.id() != b.id(), "Link endpoints must differ");
+  a_ = &a;
+  b_ = &b;
+  propagation_ = propagation;
+  bandwidth_bps_ = bandwidth_bps;
+  a_to_b_ = Direction{b_, TimePoint{}};
+  b_to_a_ = Direction{a_, TimePoint{}};
+  delivered_count_ = 0;
+}
+
 Link::Direction& Link::direction_from(NodeId from) {
   expects(from == a_->id() || from == b_->id(),
           "Link::send 'from' must be one of the endpoints");

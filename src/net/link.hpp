@@ -20,6 +20,12 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  /// Returns the link to the state the constructor would leave it in with
+  /// these arguments (shard-context reuse contract; endpoints or parameters
+  /// may differ from the original construction).
+  void reset(Node& a, Node& b, sim::Duration propagation,
+             double bandwidth_bps);
+
   /// Transmits `packet` from the endpoint whose id is `from`.
   /// The packet is serialized after any in-flight packet in that direction,
   /// then delivered to the opposite endpoint after the propagation delay.

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
@@ -23,6 +24,18 @@ class NetemQdisc {
 
   NetemQdisc(const NetemQdisc&) = delete;
   NetemQdisc& operator=(const NetemQdisc&) = delete;
+
+  /// Returns the qdisc to the state the constructor would leave it in with
+  /// this rng stream; the forward fn is kept (shard-context reuse contract).
+  void reset(sim::Rng rng) {
+    rng_ = std::move(rng);
+    base_ = sim::Duration{};
+    jitter_ = sim::Duration{};
+    prevent_reorder_ = true;
+    loss_ = 0.0;
+    last_release_ = sim::TimePoint{};
+    dropped_count_ = 0;
+  }
 
   /// Sets the base delay (tc netem "delay <base>").
   void set_delay(sim::Duration base) { base_ = base; }

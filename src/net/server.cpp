@@ -21,6 +21,18 @@ EchoServer::EchoServer(sim::Simulator& sim, sim::Rng rng, NodeId id)
              }),
       http_size_(packet_size::http_response) {}
 
+void EchoServer::reset(sim::Rng rng, NodeId id) {
+  rng_ = std::move(rng);
+  id_ = id;
+  link_ = nullptr;
+  netem_.reset(rng_.fork("netem"));
+  service_mean_ = Duration::micros(40);
+  tcp_port_closed_ = false;
+  observer_ = nullptr;
+  http_size_ = packet_size::http_response;
+  requests_served_ = 0;
+}
+
 void EchoServer::attach_link(Link& link) {
   expects(link_ == nullptr, "EchoServer::attach_link called twice");
   link_ = &link;

@@ -25,6 +25,12 @@ class EchoServer : public Node {
  public:
   EchoServer(sim::Simulator& sim, sim::Rng rng, NodeId id);
 
+  /// Returns the server to the state the constructor would leave it in
+  /// with these arguments (same "netem" rng sub-fork). The shared HTTP body
+  /// buffer is kept — it is rebuilt lazily only when the configured size
+  /// changes, exactly as on the fresh path (shard-context reuse contract).
+  void reset(sim::Rng rng, NodeId id);
+
   /// Connects the server's NIC. Must be called exactly once before traffic.
   void attach_link(Link& link);
 
@@ -80,6 +86,15 @@ class EchoServer : public Node {
 class UdpSink : public Node {
  public:
   UdpSink(sim::Simulator& sim, NodeId id) : sim_(&sim), id_(id) {}
+
+  /// Returns the sink to its freshly-constructed state (shard-context
+  /// reuse contract).
+  void reset(NodeId id) {
+    id_ = id;
+    packets_ = 0;
+    bytes_ = 0;
+    window_start_ = sim::TimePoint{};
+  }
 
   void receive(Packet&& packet, Link* ingress) override;
   [[nodiscard]] NodeId id() const override { return id_; }

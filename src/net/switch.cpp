@@ -17,15 +17,22 @@ void Switch::attach_port(Link& link) {
 void Switch::receive(Packet&& packet, Link* ingress) {
   expects(ingress != nullptr, "Switch requires wired ingress");
   // Learn the sender's port.
-  table_[packet.src] = ingress;
+  Link** learned = nullptr;
+  Link* dst_port = nullptr;
+  for (auto& [addr, port] : table_) {
+    if (addr == packet.src) learned = &port;
+    if (addr == packet.dst) dst_port = port;
+  }
+  if (learned != nullptr) {
+    *learned = ingress;
+  } else {
+    table_.emplace_back(packet.src, ingress);
+  }
 
-  if (!packet.is_broadcast()) {
-    const auto it = table_.find(packet.dst);
-    if (it != table_.end()) {
-      ++forwarded_count_;
-      it->second->send(id_, std::move(packet));
-      return;
-    }
+  if (!packet.is_broadcast() && dst_port != nullptr) {
+    ++forwarded_count_;
+    dst_port->send(id_, std::move(packet));
+    return;
   }
   // Unknown destination or broadcast: flood all ports except ingress (each
   // egress owns its copy; payload bytes stay shared).

@@ -2,7 +2,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/link.hpp"
@@ -13,6 +13,17 @@ namespace acute::net {
 class Switch : public Node {
  public:
   explicit Switch(NodeId id) : id_(id) {}
+
+  /// Returns the switch to the state the constructor would leave it in:
+  /// no ports, empty learning table. Port and table storage stay warm
+  /// (shard-context reuse contract).
+  void reset(NodeId id) {
+    id_ = id;
+    ports_.clear();
+    table_.clear();
+    forwarded_count_ = 0;
+    flooded_count_ = 0;
+  }
 
   /// Registers a link as one of the switch ports. The link must have this
   /// switch as one endpoint.
@@ -33,7 +44,10 @@ class Switch : public Node {
  private:
   NodeId id_;
   std::vector<Link*> ports_;
-  std::unordered_map<NodeId, Link*> table_;
+  // Learned (address -> port) entries. A handful of nodes sit behind this
+  // switch, so a flat vector beats a node-based map and re-learning after
+  // a reset allocates nothing once the capacity is warm.
+  std::vector<std::pair<NodeId, Link*>> table_;
   std::uint64_t forwarded_count_ = 0;
   std::uint64_t flooded_count_ = 0;
 };

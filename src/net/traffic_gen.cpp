@@ -1,5 +1,6 @@
 #include "net/traffic_gen.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -31,6 +32,16 @@ UdpCbrSource::UdpCbrSource(sim::Simulator& sim, sim::Rng rng, Config config,
   expects(static_cast<bool>(transmit_), "UdpCbrSource requires a transmit fn");
 }
 
+void UdpCbrSource::reset(sim::Rng rng, Config config) {
+  expects(config.rate_mbps > 0, "UdpCbrSource rate must be positive");
+  expects(config.datagram_bytes > 0, "UdpCbrSource datagram must be > 0B");
+  rng_ = std::move(rng);
+  config_ = config;
+  timer_.reset(Duration::seconds(double(config.datagram_bytes) * 8.0 /
+                                 (config.rate_mbps * 1e6)));
+  packets_sent_ = 0;
+}
+
 void UdpCbrSource::start() {
   // Random phase in the first period avoids lockstep between flows.
   const Duration phase = rng_.uniform_duration(Duration{}, timer_.period());
@@ -54,6 +65,28 @@ IperfLoadGenerator::IperfLoadGenerator(sim::Simulator& sim, sim::Rng rng,
     config.rate_mbps = per_flow_mbps;
     flows_.push_back(std::make_unique<UdpCbrSource>(
         sim, rng.fork(i), config, transmit));
+  }
+}
+
+void IperfLoadGenerator::reset(sim::Simulator& sim, sim::Rng rng, NodeId src,
+                               NodeId dst, std::size_t connections,
+                               double per_flow_mbps,
+                               const UdpCbrSource::TransmitFn& transmit) {
+  expects(connections > 0, "IperfLoadGenerator requires >= 1 connection");
+  flows_.resize(std::min(flows_.size(), connections));
+  flows_.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    UdpCbrSource::Config config;
+    config.src = src;
+    config.dst = dst;
+    config.flow_id = 1000 + static_cast<std::uint32_t>(i);
+    config.rate_mbps = per_flow_mbps;
+    if (i < flows_.size()) {
+      flows_[i]->reset(rng.fork(i), config);
+    } else {
+      flows_.push_back(std::make_unique<UdpCbrSource>(
+          sim, rng.fork(i), config, transmit));
+    }
   }
 }
 

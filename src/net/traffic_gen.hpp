@@ -34,6 +34,11 @@ class UdpCbrSource {
   UdpCbrSource(const UdpCbrSource&) = delete;
   UdpCbrSource& operator=(const UdpCbrSource&) = delete;
 
+  /// Returns the source to the state the constructor would leave it in with
+  /// these arguments; the transmit fn is kept (shard-context reuse
+  /// contract).
+  void reset(sim::Rng rng, Config config);
+
   /// Starts emitting datagrams (first one within one inter-packet period).
   void start();
   void stop();
@@ -56,6 +61,13 @@ class IperfLoadGenerator {
   IperfLoadGenerator(sim::Simulator& sim, sim::Rng rng, NodeId src, NodeId dst,
                      std::size_t connections, double per_flow_mbps,
                      UdpCbrSource::TransmitFn transmit);
+
+  /// Reconfigures the generator as the constructor would with these
+  /// arguments, reusing existing flow objects where the connection count
+  /// allows (shard-context reuse contract).
+  void reset(sim::Simulator& sim, sim::Rng rng, NodeId src, NodeId dst,
+             std::size_t connections, double per_flow_mbps,
+             const UdpCbrSource::TransmitFn& transmit);
 
   void start();
   void stop();

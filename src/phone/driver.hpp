@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -35,6 +36,18 @@ class WnicDriver : public stack::StackLayer {
  public:
   WnicDriver(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile,
              SdioBus& bus);
+
+  /// Returns the driver to the state the constructor would leave it in with
+  /// these arguments; log storage stays warm (shard-context reuse contract).
+  void reset(sim::Rng rng, const PhoneProfile& profile, SdioBus& bus) {
+    rng_ = std::move(rng);
+    profile_ = &profile;
+    bus_ = &bus;
+    dvsend_ms_.clear();
+    dvrecv_ms_.clear();
+    tx_packets_ = 0;
+    rx_packets_ = 0;
+  }
 
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "driver"; }

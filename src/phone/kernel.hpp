@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "net/packet.hpp"
 #include "phone/profile.hpp"
@@ -17,6 +18,16 @@ namespace acute::phone {
 class KernelStack : public stack::StackLayer {
  public:
   KernelStack(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile);
+
+  /// Returns the layer to the state the constructor would leave it in with
+  /// these arguments (shard-context reuse contract).
+  void reset(sim::Rng rng, const PhoneProfile& profile) {
+    rng_ = std::move(rng);
+    profile_ = &profile;
+    tx_packets_ = 0;
+    rx_packets_ = 0;
+    icmp_echoes_served_ = 0;
+  }
 
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "kernel"; }

@@ -24,6 +24,11 @@ const char* to_string(ExecMode mode) {
 ExecEnv::ExecEnv(sim::Rng rng, const PhoneProfile& profile)
     : rng_(std::move(rng)), profile_(&profile) {}
 
+void ExecEnv::reset(sim::Rng rng, const PhoneProfile& profile) {
+  rng_ = std::move(rng);
+  profile_ = &profile;
+}
+
 Duration ExecEnv::send_overhead(ExecMode mode) {
   const LatencyDist& dist = mode == ExecMode::native_c
                                 ? profile_->native_send
@@ -46,6 +51,12 @@ ExecEnvLayer::ExecEnvLayer(sim::Simulator& sim, sim::Rng rng,
                            const PhoneProfile& profile)
     : sim_(&sim), env_(std::move(rng), profile) {}
 
+void ExecEnvLayer::reset(sim::Rng rng, const PhoneProfile& profile) {
+  env_.reset(std::move(rng), profile);
+  flows_.clear();
+  flow_ids_ = net::IdAllocator<std::uint32_t>{};
+}
+
 void ExecEnvLayer::send(Packet&& packet, ExecMode mode) {
   stamp(packet, StampPoint::app_send, sim_->now());  // t_u^o
   const Duration overhead = env_.send_overhead(mode);
@@ -56,17 +67,17 @@ void ExecEnvLayer::send(Packet&& packet, ExecMode mode) {
 }
 
 void ExecEnvLayer::deliver(Packet&& packet) {
-  const auto it = flows_.find(packet.flow_id);
-  if (it == flows_.end()) return;  // no app bound to this flow
-  const Duration overhead = env_.recv_overhead(it->second.mode);
+  const FlowEntry* entry = find_flow(packet.flow_id);
+  if (entry == nullptr) return;  // no app bound to this flow
+  const Duration overhead = env_.recv_overhead(entry->mode);
   const std::uint32_t flow_id = packet.flow_id;
   sim_->schedule_in(overhead, sim::assert_fits_inline([this, flow_id,
                                pkt = std::move(packet)]() mutable {
     stamp(pkt, StampPoint::app_recv, sim_->now());  // t_u^i
     // Re-look-up: the app may have unregistered while the packet climbed.
-    const auto handler_it = flows_.find(flow_id);
-    if (handler_it == flows_.end()) return;
-    handler_it->second.handler(std::move(pkt));
+    FlowEntry* handler_entry = find_flow(flow_id);
+    if (handler_entry == nullptr) return;
+    handler_entry->handler(std::move(pkt));
   }));
 }
 
@@ -74,16 +85,35 @@ void ExecEnvLayer::register_flow(std::uint32_t flow_id, AppRxFn handler,
                                  ExecMode mode) {
   expects(static_cast<bool>(handler),
           "ExecEnvLayer::register_flow requires a handler");
-  flows_[flow_id] = FlowEntry{std::move(handler), mode};
+  FlowEntry* entry = find_flow(flow_id);
+  if (entry == nullptr) {
+    flows_.emplace_back();
+    entry = &flows_.back();
+    entry->flow_id = flow_id;
+  }
+  entry->handler = std::move(handler);
+  entry->mode = mode;
 }
 
 void ExecEnvLayer::unregister_flow(std::uint32_t flow_id) {
-  flows_.erase(flow_id);
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if (it->flow_id == flow_id) {
+      flows_.erase(it);
+      return;
+    }
+  }
+}
+
+ExecEnvLayer::FlowEntry* ExecEnvLayer::find_flow(std::uint32_t flow_id) {
+  for (FlowEntry& entry : flows_) {
+    if (entry.flow_id == flow_id) return &entry;
+  }
+  return nullptr;
 }
 
 std::uint32_t ExecEnvLayer::allocate_flow_id() {
   std::uint32_t id = flow_ids_.next();
-  while (flows_.count(id) != 0) id = flow_ids_.next();
+  while (find_flow(id) != nullptr) id = flow_ids_.next();
   return id;
 }
 

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/id_alloc.hpp"
 #include "net/packet.hpp"
@@ -34,6 +34,10 @@ class ExecEnv {
  public:
   ExecEnv(sim::Rng rng, const PhoneProfile& profile);
 
+  /// Returns the cost model to the state the constructor would leave it in
+  /// with these arguments (shard-context reuse contract).
+  void reset(sim::Rng rng, const PhoneProfile& profile);
+
   /// Latency between the app taking its send timestamp and the packet
   /// entering the kernel (syscall + runtime overhead).
   [[nodiscard]] sim::Duration send_overhead(ExecMode mode);
@@ -50,6 +54,11 @@ class ExecEnv {
 class ExecEnvLayer : public stack::StackLayer {
  public:
   ExecEnvLayer(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile);
+
+  /// Returns the layer to the state the constructor would leave it in with
+  /// these arguments: no registered flows, flow ids restarting from 1. The
+  /// flow-table storage stays warm (shard-context reuse contract).
+  void reset(sim::Rng rng, const PhoneProfile& profile);
 
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "exec-env"; }
@@ -85,10 +94,15 @@ class ExecEnvLayer : public stack::StackLayer {
   sim::Simulator* sim_;
   ExecEnv env_;
   struct FlowEntry {
+    std::uint32_t flow_id = 0;
     AppRxFn handler;
     ExecMode mode = ExecMode::native_c;
   };
-  std::unordered_map<std::uint32_t, FlowEntry> flows_;
+  [[nodiscard]] FlowEntry* find_flow(std::uint32_t flow_id);
+  // A phone runs a handful of concurrent flows, so a flat vector beats a
+  // node-based map and (un)registering allocates nothing in steady state
+  // (handlers that fit std::function's inline buffer included).
+  std::vector<FlowEntry> flows_;
   net::IdAllocator<std::uint32_t> flow_ids_;
 };
 

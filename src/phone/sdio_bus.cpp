@@ -25,6 +25,25 @@ SdioBus::SdioBus(sim::Simulator& sim, sim::Rng rng,
   watchdog_.start(rng_.uniform_duration(Duration{}, profile.bus_watchdog));
 }
 
+void SdioBus::reset(sim::Rng rng, const PhoneProfile& profile) {
+  rng_ = std::move(rng);
+  wake_tx_ = profile.bus_wake_tx;
+  wake_rx_ = profile.bus_wake_rx;
+  clk_request_ = profile.bus_clk_request;
+  clk_idle_threshold_ = profile.bus_clk_idle_threshold;
+  transfer_mbps_ = profile.bus_transfer_mbps;
+  idletime_ticks_ = profile.bus_idletime_ticks;
+  sleep_enabled_ = true;
+  state_ = State::awake;
+  idle_ticks_ = 0;
+  wake_complete_at_ = TimePoint{};
+  watchdog_.reset(profile.bus_watchdog);
+  sleep_count_ = 0;
+  wake_count_ = 0;
+  last_activity_ = sim_->now();
+  watchdog_.start(rng_.uniform_duration(Duration{}, profile.bus_watchdog));
+}
+
 void SdioBus::on_watchdog_tick() {
   if (!sleep_enabled_ || state_ == State::sleeping) return;
   if (sim_->now() < wake_complete_at_) return;  // still waking up

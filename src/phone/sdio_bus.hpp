@@ -34,6 +34,11 @@ class SdioBus : public stack::StackLayer {
 
   SdioBus(sim::Simulator& sim, sim::Rng rng, const PhoneProfile& profile);
 
+  /// Returns the bus to the state the constructor would leave it in with
+  /// these arguments, including the randomized watchdog phase draw and
+  /// restart (shard-context reuse contract).
+  void reset(sim::Rng rng, const PhoneProfile& profile);
+
   // StackLayer.
   [[nodiscard]] const char* layer_name() const override { return "sdio-bus"; }
   /// Downward: the driver hands a frame over at dhdsdio_txpkt time; the bus

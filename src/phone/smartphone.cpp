@@ -86,6 +86,59 @@ Smartphone::Smartphone(sim::Simulator& sim, sim::Rng rng, PhoneProfile profile,
   }
 }
 
+void Smartphone::reset(sim::Rng rng, PhoneProfile profile, net::NodeId id,
+                       net::NodeId ap_id) {
+  expects(radio_kind_ == RadioKind::wifi,
+          "Smartphone::reset(wifi) on a cellular phone");
+  profile_ = std::move(profile);
+  id_ = id;
+  rng_ = rng.fork("smartphone");
+  // Subsystems reset in the constructor's member order so each event the
+  // construction schedules (doze timer, bus watchdog, system chatter) lands
+  // with the same sequence number as in a fresh build.
+  station_->reset(rng.fork("station"), station_config(profile_, id, ap_id));
+  bus_->reset(rng.fork("bus"), profile_);
+  driver_->reset(rng.fork("driver"), profile_, *bus_);
+  kernel_.reset(rng.fork("kernel"), profile_);
+  exec_.reset(rng.fork("env"), profile_);
+  pipeline_.reset();
+  pipeline_.append(exec_);
+  pipeline_.append(kernel_);
+  pipeline_.append(*driver_);
+  pipeline_.append(*bus_);
+  pipeline_.append(*station_);
+  ap_id_ = ap_id;
+  system_traffic_enabled_ = true;
+  system_packets_ = 0;
+  if (profile_.system_traffic_mean_interval > Duration{}) {
+    schedule_system_traffic();
+  }
+}
+
+void Smartphone::reset(sim::Rng rng, PhoneProfile profile, net::NodeId id,
+                       net::NodeId gateway_id,
+                       const cellular::RrcConfig& rrc_config) {
+  expects(radio_kind_ == RadioKind::cellular,
+          "Smartphone::reset(cellular) on a WiFi phone");
+  profile_ = std::move(profile);
+  id_ = id;
+  rng_ = rng.fork("smartphone");
+  rrc_->reset(rng.fork("rrc"), rrc_config);
+  rrc_radio_->reset(*rrc_);
+  kernel_.reset(rng.fork("kernel"), profile_);
+  exec_.reset(rng.fork("env"), profile_);
+  pipeline_.reset();
+  pipeline_.append(exec_);
+  pipeline_.append(kernel_);
+  pipeline_.append(*rrc_radio_);
+  ap_id_ = gateway_id;
+  system_traffic_enabled_ = true;
+  system_packets_ = 0;
+  if (profile_.system_traffic_mean_interval > Duration{}) {
+    schedule_system_traffic();
+  }
+}
+
 wifi::Station& Smartphone::station() {
   expects(station_ != nullptr, "Smartphone::station on a cellular phone");
   return *station_;

@@ -59,6 +59,20 @@ class Smartphone {
   Smartphone(const Smartphone&) = delete;
   Smartphone& operator=(const Smartphone&) = delete;
 
+  /// Returns a WiFi phone to the state the WiFi constructor would leave it
+  /// in with these arguments. The phone stays attached to the channel it
+  /// was built on; every subsystem resets in construction order so the
+  /// event schedule matches a fresh build bit-for-bit (shard-context reuse
+  /// contract). Contract violation on a cellular phone.
+  void reset(sim::Rng rng, PhoneProfile profile, net::NodeId id,
+             net::NodeId ap_id);
+
+  /// Cellular counterpart: returns the phone to the state the cellular
+  /// constructor would leave it in. The radio egress is cleared — the
+  /// gateway re-wires it on attach. Contract violation on a WiFi phone.
+  void reset(sim::Rng rng, PhoneProfile profile, net::NodeId id,
+             net::NodeId gateway_id, const cellular::RrcConfig& rrc_config);
+
   [[nodiscard]] net::NodeId id() const { return id_; }
   [[nodiscard]] const PhoneProfile& profile() const { return profile_; }
   [[nodiscard]] RadioKind radio_kind() const { return radio_kind_; }

@@ -83,6 +83,11 @@ class DigestSink : public ResultSink {
     return fold_.take();
   }
 
+  /// Discards any accumulated state (a take_digests() already leaves the
+  /// sink empty; reset() covers the shard-that-threw case so a reused
+  /// context never folds a dead shard's leftovers into the next one).
+  void reset() { fold_ = WorkloadFold{}; }
+
  private:
   WorkloadFold fold_;
 };

@@ -28,6 +28,15 @@ class SampleBufferSink : public ResultSink {
   /// Moves the buffers out; call after the stream completes.
   [[nodiscard]] Buffers take() { return std::move(buffers_); }
 
+  /// Empties the buffers, keeping their capacity (shard-context reuse).
+  void reset() {
+    buffers_.reported_rtt_ms.clear();
+    buffers_.du_ms.clear();
+    buffers_.dk_ms.clear();
+    buffers_.dv_ms.clear();
+    buffers_.dn_ms.clear();
+  }
+
  private:
   Buffers buffers_;
 };

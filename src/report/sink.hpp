@@ -46,26 +46,44 @@ using SinkFactory =
     std::function<std::vector<std::unique_ptr<ResultSink>>(const ShardInfo&)>;
 
 /// Owns one shard's sinks and fans each event out to them in add() order.
+/// Sinks can be owned (add) or borrowed (add_ref) — the shard-context pool
+/// keeps its built-in sinks alive across shards and re-adds them by
+/// reference, so only the genuinely per-shard sinks are heap-allocated.
 class SinkChain {
  public:
   void add(std::unique_ptr<ResultSink> sink) {
-    if (sink != nullptr) sinks_.push_back(std::move(sink));
+    if (sink != nullptr) {
+      sinks_.push_back(sink.get());
+      owned_.push_back(std::move(sink));
+    }
+  }
+
+  /// Adds a sink the caller keeps alive for the chain's lifetime (until the
+  /// next clear()).
+  void add_ref(ResultSink& sink) { sinks_.push_back(&sink); }
+
+  /// Drops every sink (destroying the owned ones) but keeps the vectors'
+  /// capacity — returns the chain to its freshly-constructed state.
+  void clear() {
+    sinks_.clear();
+    owned_.clear();
   }
 
   void shard_started(const ShardInfo& info) {
-    for (auto& sink : sinks_) sink->shard_started(info);
+    for (ResultSink* sink : sinks_) sink->shard_started(info);
   }
   void probe_completed(const ProbeEvent& event) {
-    for (auto& sink : sinks_) sink->probe_completed(event);
+    for (ResultSink* sink : sinks_) sink->probe_completed(event);
   }
   void shard_finished(const ShardSummary& summary) {
-    for (auto& sink : sinks_) sink->shard_finished(summary);
+    for (ResultSink* sink : sinks_) sink->shard_finished(summary);
   }
 
   [[nodiscard]] std::size_t size() const { return sinks_.size(); }
 
  private:
-  std::vector<std::unique_ptr<ResultSink>> sinks_;
+  std::vector<ResultSink*> sinks_;
+  std::vector<std::unique_ptr<ResultSink>> owned_;
 };
 
 }  // namespace acute::report

@@ -201,6 +201,18 @@ class EventQueue {
   /// Drops every queued event.
   void clear();
 
+  /// Restores the freshly-constructed observable state while keeping the
+  /// warm storage (slot chunks, free list, heap capacity, arena blocks).
+  /// Stale handles stay inert (clear() bumps every live generation), and
+  /// the insertion-sequence counter restarts at zero so a reused queue
+  /// breaks time ties exactly like a brand-new one — the property the
+  /// campaign shard-context pool's bit-identity contract rests on.
+  void reset() {
+    clear();
+    next_seq_ = 0;
+    compactions_ = 0;
+  }
+
   /// Raw heap entries, cancelled ones included (compaction introspection).
   [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 

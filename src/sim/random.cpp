@@ -36,18 +36,18 @@ Rng Rng::fork(std::uint64_t tag) const {
 
 double Rng::uniform(double lo, double hi) {
   expects(lo <= hi, "Rng::uniform requires lo <= hi");
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  return std::uniform_real_distribution<double>(lo, hi)(engine());
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   expects(lo <= hi, "Rng::uniform_int requires lo <= hi");
-  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine());
 }
 
 double Rng::normal(double mu, double sigma) {
   expects(sigma >= 0, "Rng::normal requires sigma >= 0");
   if (sigma == 0) return mu;
-  return std::normal_distribution<double>(mu, sigma)(engine_);
+  return std::normal_distribution<double>(mu, sigma)(engine());
 }
 
 double Rng::truncated_normal(double mu, double sigma, double lo, double hi) {
@@ -61,17 +61,17 @@ double Rng::truncated_normal(double mu, double sigma, double lo, double hi) {
 
 double Rng::lognormal(double mu, double sigma) {
   expects(sigma >= 0, "Rng::lognormal requires sigma >= 0");
-  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  return std::lognormal_distribution<double>(mu, sigma)(engine());
 }
 
 double Rng::exponential(double mean) {
   expects(mean > 0, "Rng::exponential requires mean > 0");
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  return std::exponential_distribution<double>(1.0 / mean)(engine());
 }
 
 bool Rng::bernoulli(double p) {
   expects(p >= 0.0 && p <= 1.0, "Rng::bernoulli requires p in [0, 1]");
-  return std::bernoulli_distribution(p)(engine_);
+  return std::bernoulli_distribution(p)(engine());
 }
 
 Duration Rng::uniform_duration(Duration lo, Duration hi) {

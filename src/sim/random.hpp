@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <string_view>
 
@@ -15,7 +16,7 @@ namespace acute::sim {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed) {}
 
   /// Derives an independent child stream keyed by `tag`.
   [[nodiscard]] Rng fork(std::string_view tag) const;
@@ -55,10 +56,20 @@ class Rng {
                                double hi_ms);
 
   /// Access to the raw engine for std:: distributions.
-  std::mt19937_64& engine() { return engine_; }
+  ///
+  /// The engine is seeded lazily on the first draw: seeding a mt19937_64
+  /// materialises its full 312-word state, which dominates the cost of
+  /// Rng construction, and most forked streams are only forked onward
+  /// (never drawn from). Deferring the seeding skips that cost entirely
+  /// for such streams while leaving every draw sequence bit-identical —
+  /// the engine still sees exactly seed_ at first use.
+  std::mt19937_64& engine() {
+    if (!engine_.has_value()) engine_.emplace(seed_);
+    return *engine_;
+  }
 
  private:
-  std::mt19937_64 engine_;
+  std::optional<std::mt19937_64> engine_;
   std::uint64_t seed_;
 };
 

@@ -71,9 +71,24 @@ class Simulator {
   /// Drops all pending events without firing them.
   void clear() { queue_.clear(); }
 
+  /// Returns the simulator to its freshly-constructed observable state
+  /// (time zero, zero events fired, default event limit) while keeping the
+  /// event queue's warm storage. A reused simulator is indistinguishable
+  /// from a new one to model code: pending events are destroyed, stale
+  /// handles are inert, and tie-breaking restarts from sequence zero.
+  void reset() {
+    queue_.reset();
+    now_ = TimePoint{};
+    events_fired_ = 0;
+    event_limit_ = kDefaultEventLimit;
+  }
+
   /// Safety valve: run()/run_until() throw after this many events in a
   /// single call, catching accidental infinite self-rescheduling loops.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+  /// The event limit a freshly-constructed (or reset) simulator starts with.
+  static constexpr std::uint64_t kDefaultEventLimit = 500'000'000;
 
  private:
   // The single clock-advance step every fire path goes through (passed to
@@ -87,7 +102,7 @@ class Simulator {
   EventQueue queue_;
   TimePoint now_;
   std::uint64_t events_fired_ = 0;
-  std::uint64_t event_limit_ = 500'000'000;
+  std::uint64_t event_limit_ = kDefaultEventLimit;
 };
 
 }  // namespace acute::sim

@@ -34,6 +34,14 @@ class OneShotTimer {
   /// Stops the timer if armed. Idempotent.
   void cancel() { handle_.cancel(); }
 
+  /// Returns the timer to its freshly-constructed state. Used by the
+  /// shard-context pool after Simulator::reset(), where the old handle is
+  /// already inert; dropping it also releases its queue-life reference.
+  void reset() {
+    cancel();
+    handle_ = EventHandle{};
+  }
+
   [[nodiscard]] bool armed() const { return handle_.pending(); }
 
  private:
@@ -72,6 +80,18 @@ class PeriodicTimer {
   void stop() {
     running_ = false;
     handle_.cancel();
+  }
+
+  /// Returns the timer to its freshly-constructed state with a (possibly
+  /// new) period. Used by the shard-context pool, where the owning
+  /// component's period can change with the scenario (e.g. the SDIO bus
+  /// watchdog follows the phone profile).
+  void reset(Duration period) {
+    expects(period > Duration{}, "PeriodicTimer period must be positive");
+    stop();
+    handle_ = EventHandle{};
+    period_ = period;
+    tick_index_ = 0;
   }
 
   [[nodiscard]] bool running() const { return running_; }

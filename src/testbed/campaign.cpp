@@ -154,24 +154,54 @@ void validate_grid(const ScenarioGrid& grid) {
   }
 }
 
-/// The one scenario-construction routine behind expand() and at(): builds
-/// the scenario for one tuple of axis positions. Sharing it is what makes
-/// at(i) == expand()[i] hold element for element by construction.
+/// The one scenario-construction routine behind expand(), at() and
+/// at_into(): fills `out` for one tuple of axis positions. Sharing it is
+/// what makes at(i) == expand()[i] hold element for element by
+/// construction. Fills in place — every field is overwritten (the non-axis
+/// ones from a default-constructed ScenarioSpec), and the phones vector
+/// plus the strings inside reuse out's capacity, so a shape-stable grid
+/// iteration is allocation-free (the shard-context pool's build path).
+///
+/// NOTE: a new ScenarioSpec/PhoneSpec field must be added to the explicit
+/// reset list below, or a reused `out` would leak the previous shard's
+/// value into the next scenario. The context-reuse bit-identity tests catch
+/// any behavior-determining omission.
+void scenario_from_axes_into(const ScenarioGrid& grid, std::size_t count_i,
+                             std::size_t profile_i, std::size_t radio_i,
+                             std::size_t rtt_i, std::size_t cross_i,
+                             std::size_t loss_i, std::size_t reorder_i,
+                             std::size_t workload_i, ScenarioSpec& out) {
+  static const ScenarioSpec defaults;
+  static const PhoneSpec default_phone;
+  out.seed = defaults.seed;
+  out.emulated_rtt = grid.emulated_rtts[rtt_i];
+  out.netem_jitter = defaults.netem_jitter;
+  out.congested_phy = grid.cross_traffic[cross_i];
+  out.cross_connections = defaults.cross_connections;
+  out.cross_flow_mbps = defaults.cross_flow_mbps;
+  out.send_ttl_exceeded = defaults.send_ttl_exceeded;
+  out.sniffer_noise = defaults.sniffer_noise;
+  out.sniffer_count = defaults.sniffer_count;
+  out.cellular_core_rtt = defaults.cellular_core_rtt;
+  out.netem_loss = grid.loss_rates[loss_i];
+  out.netem_reorder = grid.reorder[reorder_i];
+  out.phones.resize(grid.phone_counts[count_i]);
+  for (PhoneSpec& phone : out.phones) {
+    phone = default_phone;
+    phone.profile = grid.profiles[profile_i];
+    phone.radio = grid.radios[radio_i];
+    phone.workload = grid.workloads[workload_i];
+  }
+}
+
 ScenarioSpec scenario_from_axes(const ScenarioGrid& grid, std::size_t count_i,
                                 std::size_t profile_i, std::size_t radio_i,
                                 std::size_t rtt_i, std::size_t cross_i,
                                 std::size_t loss_i, std::size_t reorder_i,
                                 std::size_t workload_i) {
   ScenarioSpec scenario;
-  PhoneSpec phone;
-  phone.profile = grid.profiles[profile_i];
-  phone.radio = grid.radios[radio_i];
-  phone.workload = grid.workloads[workload_i];
-  scenario.phones.assign(grid.phone_counts[count_i], phone);
-  scenario.emulated_rtt = grid.emulated_rtts[rtt_i];
-  scenario.congested_phy = grid.cross_traffic[cross_i];
-  scenario.netem_loss = grid.loss_rates[loss_i];
-  scenario.netem_reorder = grid.reorder[reorder_i];
+  scenario_from_axes_into(grid, count_i, profile_i, radio_i, rtt_i, cross_i,
+                          loss_i, reorder_i, workload_i, scenario);
   return scenario;
 }
 
@@ -203,6 +233,12 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
 }
 
 ScenarioSpec ScenarioGrid::at(std::size_t index) const {
+  ScenarioSpec scenario;
+  at_into(index, scenario);
+  return scenario;
+}
+
+void ScenarioGrid::at_into(std::size_t index, ScenarioSpec& out) const {
   validate_grid(*this);
   expects(index < size(), "ScenarioGrid::at index out of range");
   // Decode the index as mixed-radix digits, innermost (workload) first —
@@ -220,7 +256,7 @@ ScenarioSpec ScenarioGrid::at(std::size_t index) const {
   const std::size_t r = digit(radios.size());
   const std::size_t p = digit(profiles.size());
   const std::size_t c = digit(phone_counts.size());
-  return scenario_from_axes(*this, c, p, r, t, x, l, o, w);
+  scenario_from_axes_into(*this, c, p, r, t, x, l, o, w, out);
 }
 
 std::size_t ScenarioGrid::size() const {
@@ -371,16 +407,74 @@ std::uint64_t Campaign::shard_seed(std::uint64_t campaign_seed,
       .seed();
 }
 
+/// Everything a worker keeps warm between shards. Lives in this TU (pimpl)
+/// because it composes campaign-internal scratch with the full Testbed.
+struct ShardContext::Impl {
+  /// The simulator every testbed (re)build of this context schedules on.
+  sim::Simulator sim;
+  /// The warm node graph; engaged on the context's first shard, then
+  /// rebuild()-reset into each subsequent scenario.
+  std::optional<Testbed> testbed;
+  /// One measurement tool per phone index, reused while both the tool kind
+  /// and the phone object still match (reinitialize() restores constructor
+  /// state); replaced wholesale otherwise.
+  struct ToolSlot {
+    tools::ToolKind kind = tools::ToolKind::icmp_ping;
+    phone::Smartphone* phone = nullptr;
+    std::unique_ptr<tools::MeasurementTool> tool;
+  };
+  std::vector<ToolSlot> tools;
+  std::vector<tools::MeasurementTool*> running;
+  std::vector<std::vector<report::ProbeEvent>> phone_events;
+  /// Scenario scratch scenario_into() fills per shard (capacity-reusing).
+  ScenarioSpec scenario;
+  /// Built-in sink scratch, re-added to the chain by reference per shard;
+  /// per-shard sinks (user factory, checkpoint) are chain-owned as before.
+  report::SinkChain chain;
+  report::DigestSink digests;
+  report::SampleBufferSink buffers;
+  std::size_t shards_run = 0;
+  std::size_t reuses = 0;
+};
+
+ShardContext::ShardContext() : impl_(std::make_unique<Impl>()) {}
+ShardContext::~ShardContext() = default;
+ShardContext::ShardContext(ShardContext&& other) noexcept = default;
+ShardContext& ShardContext::operator=(ShardContext&& other) noexcept = default;
+
+std::size_t ShardContext::shards_run() const { return impl_->shards_run; }
+std::size_t ShardContext::reuses() const { return impl_->reuses; }
+
+void Campaign::scenario_into(std::size_t index, ScenarioSpec& out) const {
+  expects(index < scenario_count(), "Campaign scenario index out of range");
+  if (spec_.grid.has_value()) {
+    spec_.grid->at_into(index, out);
+  } else {
+    out = spec_.scenarios[index];  // copy-assign reuses out's capacity
+  }
+}
+
 ShardResult Campaign::run_shard(std::size_t scenario_index) const {
-  return run_shard(scenario_index, /*run_sequence=*/0, nullptr, nullptr);
+  ShardContext context;
+  return run_shard(scenario_index, /*run_sequence=*/0, nullptr, nullptr,
+                   context);
+}
+
+ShardResult Campaign::run_shard(std::size_t scenario_index,
+                                ShardContext& context) const {
+  return run_shard(scenario_index, /*run_sequence=*/0, nullptr, nullptr,
+                   context);
 }
 
 ShardResult Campaign::run_shard(
     std::size_t scenario_index, std::size_t run_sequence,
     const std::shared_ptr<report::CheckpointWriter>& checkpoint,
-    StageSeconds* stage) const {
+    StageSeconds* stage, ShardContext& context) const {
   expects(scenario_index < scenario_count(),
           "Campaign::run_shard index out of range");
+  expects(context.impl_ != nullptr,
+          "Campaign::run_shard on a moved-from ShardContext");
+  ShardContext::Impl& ctx = *context.impl_;
   const auto stage_start = std::chrono::steady_clock::now();
   auto stage_lap = [last = stage_start]() mutable {
     const auto now = std::chrono::steady_clock::now();
@@ -389,7 +483,16 @@ ShardResult Campaign::run_shard(
     last = now;
     return seconds;
   };
-  ScenarioSpec scenario = scenario_at(scenario_index);
+
+  // Sink scratch first: normal completion leaves all three empty, but a
+  // shard that threw mid-stream must not leak partial folds (or its owned
+  // per-shard sinks) into this one.
+  ctx.chain.clear();
+  ctx.digests.reset();
+  ctx.buffers.reset();
+
+  ScenarioSpec& scenario = ctx.scenario;
+  scenario_into(scenario_index, scenario);
   scenario.seed = shard_seed(spec_.seed, scenario_index);
 
   ShardResult result;
@@ -398,19 +501,17 @@ ShardResult Campaign::run_shard(
   result.phone_count = scenario.phones.size();
 
   // The shard's sink chain: built-in sinks backing the ShardResult
-  // compatibility surface, the checkpoint sink when the campaign
-  // checkpoints, then whatever CampaignSpec::sinks plugs in.
+  // compatibility surface (context-resident, added by reference), the
+  // checkpoint sink when the campaign checkpoints, then whatever
+  // CampaignSpec::sinks plugs in.
   const report::ShardInfo info{scenario_index, scenario.seed,
                                scenario.phones.size(), run_sequence};
-  report::SinkChain chain;
-  auto digest_sink = std::make_unique<report::DigestSink>();
-  report::DigestSink* digests = digest_sink.get();
-  chain.add(std::move(digest_sink));
+  report::SinkChain& chain = ctx.chain;
+  chain.add_ref(ctx.digests);
   report::SampleBufferSink* buffers = nullptr;
   if (spec_.keep_samples) {
-    auto buffer_sink = std::make_unique<report::SampleBufferSink>();
-    buffers = buffer_sink.get();
-    chain.add(std::move(buffer_sink));
+    buffers = &ctx.buffers;
+    chain.add_ref(ctx.buffers);
   }
   if (spec_.sinks) {
     for (auto& sink : spec_.sinks(info)) chain.add(std::move(sink));
@@ -428,7 +529,39 @@ ShardResult Campaign::run_shard(
   }
   chain.shard_started(info);
 
-  Testbed testbed(std::move(scenario));
+  // Prune stale tools BEFORE the rebuild: ~MeasurementTool unregisters its
+  // flow on the phone it was bound to, so it must run while that phone is
+  // still alive — rebuild() destroys phones whose slot changes radio kind
+  // (and any beyond the next scenario's count). A tool survives only when
+  // the next scenario keeps the same tool kind on a phone build_graph will
+  // reset in place (same slot, same radio kind — stable address).
+  if (ctx.testbed.has_value()) {
+    const std::size_t next_count = scenario.phones.size();
+    if (ctx.tools.size() > next_count) ctx.tools.resize(next_count);
+    for (std::size_t i = 0; i < ctx.tools.size(); ++i) {
+      ShardContext::Impl::ToolSlot& slot = ctx.tools[i];
+      if (slot.tool == nullptr) continue;
+      const bool phone_survives =
+          i < ctx.testbed->phone_count() &&
+          slot.phone == &ctx.testbed->phone(i) &&
+          ctx.testbed->phone(i).radio_kind() == scenario.phones[i].radio;
+      if (!phone_survives || slot.kind != scenario.phones[i].workload.tool) {
+        slot.tool.reset();
+        slot.phone = nullptr;
+      }
+    }
+  }
+
+  // Reuse the warm testbed — rebuild() replays the construction order on
+  // the reset simulator, bit-identical to a fresh build — or construct it
+  // into the context slot on first use.
+  if (ctx.testbed.has_value()) {
+    ctx.testbed->rebuild(scenario);
+    ++ctx.reuses;
+  } else {
+    ctx.testbed.emplace(scenario, ctx.sim);
+  }
+  Testbed& testbed = *ctx.testbed;
   if (stage != nullptr) stage->build += stage_lap();
   testbed.settle(spec_.settle);
   if (testbed.spec().congested_phy) {
@@ -441,12 +574,16 @@ ShardResult Campaign::run_shard(
   // Each tool feeds its completed probes into a per-phone event list via
   // the probe listener (no post-hoc result() scraping); the lists flush
   // through the sink chain in canonical order below.
-  std::vector<std::vector<report::ProbeEvent>> phone_events(
-      testbed.phone_count());
-  std::vector<std::unique_ptr<tools::MeasurementTool>> instruments;
-  std::vector<tools::MeasurementTool*> running;
-  instruments.reserve(testbed.phone_count());
-  for (std::size_t i = 0; i < testbed.phone_count(); ++i) {
+  const std::size_t phone_count = testbed.phone_count();
+  if (ctx.phone_events.size() < phone_count) {
+    ctx.phone_events.resize(phone_count);
+  }
+  for (std::vector<report::ProbeEvent>& events : ctx.phone_events) {
+    events.clear();
+  }
+  if (ctx.tools.size() > phone_count) ctx.tools.resize(phone_count);
+  ctx.running.clear();
+  for (std::size_t i = 0; i < phone_count; ++i) {
     const WorkloadSpec& workload = testbed.spec().phones[i].workload;
     tools::MeasurementTool::Config config;
     config.probe_count = workload.probe_count > 0 ? workload.probe_count
@@ -456,10 +593,20 @@ ShardResult Campaign::run_shard(
     config.timeout = workload.timeout.is_zero() ? spec_.probe_timeout
                                                 : workload.timeout;
     config.target = Testbed::kServerId;
-    instruments.push_back(
-        tools::make_tool(workload.tool, testbed.phone(i), config));
-    instruments.back()->set_probe_listener(
-        [&phone_events, i, scenario_index,
+    if (i == ctx.tools.size()) ctx.tools.emplace_back();
+    ShardContext::Impl::ToolSlot& slot = ctx.tools[i];
+    if (slot.tool != nullptr && slot.kind == workload.tool &&
+        slot.phone == &testbed.phone(i)) {
+      // Same tool kind bound to the same (reset) phone object:
+      // reinitialize() restores the state the constructor would build.
+      slot.tool->reinitialize(config);
+    } else {
+      slot.tool = tools::make_tool(workload.tool, testbed.phone(i), config);
+      slot.kind = workload.tool;
+      slot.phone = &testbed.phone(i);
+    }
+    slot.tool->set_probe_listener(
+        [events = &ctx.phone_events[i], i, scenario_index,
          tool = workload.tool](const tools::ProbeRecord& record) {
           report::ProbeEvent event;
           event.scenario_index = scenario_index;
@@ -478,12 +625,12 @@ ShardResult Campaign::run_shard(
                   sample->du_ms, sample->dk_ms, sample->dv_ms, sample->dn_ms};
             }
           }
-          phone_events[i].push_back(event);
+          events->push_back(event);
         });
-    instruments.back()->start();
-    running.push_back(instruments.back().get());
+    slot.tool->start();
+    ctx.running.push_back(slot.tool.get());
   }
-  testbed.run_until_all_finished(running);
+  testbed.run_until_all_finished(ctx.running);
   if (stage != nullptr) stage->simulate += stage_lap();
 
   // Canonical event delivery: phones in scenario order, probes in schedule
@@ -491,7 +638,8 @@ ShardResult Campaign::run_shard(
   // when a timeout outlives later responses) — the ordering contract
   // report::ResultSink documents, and byte-for-byte the order the legacy
   // buffered fold used.
-  for (std::vector<report::ProbeEvent>& events : phone_events) {
+  for (std::size_t i = 0; i < phone_count; ++i) {
+    std::vector<report::ProbeEvent>& events = ctx.phone_events[i];
     std::sort(events.begin(), events.end(),
               [](const report::ProbeEvent& a, const report::ProbeEvent& b) {
                 return a.probe_index < b.probe_index;
@@ -504,7 +652,7 @@ ShardResult Campaign::run_shard(
   }
 
   // Compose the ShardResult view from the built-in sink outputs.
-  result.digests = digests->take_digests();
+  result.digests = ctx.digests.take_digests();
   if (buffers != nullptr) {
     report::SampleBufferSink::Buffers taken = buffers->take();
     result.reported_rtt_ms = std::move(taken.reported_rtt_ms);
@@ -528,7 +676,11 @@ ShardResult Campaign::run_shard(
   summary.events_fired = result.events_fired;
   summary.sim_seconds = result.sim_seconds;
   chain.shard_finished(summary);
+  // Destroy the per-shard owned sinks now (matching the fresh path, where
+  // the whole chain died here); the context-resident built-ins stay warm.
+  chain.clear();
   if (stage != nullptr) stage->sink += stage_lap();
+  ++ctx.shards_run;
   return result;
 }
 
@@ -641,6 +793,11 @@ class MergeFrontier {
   /// Peak number of out-of-order shards parked at once (memory telemetry).
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
+  /// Wall seconds the fold steps consumed (StageSeconds::merge). Read after
+  /// finalize() — the fold runs under the frontier lock on whichever worker
+  /// advances the cursor, so the sum is cross-worker like build/sink.
+  [[nodiscard]] double fold_seconds() const { return fold_seconds_; }
+
  private:
   void advance_locked() {
     while (cursor_ < slots_.size()) {
@@ -668,6 +825,7 @@ class MergeFrontier {
   /// sums match the buffered accessors bit for bit), then the consuming
   /// digest merge that frees the shard's buffers.
   void fold(ShardResult&& result) {
+    const auto start = std::chrono::steady_clock::now();
     ++totals_.completed;
     totals_.probes += result.probes_sent;
     totals_.lost += result.probes_lost;
@@ -675,6 +833,9 @@ class MergeFrontier {
     totals_.events += result.events_fired;
     totals_.sim_seconds += result.sim_seconds;
     totals_.workloads.fold_shard(std::move(result.digests));
+    fold_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
   }
 
   std::mutex mu_;
@@ -684,6 +845,7 @@ class MergeFrontier {
   std::map<std::size_t, ShardResult> held_;
   std::size_t cursor_ = 0;
   std::size_t high_water_ = 0;
+  double fold_seconds_ = 0;
 };
 
 }  // namespace
@@ -823,22 +985,29 @@ CampaignReport Campaign::run(std::size_t workers) {
   std::vector<std::exception_ptr> failures(pending.size());
 
   if (workers <= 1) {
+    // One warm shard context for the whole serial sweep (the pool below
+    // gives each worker its own).
+    ShardContext context;
     for (std::size_t p = 0; p < pending.size(); ++p) {
       const std::size_t index = pending[p];
       if (frontier != nullptr) {
         try {
-          frontier->submit(index, run_shard(index, /*run_sequence=*/p,
-                                            checkpoint, &report.stage));
+          frontier->submit(index,
+                           run_shard(index, /*run_sequence=*/p, checkpoint,
+                                     &report.stage, context));
         } catch (...) {
           frontier->abandon(index);
           throw;
         }
       } else {
-        report.shards[index] =
-            run_shard(index, /*run_sequence=*/p, checkpoint, &report.stage);
+        report.shards[index] = run_shard(index, /*run_sequence=*/p,
+                                         checkpoint, &report.stage, context);
       }
     }
-    if (frontier != nullptr) frontier->finalize();
+    if (frontier != nullptr) {
+      frontier->finalize();
+      report.stage.merge = frontier->fold_seconds();
+    }
     return report;
   }
 
@@ -858,6 +1027,11 @@ CampaignReport Campaign::run(std::size_t workers) {
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([this, &cursor, &report, &failures, &pending,
                        &checkpoint, &frontier, &lane = lanes[w], batch] {
+      // Each worker owns one warm context for its whole claim stream:
+      // every shard after the first reuses the simulator, node graph,
+      // tools and sink scratch (per-shard seeding keeps results
+      // independent of which worker ran what).
+      ShardContext context;
       while (true) {
         const std::size_t begin =
             cursor.next.fetch_add(batch, std::memory_order_relaxed);
@@ -866,8 +1040,8 @@ CampaignReport Campaign::run(std::size_t workers) {
         for (std::size_t p = begin; p < end; ++p) {
           const std::size_t index = pending[p];
           try {
-            ShardResult result =
-                run_shard(index, /*run_sequence=*/p, checkpoint, &lane.stage);
+            ShardResult result = run_shard(index, /*run_sequence=*/p,
+                                           checkpoint, &lane.stage, context);
             ++lane.shards_run;
             if (frontier != nullptr) {
               // Retire into the in-order fold (never blocks: either this
@@ -889,7 +1063,10 @@ CampaignReport Campaign::run(std::size_t workers) {
     });
   }
   for (std::thread& worker : pool) worker.join();
-  if (frontier != nullptr) frontier->finalize();
+  if (frontier != nullptr) {
+    frontier->finalize();
+    report.stage.merge = frontier->fold_seconds();
+  }
   for (const WorkerLane& lane : lanes) {
     report.stage.build += lane.stage.build;
     report.stage.simulate += lane.stage.simulate;

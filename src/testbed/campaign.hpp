@@ -44,6 +44,7 @@
 #include "stats/cdf.hpp"
 #include "stats/digest.hpp"
 #include "stats/summary.hpp"
+#include "testbed/shard_context.hpp"
 #include "testbed/testbed.hpp"
 #include "tools/factory.hpp"
 
@@ -79,6 +80,14 @@ struct ScenarioGrid {
   /// expand() share one construction routine, so they are identical
   /// element for element by construction (pinned by test_campaign_lazy).
   [[nodiscard]] ScenarioSpec at(std::size_t index) const;
+
+  /// at(), but filled into `out` in place: every field is overwritten (the
+  /// non-axis fields with their ScenarioSpec defaults), and the phones
+  /// vector / label strings reuse out's existing capacity — the
+  /// allocation-free iteration path of the shard-context pool. at(),
+  /// expand() and at_into() share one construction routine, so all three
+  /// are identical element for element by construction.
+  void at_into(std::size_t index, ScenarioSpec& out) const;
 
   /// Number of scenarios expand() will produce / at() accepts.
   [[nodiscard]] std::size_t size() const;
@@ -147,11 +156,14 @@ using WorkloadDigest = report::WorkloadDigest;
 /// Wall-clock seconds spent per campaign pipeline stage. Per-shard stages
 /// (build / simulate / sink) are summed across workers — with W workers the
 /// sum can exceed the campaign's wall time W-fold; the ratios are what
-/// matter. `restore` is the serial checkpoint load/compact phase of
-/// Campaign::run. The report-side digest merge happens lazily in the
-/// accessors, so benches time it themselves.
+/// matter (docs/campaigns.md, "Reading the BENCH numbers"). `restore` is
+/// the serial checkpoint load/compact phase of Campaign::run; `merge` is
+/// the frontier fold. In buffered mode (retain_shards=true) the digest
+/// merge happens lazily in the report accessors instead, so `merge` stays 0
+/// and benches time the accessor themselves.
 struct StageSeconds {
-  /// Scenario materialization + sink-chain setup + Testbed construction.
+  /// Scenario materialization + sink-chain setup + Testbed
+  /// construction/rebuild.
   double build = 0;
   /// settle() + cross-traffic warmup + tool setup +
   /// run_until_all_finished().
@@ -159,6 +171,10 @@ struct StageSeconds {
   /// Canonical event flush through the sink chain (digest folds, JSONL
   /// blocks, checkpoint append) + shard_finished delivery.
   double sink = 0;
+  /// In-order frontier fold of completed shards into the campaign
+  /// accumulators (retain_shards=false only; runs on whichever worker
+  /// advances the fold cursor).
+  double merge = 0;
   /// Checkpoint load, validation and compaction (serial, resume only).
   double restore = 0;
 };
@@ -297,8 +313,17 @@ class Campaign {
   /// many pending shards execute (the rest stay !completed).
   [[nodiscard]] CampaignReport run(std::size_t workers = 0);
 
-  /// Runs a single shard synchronously (what each worker executes).
+  /// Runs a single shard synchronously on a fresh, throwaway context
+  /// (what run_shard(index, context) does on a first-use context).
   [[nodiscard]] ShardResult run_shard(std::size_t scenario_index) const;
+
+  /// Runs a single shard on a reusable per-worker context: the context's
+  /// simulator, testbed node graph, tools and sink scratch are reset into
+  /// this scenario instead of reconstructed — near-zero heap allocations
+  /// when the scenario shape repeats, and byte-identical results either
+  /// way (what each pool worker executes; see docs/campaigns.md).
+  [[nodiscard]] ShardResult run_shard(std::size_t scenario_index,
+                                      ShardContext& context) const;
 
  private:
   /// `run_sequence` is the shard's dense position in this invocation's
@@ -307,7 +332,12 @@ class Campaign {
   [[nodiscard]] ShardResult run_shard(
       std::size_t scenario_index, std::size_t run_sequence,
       const std::shared_ptr<report::CheckpointWriter>& checkpoint,
-      StageSeconds* stage) const;
+      StageSeconds* stage, ShardContext& context) const;
+
+  /// Materializes shard `index`'s scenario into `out` (capacity-reusing;
+  /// the grid path delegates to ScenarioGrid::at_into, the materialized
+  /// path copy-assigns).
+  void scenario_into(std::size_t index, ScenarioSpec& out) const;
 
   CampaignSpec spec_;
 };

@@ -1,6 +1,7 @@
 #include "testbed/testbed.hpp"
 
-#include <set>
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "sim/contracts.hpp"
@@ -46,6 +47,12 @@ WirelessHost::WirelessHost(sim::Simulator& sim, wifi::Channel& channel,
       station_(sim, channel, rng_.fork("station"),
                load_gen_station_config(id, ap_id)) {}
 
+void WirelessHost::reset(sim::Rng rng, net::NodeId id, net::NodeId ap_id) {
+  rng_ = std::move(rng);
+  id_ = id;
+  station_.reset(rng_.fork("station"), load_gen_station_config(id, ap_id));
+}
+
 void WirelessHost::transmit(Packet&& packet) {
   packet.src = id_;
   // Desktop host stack: tens of microseconds, no phone-style quirks.
@@ -64,8 +71,11 @@ void CellularGateway::attach_link(net::Link& link) {
 void CellularGateway::attach_phone(phone::Smartphone& phone) {
   expects(phone.radio_kind() == phone::RadioKind::cellular,
           "CellularGateway::attach_phone requires a cellular phone");
-  const bool inserted = phones_.emplace(phone.id(), &phone).second;
-  expects(inserted, "CellularGateway::attach_phone: duplicate phone id");
+  for (const auto& [id, ptr] : phones_) {
+    expects(id != phone.id(),
+            "CellularGateway::attach_phone: duplicate phone id");
+  }
+  phones_.emplace_back(phone.id(), &phone);
   phone.cellular_radio().set_egress(
       [this](Packet&& pkt) { uplink(std::move(pkt)); });
 }
@@ -83,8 +93,14 @@ void CellularGateway::uplink(Packet&& packet) {
 }
 
 void CellularGateway::receive(Packet&& packet, net::Link* /*ingress*/) {
-  const auto it = phones_.find(packet.dst);
-  if (it == phones_.end()) return;  // not one of ours (switch flooding)
+  phone::Smartphone* target = nullptr;
+  for (const auto& [id, ptr] : phones_) {
+    if (id == packet.dst) {
+      target = ptr;
+      break;
+    }
+  }
+  if (target == nullptr) return;  // not one of ours (switch flooding)
   if (packet.ttl <= 1) {
     ++ttl_drops_;
     return;
@@ -93,7 +109,7 @@ void CellularGateway::receive(Packet&& packet, net::Link* /*ingress*/) {
   ++downlink_;
   // Enter the phone's stack at the bottom: the RRC radio pays the downlink
   // state latency before the packet ascends.
-  it->second->pipeline().inject(std::move(packet));
+  target->pipeline().inject(std::move(packet));
 }
 
 ScenarioSpec& ScenarioSpec::assign_workloads(
@@ -133,34 +149,99 @@ ScenarioSpec ScenarioSpec::fig2(const TestbedConfig& config) {
 Testbed::Testbed(TestbedConfig config) : Testbed(ScenarioSpec::fig2(config)) {}
 
 Testbed::Testbed(ScenarioSpec spec)
-    : spec_(std::move(spec)), rng_(spec_.seed) {
+    : owned_sim_(std::make_unique<sim::Simulator>()),
+      sim_(owned_sim_.get()),
+      spec_(std::move(spec)),
+      rng_(spec_.seed) {
+  build_graph();
+}
+
+Testbed::Testbed(ScenarioSpec spec, sim::Simulator& sim)
+    : sim_(&sim), spec_(std::move(spec)), rng_(spec_.seed) {
+  build_graph();
+}
+
+void Testbed::rebuild(const ScenarioSpec& spec) {
+  sim_->reset();
+  // Copy-assign, never move-assign: the phones vector (and the labels and
+  // profile strings inside) copy into the buffers the previous scenario
+  // left behind, so a shape-stable rebuild touches the heap zero times.
+  spec_ = spec;
+  rng_ = sim::Rng(spec_.seed);
+  iperf_ready_ = false;
+  cross_running_ = false;
+  build_graph();
+}
+
+void Testbed::build_graph() {
   expects(!spec_.phones.empty(), "ScenarioSpec requires at least one phone");
 
+  // Every component below is reset in place when it already exists and
+  // constructed otherwise, in the exact order the original constructor
+  // used. Order matters twice over: rng fork tags must pair with the same
+  // components, and construction-time events (doze timers, bus watchdogs,
+  // system chatter, beacons) must claim the same event-queue sequence
+  // numbers as in a fresh build — that is what makes a reused testbed
+  // bit-identical to a fresh one.
   const wifi::PhyParams phy = spec_.congested_phy ? wifi::phy_802_11g_mixed()
                                                   : wifi::phy_802_11g();
-  channel_ =
-      std::make_unique<wifi::Channel>(sim_, rng_.fork("channel"), phy);
+  if (channel_) {
+    channel_->reset(rng_.fork("channel"), phy);
+  } else {
+    channel_ =
+        std::make_unique<wifi::Channel>(*sim_, rng_.fork("channel"), phy);
+  }
 
   wifi::AccessPoint::Config ap_config;
   ap_config.id = kApId;
   ap_config.send_ttl_exceeded = spec_.send_ttl_exceeded;
-  ap_ = std::make_unique<wifi::AccessPoint>(sim_, *channel_, rng_.fork("ap"),
-                                            ap_config);
+  if (ap_) {
+    ap_->reset(rng_.fork("ap"), ap_config);
+  } else {
+    ap_ = std::make_unique<wifi::AccessPoint>(*sim_, *channel_,
+                                              rng_.fork("ap"), ap_config);
+  }
 
-  switch_ = std::make_unique<net::Switch>(kSwitchId);
-  server_ =
-      std::make_unique<net::EchoServer>(sim_, rng_.fork("server"), kServerId);
-  load_sink_ = std::make_unique<net::UdpSink>(sim_, kLoadSinkId);
+  if (switch_) {
+    switch_->reset(kSwitchId);
+  } else {
+    switch_ = std::make_unique<net::Switch>(kSwitchId);
+  }
+  if (server_) {
+    server_->reset(rng_.fork("server"), kServerId);
+  } else {
+    server_ = std::make_unique<net::EchoServer>(*sim_, rng_.fork("server"),
+                                                kServerId);
+  }
+  if (load_sink_) {
+    load_sink_->reset(kLoadSinkId);
+  } else {
+    load_sink_ = std::make_unique<net::UdpSink>(*sim_, kLoadSinkId);
+  }
 
   // Gigabit wired fabric with ~5 us propagation per hop.
   const Duration wire_prop = Duration::micros(5.0);
   const double gigabit = 1e9;
-  ap_switch_link_ =
-      std::make_unique<net::Link>(sim_, *ap_, *switch_, wire_prop, gigabit);
-  switch_server_link_ = std::make_unique<net::Link>(sim_, *switch_, *server_,
-                                                    wire_prop, gigabit);
-  switch_sink_link_ = std::make_unique<net::Link>(sim_, *switch_, *load_sink_,
-                                                  wire_prop, gigabit);
+  if (ap_switch_link_) {
+    ap_switch_link_->reset(*ap_, *switch_, wire_prop, gigabit);
+  } else {
+    ap_switch_link_ =
+        std::make_unique<net::Link>(*sim_, *ap_, *switch_, wire_prop, gigabit);
+  }
+  if (switch_server_link_) {
+    switch_server_link_->reset(*switch_, *server_, wire_prop, gigabit);
+  } else {
+    switch_server_link_ = std::make_unique<net::Link>(*sim_, *switch_,
+                                                      *server_, wire_prop,
+                                                      gigabit);
+  }
+  if (switch_sink_link_) {
+    switch_sink_link_->reset(*switch_, *load_sink_, wire_prop, gigabit);
+  } else {
+    switch_sink_link_ = std::make_unique<net::Link>(*sim_, *switch_,
+                                                    *load_sink_, wire_prop,
+                                                    gigabit);
+  }
   ap_->attach_wired(*ap_switch_link_);
   switch_->attach_port(*ap_switch_link_);
   switch_->attach_port(*switch_server_link_);
@@ -178,62 +259,131 @@ Testbed::Testbed(ScenarioSpec spec)
   if (spec_.count_radio(phone::RadioKind::cellular) > 0) {
     expects(!spec_.cellular_core_rtt.is_negative(),
             "ScenarioSpec cellular core RTT must be non-negative");
-    gateway_ = std::make_unique<CellularGateway>(sim_, kCellGatewayId);
-    gateway_link_ = std::make_unique<net::Link>(
-        sim_, *gateway_, *switch_, spec_.cellular_core_rtt / 2, gigabit);
+    if (gateway_) {
+      gateway_->reset(kCellGatewayId);
+    } else {
+      gateway_ = std::make_unique<CellularGateway>(*sim_, kCellGatewayId);
+    }
+    if (gateway_link_) {
+      gateway_link_->reset(*gateway_, *switch_, spec_.cellular_core_rtt / 2,
+                           gigabit);
+    } else {
+      gateway_link_ = std::make_unique<net::Link>(
+          *sim_, *gateway_, *switch_, spec_.cellular_core_rtt / 2, gigabit);
+    }
     switch_->attach_port(*gateway_link_);
     gateway_->attach_link(*gateway_link_);
+  } else {
+    gateway_link_.reset();
+    gateway_.reset();
   }
 
   // Wireless side: the phones under test + the load generator, all
   // contending on the one channel. Rng streams are forked by label, so a
   // duplicate label would silently give two "independent" handsets
   // byte-identical latency draws — reject it up front.
-  std::set<std::string> used_labels = {"channel", "ap",     "server",
-                                       "loadgen", "iperf",  "tbtt",
-                                       "sniffer-A", "sniffer-B", "sniffer-C"};
+  static constexpr const char* kReservedTags[] = {
+      "channel", "ap",        "server",    "loadgen",  "iperf",
+      "tbtt",    "sniffer-A", "sniffer-B", "sniffer-C"};
+  used_labels_.clear();
+  if (phones_.size() > spec_.phones.size()) {
+    phones_.resize(spec_.phones.size());
+  }
   phones_.reserve(spec_.phones.size());
   for (std::size_t i = 0; i < spec_.phones.size(); ++i) {
     const PhoneSpec& phone_spec = spec_.phones[i];
     const std::string label = phone_label(phone_spec, i);
-    expects(used_labels.insert(label).second,
-            "ScenarioSpec phone labels must be unique (and must not reuse "
-            "an infrastructure rng tag)");
+    for (const char* reserved : kReservedTags) {
+      expects(std::strcmp(label.c_str(), reserved) != 0,
+              "ScenarioSpec phone labels must not reuse an infrastructure "
+              "rng tag");
+    }
+    expects(std::find(used_labels_.begin(), used_labels_.end(), label) ==
+                used_labels_.end(),
+            "ScenarioSpec phone labels must be unique");
+    used_labels_.push_back(label);
     const net::NodeId id = phone_id(i);
+    const bool have_slot = i < phones_.size();
     if (phone_spec.radio == phone::RadioKind::cellular) {
-      phones_.push_back(std::make_unique<phone::Smartphone>(
-          sim_, rng_.fork(label), phone_spec.profile, id, kCellGatewayId,
-          phone_spec.rrc));
-      gateway_->attach_phone(*phones_.back());
+      if (have_slot &&
+          phones_[i]->radio_kind() == phone::RadioKind::cellular) {
+        phones_[i]->reset(rng_.fork(label), phone_spec.profile, id,
+                          kCellGatewayId, phone_spec.rrc);
+      } else {
+        auto fresh = std::make_unique<phone::Smartphone>(
+            *sim_, rng_.fork(label), phone_spec.profile, id, kCellGatewayId,
+            phone_spec.rrc);
+        if (have_slot) {
+          phones_[i] = std::move(fresh);
+        } else {
+          phones_.push_back(std::move(fresh));
+        }
+      }
+      gateway_->attach_phone(*phones_[i]);
     } else {
-      phones_.push_back(std::make_unique<phone::Smartphone>(
-          sim_, *channel_, rng_.fork(label), phone_spec.profile, id, kApId));
+      if (have_slot && phones_[i]->radio_kind() == phone::RadioKind::wifi) {
+        phones_[i]->reset(rng_.fork(label), phone_spec.profile, id, kApId);
+      } else {
+        auto fresh = std::make_unique<phone::Smartphone>(
+            *sim_, *channel_, rng_.fork(label), phone_spec.profile, id,
+            kApId);
+        if (have_slot) {
+          phones_[i] = std::move(fresh);
+        } else {
+          phones_.push_back(std::move(fresh));
+        }
+      }
       ap_->associate(id, phone_spec.profile.associated_listen_interval);
     }
   }
-  load_gen_ = std::make_unique<WirelessHost>(sim_, *channel_,
-                                             rng_.fork("loadgen"), kLoadGenId,
-                                             kApId);
+  if (load_gen_) {
+    load_gen_->reset(rng_.fork("loadgen"), kLoadGenId, kApId);
+  } else {
+    load_gen_ = std::make_unique<WirelessHost>(
+        *sim_, *channel_, rng_.fork("loadgen"), kLoadGenId, kApId);
+  }
   ap_->associate(kLoadGenId, 1);
 
-  iperf_ = std::make_unique<net::IperfLoadGenerator>(
-      sim_, rng_.fork("iperf"), kLoadGenId, kLoadSinkId,
-      spec_.cross_connections, spec_.cross_flow_mbps,
-      [this](Packet pkt) { load_gen_->transmit(std::move(pkt)); });
+  // The iPerf generator is built lazily in ensure_iperf(): its flows draw
+  // from their rng streams only on start(), so deferring construction to
+  // the first start_cross_traffic() is output-identical and lets the many
+  // campaign shards that never congest the WLAN skip it entirely.
 
   // Sniffers within 0.5 m of the phones (§2.2): they all see every frame;
   // each has an independent timestamp-noise stream.
+  if (sniffers_.size() > spec_.sniffer_count) {
+    sniffers_.resize(spec_.sniffer_count);
+  }
+  sniffers_.reserve(spec_.sniffer_count);
   for (std::size_t i = 0; i < spec_.sniffer_count; ++i) {
     const std::string name = sniffer_label(i);
-    auto sniffer = std::make_unique<wifi::Sniffer>(
-        name, rng_.fork(name), spec_.sniffer_noise);
-    channel_->attach_observer(*sniffer);
-    sniffers_.push_back(std::move(sniffer));
+    if (i < sniffers_.size()) {
+      sniffers_[i]->reset(name, rng_.fork(name), spec_.sniffer_noise);
+    } else {
+      sniffers_.push_back(std::make_unique<wifi::Sniffer>(
+          name, rng_.fork(name), spec_.sniffer_noise));
+    }
+    channel_->attach_observer(*sniffers_[i]);
   }
 
   // Beacons start at a random phase relative to the experiment schedule.
   ap_->start_beacons(
       rng_.fork("tbtt").uniform_duration(Duration{}, wifi::beacon_interval()));
+}
+
+void Testbed::ensure_iperf() {
+  if (iperf_ready_) return;
+  if (iperf_) {
+    iperf_->reset(*sim_, rng_.fork("iperf"), kLoadGenId, kLoadSinkId,
+                  spec_.cross_connections, spec_.cross_flow_mbps,
+                  [this](Packet pkt) { load_gen_->transmit(std::move(pkt)); });
+  } else {
+    iperf_ = std::make_unique<net::IperfLoadGenerator>(
+        *sim_, rng_.fork("iperf"), kLoadGenId, kLoadSinkId,
+        spec_.cross_connections, spec_.cross_flow_mbps,
+        [this](Packet pkt) { load_gen_->transmit(std::move(pkt)); });
+  }
+  iperf_ready_ = true;
 }
 
 CellularGateway& Testbed::cellular_gateway() {
@@ -250,6 +400,7 @@ void Testbed::set_emulated_rtt(Duration rtt) {
 void Testbed::start_cross_traffic() {
   if (cross_running_) return;
   cross_running_ = true;
+  ensure_iperf();
   load_sink_->reset_window();
   iperf_->start();
 }
@@ -266,7 +417,7 @@ double Testbed::cross_traffic_throughput_mbps() const {
   return load_sink_->throughput_mbps(load_sink_->window_start());
 }
 
-void Testbed::settle(Duration span) { sim_.run_for(span); }
+void Testbed::settle(Duration span) { sim_->run_for(span); }
 
 void Testbed::run_until_finished(tools::MeasurementTool& tool,
                                  Duration max_sim_time) {
@@ -281,9 +432,9 @@ void Testbed::run_until_all_finished(
     }
     return true;
   };
-  const sim::TimePoint deadline = sim_.now() + max_sim_time;
-  while (!all_finished() && sim_.now() < deadline) {
-    sim_.run_for(Duration::millis(50));
+  const sim::TimePoint deadline = sim_->now() + max_sim_time;
+  while (!all_finished() && sim_->now() < deadline) {
+    sim_->run_for(Duration::millis(50));
   }
   expects(all_finished(),
           "Testbed::run_until_all_finished hit the simulated-time guard");

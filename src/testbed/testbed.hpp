@@ -19,7 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cellular/rrc.hpp"
@@ -48,6 +48,11 @@ class WirelessHost {
   /// Joins `channel` as station `id`, associated with the AP `ap_id`.
   WirelessHost(sim::Simulator& sim, wifi::Channel& channel, sim::Rng rng,
                net::NodeId id, net::NodeId ap_id);
+
+  /// Returns the host to the state the constructor would leave it in with
+  /// these arguments; the host stays on the channel it was built on
+  /// (shard-context reuse contract).
+  void reset(sim::Rng rng, net::NodeId id, net::NodeId ap_id);
 
   /// Sends a packet toward the AP after a small host-stack delay.
   void transmit(net::Packet&& packet);
@@ -135,6 +140,17 @@ class CellularGateway : public net::Node {
   CellularGateway(sim::Simulator& sim, net::NodeId id)
       : sim_(&sim), id_(id) {}
 
+  /// Returns the gateway to the state the constructor would leave it in;
+  /// the phone registry storage stays warm (shard-context reuse contract).
+  void reset(net::NodeId id) {
+    id_ = id;
+    link_ = nullptr;
+    phones_.clear();
+    uplink_ = 0;
+    downlink_ = 0;
+    ttl_drops_ = 0;
+  }
+
   /// Connects the core-network link. Must be called before traffic.
   void attach_link(net::Link& link);
   /// Registers a cellular phone and wires its radio egress to this gateway.
@@ -155,7 +171,9 @@ class CellularGateway : public net::Node {
   sim::Simulator* sim_;
   net::NodeId id_;
   net::Link* link_ = nullptr;
-  std::unordered_map<net::NodeId, phone::Smartphone*> phones_;
+  // A scenario registers a handful of cellular phones; a flat vector keeps
+  // lookups cheap and (re)attachment allocation-free in steady state.
+  std::vector<std::pair<net::NodeId, phone::Smartphone*>> phones_;
   std::uint64_t uplink_ = 0;
   std::uint64_t downlink_ = 0;
   std::uint64_t ttl_drops_ = 0;
@@ -230,11 +248,25 @@ class Testbed {
 
   /// Builds the scenario described by `spec` (requires >= 1 phone).
   explicit Testbed(ScenarioSpec spec);
+  /// Builds the scenario on an externally-owned simulator (the shard-context
+  /// pool shares one warm simulator across many testbed rebuilds). The
+  /// simulator must be freshly constructed or reset().
+  Testbed(ScenarioSpec spec, sim::Simulator& sim);
   /// Fig. 2 compatibility front-end: a single-phone scenario.
   explicit Testbed(TestbedConfig config = {});
 
+  /// Tears the previous scenario down logically (simulator reset, all
+  /// pending events cancelled) and builds `spec` in place, reusing every
+  /// node, link and stack object whose shape still fits. The result is
+  /// indistinguishable from a freshly-constructed Testbed{spec}: the same
+  /// rng streams, the same event schedule, the same node graph — but with
+  /// near-zero heap allocations when the scenario shape repeats
+  /// (shard-context reuse contract). Takes the spec by const reference so
+  /// the internal copy reuses the previous scenario's buffer capacity.
+  void rebuild(const ScenarioSpec& spec);
+
   /// The scenario's simulator (all devices schedule on it).
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
   /// The (first) phone under test.
   [[nodiscard]] phone::Smartphone& phone() { return *phones_.front(); }
   /// The `index`-th phone of the scenario.
@@ -295,8 +327,20 @@ class Testbed {
       const tools::ToolRun& run) const;
 
  private:
+  /// First build and every rebuild: constructs/resets the whole node graph
+  /// from spec_ in the exact order the original constructor used, so the
+  /// event schedule (and therefore every simulation output) is bit-identical
+  /// between a fresh Testbed and a reused one.
+  void build_graph();
+  /// Builds or reconfigures the iPerf generator for the current spec. The
+  /// generator is lazy: scenarios that never start cross traffic (most
+  /// campaign shards) never pay for its ten flows.
+  void ensure_iperf();
+
+  // owned_sim_ before sim_ before spec_/rng_: constructor member-init order.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator* sim_;
   ScenarioSpec spec_;
-  sim::Simulator sim_;
   sim::Rng rng_;
   std::unique_ptr<wifi::Channel> channel_;
   std::unique_ptr<wifi::AccessPoint> ap_;
@@ -312,6 +356,11 @@ class Testbed {
   std::unique_ptr<net::IperfLoadGenerator> iperf_;
   std::vector<std::unique_ptr<phone::Smartphone>> phones_;
   std::vector<std::unique_ptr<wifi::Sniffer>> sniffers_;
+  // Label-uniqueness scratch, reused across rebuilds (SSO labels => no
+  // steady-state allocations where the old std::set allocated a node per
+  // phone per shard).
+  std::vector<std::string> used_labels_;
+  bool iperf_ready_ = false;
   bool cross_running_ = false;
 };
 

@@ -16,6 +16,11 @@ class HttPing : public MeasurementTool {
 
   [[nodiscard]] std::string name() const override { return "httping"; }
 
+  void reinitialize(Config config) override {
+    MeasurementTool::reinitialize(make_sequential(config));
+    connected_ = false;
+  }
+
  protected:
   void send_probe(int index) override;
   std::optional<double> on_probe_response(int index,

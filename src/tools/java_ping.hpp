@@ -19,6 +19,10 @@ class JavaPing : public MeasurementTool {
 
   [[nodiscard]] std::string name() const override { return "Java ping"; }
 
+  void reinitialize(Config config) override {
+    MeasurementTool::reinitialize(make_sequential(config));
+  }
+
  protected:
   [[nodiscard]] phone::ExecMode exec_mode() const override {
     return phone::ExecMode::dalvik;

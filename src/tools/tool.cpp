@@ -43,6 +43,25 @@ MeasurementTool::MeasurementTool(phone::Smartphone& phone, Config config)
 
 MeasurementTool::~MeasurementTool() { phone_->unregister_flow(flow_id_); }
 
+void MeasurementTool::reinitialize(Config config) {
+  expects(config.probe_count > 0, "MeasurementTool requires probe_count > 0");
+  expects(config.timeout > Duration{},
+          "MeasurementTool requires a positive timeout");
+  phone_->unregister_flow(flow_id_);  // no-op when the last run finished
+  config_ = config;
+  flow_id_ = phone_->allocate_flow_id();
+  outstanding_.clear();
+  probe_of_index_.clear();
+  launched_ = 0;
+  completed_ = 0;
+  started_ = false;
+  finished_ = false;
+  run_.tool_name.clear();
+  run_.probes.clear();
+  done_ = nullptr;
+  probe_listener_ = nullptr;
+}
+
 void MeasurementTool::start(DoneFn done) {
   expects(!started_, "MeasurementTool::start may only be called once");
   started_ = true;

@@ -93,6 +93,14 @@ class MeasurementTool {
   /// order (a timeout outlives later responses).
   using ProbeFn = std::function<void(const ProbeRecord&)>;
 
+  /// Returns the tool to the state a fresh construction on the same phone
+  /// with `config` would produce: a new flow id is drawn from the phone's
+  /// (reset) allocator, all matching and schedule state clears in place
+  /// with storage kept warm, and start() may be called again. Overrides
+  /// adapt `config` exactly as the corresponding constructor does, then
+  /// reset their own state (shard-context reuse contract).
+  virtual void reinitialize(Config config);
+
   /// Launches the probe schedule; calling it a second time is a contract
   /// violation — enforced here, at the single non-virtual entry point, for
   /// every tool in the zoo (NVI: subclasses with a richer launch protocol,

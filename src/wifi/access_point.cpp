@@ -30,6 +30,26 @@ AccessPoint::AccessPoint(sim::Simulator& sim, Channel& channel, sim::Rng rng,
       });
 }
 
+void AccessPoint::reset(sim::Rng rng, Config config) {
+  rng_ = std::move(rng);
+  config_ = config;
+  radio_.reset();
+  radio_.set_receiver([this](Packet&& pkt, const Frame& frame) {
+    on_radio_receive(std::move(pkt), frame);
+  });
+  radio_.set_delivery_fail_handler(
+      [this](Packet&& pkt, net::NodeId receiver) {
+        on_delivery_failed(std::move(pkt), receiver);
+      });
+  wired_ = nullptr;
+  beacon_timer_.reset(beacon_interval());
+  stations_in_use_ = 0;  // associate() recycles the parked slots
+  ttl_drops_ = 0;
+  beacons_sent_ = 0;
+  ps_buffered_total_ = 0;
+  ps_polls_served_ = 0;
+}
+
 void AccessPoint::attach_wired(net::Link& link) {
   expects(wired_ == nullptr, "AccessPoint::attach_wired called twice");
   wired_ = &link;
@@ -42,37 +62,55 @@ void AccessPoint::start_beacons(Duration phase) {
 void AccessPoint::associate(net::NodeId sta, int listen_interval) {
   expects(listen_interval >= 0,
           "AccessPoint::associate listen interval must be >= 0");
-  StationState state;
-  state.listen_interval = listen_interval;
-  stations_[sta] = std::move(state);
+  StationState* state = station_state(sta);
+  if (state == nullptr) {
+    // Recycle a parked slot (its deque keeps warm storage) before growing.
+    if (stations_in_use_ == stations_.size()) stations_.emplace_back();
+    state = &stations_[stations_in_use_++];
+  }
+  state->sta = sta;
+  state->dozing = false;
+  state->listen_interval = listen_interval;
+  state->ps_buffer.clear();
 }
 
 AccessPoint::StationState* AccessPoint::station_state(net::NodeId sta) {
-  const auto it = stations_.find(sta);
-  return it == stations_.end() ? nullptr : &it->second;
+  for (std::size_t i = 0; i < stations_in_use_; ++i) {
+    if (stations_[i].sta == sta) return &stations_[i];
+  }
+  return nullptr;
+}
+
+const AccessPoint::StationState* AccessPoint::station_state(
+    net::NodeId sta) const {
+  for (std::size_t i = 0; i < stations_in_use_; ++i) {
+    if (stations_[i].sta == sta) return &stations_[i];
+  }
+  return nullptr;
 }
 
 bool AccessPoint::station_dozing(net::NodeId sta) const {
-  const auto it = stations_.find(sta);
-  return it != stations_.end() && it->second.dozing;
+  const StationState* state = station_state(sta);
+  return state != nullptr && state->dozing;
 }
 
 std::size_t AccessPoint::buffered_count(net::NodeId sta) const {
-  const auto it = stations_.find(sta);
-  return it == stations_.end() ? 0 : it->second.ps_buffer.size();
+  const StationState* state = station_state(sta);
+  return state == nullptr ? 0 : state->ps_buffer.size();
 }
 
 int AccessPoint::associated_listen_interval(net::NodeId sta) const {
-  const auto it = stations_.find(sta);
-  return it == stations_.end() ? -1 : it->second.listen_interval;
+  const StationState* state = station_state(sta);
+  return state == nullptr ? -1 : state->listen_interval;
 }
 
 void AccessPoint::send_beacon() {
   Packet beacon = Packet::make(PacketType::wifi_beacon, Protocol::wifi_mgmt,
                                config_.id, kBroadcastId, 96);
   beacon.wifi.tbtt = sim_->now();
-  for (const auto& [sta, state] : stations_) {
-    if (!state.ps_buffer.empty()) beacon.wifi.tim.push_back(sta);
+  for (std::size_t i = 0; i < stations_in_use_; ++i) {
+    const StationState& state = stations_[i];
+    if (!state.ps_buffer.empty()) beacon.wifi.tim.push_back(state.sta);
   }
   ++beacons_sent_;
   radio_.enqueue_priority(std::move(beacon), kBroadcastId);

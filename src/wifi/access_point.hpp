@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -38,6 +37,11 @@ class AccessPoint : public net::Node {
 
   AccessPoint(sim::Simulator& sim, Channel& channel, sim::Rng rng,
               Config config);
+
+  /// Returns the AP to the state the constructor would leave it in with
+  /// these arguments. The association table and per-station power-save
+  /// buffers keep their warm storage (shard-context reuse contract).
+  void reset(sim::Rng rng, Config config);
 
   /// Connects the Ethernet port. Must be called before wired traffic.
   void attach_wired(net::Link& link);
@@ -70,6 +74,7 @@ class AccessPoint : public net::Node {
 
  private:
   struct StationState {
+    net::NodeId sta = 0;
     bool dozing = false;
     int listen_interval = 0;
     std::deque<net::Packet> ps_buffer;
@@ -82,6 +87,7 @@ class AccessPoint : public net::Node {
   void flush_ps_buffer(StationState& state, net::NodeId sta);
   void send_beacon();
   StationState* station_state(net::NodeId sta);
+  [[nodiscard]] const StationState* station_state(net::NodeId sta) const;
 
   sim::Simulator* sim_;
   sim::Rng rng_;
@@ -89,7 +95,13 @@ class AccessPoint : public net::Node {
   Radio radio_;
   net::Link* wired_ = nullptr;
   sim::PeriodicTimer beacon_timer_;
-  std::unordered_map<net::NodeId, StationState> stations_;
+  // Association table in association order. Slots are recycled across
+  // shard-context resets (stations_in_use_ marks the live prefix) so the
+  // per-station power-save deques keep their warm storage; with a handful
+  // of stations per BSS, linear scans beat a node-based map and allocate
+  // nothing in steady state.
+  std::vector<StationState> stations_;
+  std::size_t stations_in_use_ = 0;
   std::uint64_t ttl_drops_ = 0;
   std::uint64_t beacons_sent_ = 0;
   std::uint64_t ps_buffered_total_ = 0;

@@ -17,6 +17,18 @@ using sim::TimePoint;
 Channel::Channel(sim::Simulator& sim, sim::Rng rng, PhyParams phy)
     : sim_(&sim), rng_(std::move(rng)), phy_(phy) {}
 
+void Channel::reset(sim::Rng rng, PhyParams phy) {
+  rng_ = std::move(rng);
+  phy_ = phy;
+  radios_.clear();
+  observers_.clear();
+  busy_until_ = sim::TimePoint{};
+  round_scheduled_ = false;  // the simulator reset dropped any pending round
+  frames_transmitted_ = 0;
+  collisions_ = 0;
+  frames_dropped_ = 0;
+}
+
 void Channel::attach_radio(Radio& radio) {
   expects(std::find(radios_.begin(), radios_.end(), &radio) == radios_.end(),
           "Channel::attach_radio: radio already attached");

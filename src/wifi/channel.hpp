@@ -54,6 +54,13 @@ class Channel {
   void attach_radio(Radio& radio);
   void attach_observer(MediumObserver& observer);
 
+  /// Returns the channel to its freshly-constructed state (new rng stream,
+  /// new PHY, no radios or observers) while keeping the warm scratch and
+  /// list capacities. Radios must re-attach afterwards — Radio::reset does
+  /// — in the same order they were first constructed, so contention-round
+  /// iteration order matches a fresh build exactly.
+  void reset(sim::Rng rng, PhyParams phy);
+
   /// A radio signals that its queue became non-empty.
   void notify_backlog(Radio& radio);
 

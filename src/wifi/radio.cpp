@@ -11,6 +11,17 @@ Radio::Radio(Channel& channel, net::NodeId owner)
   channel.attach_radio(*this);
 }
 
+void Radio::reset() {
+  queue_.clear();
+  queue_limit_ = 1000;
+  receiving_ = true;
+  cw_ = 0;
+  tx_count_ = 0;
+  rx_count_ = 0;
+  dropped_count_ = 0;
+  channel_->attach_radio(*this);  // re-registers and re-seeds cw_ from phy
+}
+
 void Radio::enqueue(net::Packet&& packet, net::NodeId receiver) {
   if (queue_.size() >= queue_limit_) {
     ++dropped_count_;

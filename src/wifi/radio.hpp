@@ -62,6 +62,12 @@ class Radio {
   /// (saturated sources must not grow memory without bound).
   void set_queue_limit(std::size_t limit) { queue_limit_ = limit; }
 
+  /// Returns the radio to its freshly-constructed state and re-registers
+  /// it with its channel (which must have been reset first, emptying its
+  /// radio list). The queue keeps its warm storage; callbacks are kept —
+  /// the owner re-assigns them in its own reset, mirroring its ctor.
+  void reset();
+
  private:
   friend class Channel;
 

@@ -9,6 +9,14 @@ using sim::Duration;
 Sniffer::Sniffer(std::string name, sim::Rng rng, Duration timestamp_noise)
     : name_(std::move(name)), rng_(std::move(rng)), noise_(timestamp_noise) {}
 
+void Sniffer::reset(const std::string& name, sim::Rng rng,
+                    Duration timestamp_noise) {
+  name_ = name;
+  rng_ = std::move(rng);
+  noise_ = timestamp_noise;
+  captures_.clear();
+}
+
 void Sniffer::on_frame(const Frame& frame) {
   Capture capture;
   capture.packet_id = frame.packet.id;
@@ -22,17 +30,17 @@ void Sniffer::on_frame(const Frame& frame) {
     capture.time += rng_.uniform_duration(-noise_, noise_);
   }
   capture.collided = frame.collided;
-  if (!capture.collided) {
-    first_clean_index_.try_emplace(capture.packet_id, captures_.size());
-  }
   captures_.push_back(std::move(capture));
 }
 
 std::optional<sim::TimePoint> Sniffer::air_time_of(
     std::uint64_t packet_id) const {
-  const auto it = first_clean_index_.find(packet_id);
-  if (it == first_clean_index_.end()) return std::nullopt;
-  return captures_[it->second].time;
+  for (const Capture& capture : captures_) {
+    if (!capture.collided && capture.packet_id == packet_id) {
+      return capture.time;
+    }
+  }
+  return std::nullopt;
 }
 
 std::size_t Sniffer::count_of(net::PacketType type) const {
@@ -43,9 +51,6 @@ std::size_t Sniffer::count_of(net::PacketType type) const {
   return count;
 }
 
-void Sniffer::clear() {
-  captures_.clear();
-  first_clean_index_.clear();
-}
+void Sniffer::clear() { captures_.clear(); }
 
 }  // namespace acute::wifi

@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -34,6 +33,12 @@ class Sniffer : public MediumObserver {
   Sniffer(std::string name, sim::Rng rng,
           sim::Duration timestamp_noise = sim::Duration{});
 
+  /// Returns the sniffer to the state the constructor would leave it in
+  /// with these arguments; the capture log keeps its warm storage
+  /// (shard-context reuse contract).
+  void reset(const std::string& name, sim::Rng rng,
+             sim::Duration timestamp_noise);
+
   void on_frame(const Frame& frame) override;
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -55,8 +60,10 @@ class Sniffer : public MediumObserver {
   std::string name_;
   sim::Rng rng_;
   sim::Duration noise_;
+  // Append-only capture log. Lookups (air_time_of) are test/prober-side and
+  // scan linearly; recording a capture must not allocate in steady state,
+  // so there is deliberately no per-packet index map.
   std::vector<Capture> captures_;
-  std::unordered_map<std::uint64_t, std::size_t> first_clean_index_;
 };
 
 }  // namespace acute::wifi

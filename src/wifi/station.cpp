@@ -53,6 +53,53 @@ Station::Station(sim::Simulator& sim, Channel& channel, sim::Rng rng,
   if (config_.psm_enabled) arm_doze_timer();
 }
 
+void Station::reset(sim::Rng rng, Config config) {
+  expects(config.psm_timeout > Duration{},
+          "Station PSM timeout must be positive");
+  expects(config.psm_tick > Duration{}, "Station PSM tick must be positive");
+  expects(config.actual_listen_interval >= 0,
+          "Station listen interval must be >= 0");
+  expects(config.beacon_miss_probability >= 0.0 &&
+              config.beacon_miss_probability <= 1.0,
+          "Station beacon miss probability must be in [0, 1]");
+
+  rng_ = std::move(rng);
+  config_ = config;
+  radio_.reset();
+  radio_.set_receiver([this](Packet&& pkt, const Frame& frame) {
+    on_radio_receive(std::move(pkt), frame);
+  });
+  radio_.set_tx_done([this](const Frame& frame) {
+    if (doze_pending_ && frame.packet.id == pending_null_id_) {
+      doze_pending_ = false;
+      state_ = PowerState::dozing;
+      radio_.set_receiving(false);
+      ++doze_count_;
+      schedule_beacon_wake();
+    }
+  });
+  on_receive_ = nullptr;
+  state_ = PowerState::cam;
+  doze_timer_.reset();
+  doze_pending_ = false;
+  pending_null_id_ = 0;
+  draining_ = false;
+  tbtt_known_ = false;
+  tbtt_anchor_ = sim::TimePoint{};
+  doze_beacon_index_ = 0;
+  beacon_wake_ = sim::EventHandle{};
+  doze_count_ = 0;
+  wake_count_ = 0;
+  ps_polls_sent_ = 0;
+  beacons_heard_ = 0;
+
+  // Same tail as the constructor: the doze-timer arming draw (and its
+  // scheduled event) happens at exactly the same point in the rng stream
+  // and event sequence as on a fresh build.
+  last_activity_ = sim_->now();
+  if (config_.psm_enabled) arm_doze_timer();
+}
+
 void Station::mark_activity() {
   last_activity_ = sim_->now();
   if (config_.psm_enabled && state_ == PowerState::cam && !draining_ &&

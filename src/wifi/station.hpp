@@ -57,6 +57,13 @@ class Station : public stack::StackLayer {
 
   Station(sim::Simulator& sim, Channel& channel, sim::Rng rng, Config config);
 
+  /// Returns the station to the state the constructor would leave it in
+  /// with these arguments (same rng stream, same doze-timer arming draw and
+  /// schedule). Requires the owning simulator and channel to have been
+  /// reset first. Part of the shard-context reuse contract: a reset station
+  /// is bit-identical to a freshly constructed one.
+  void reset(sim::Rng rng, Config config);
+
   /// Upward delivery (to the WNIC driver): payload + air metadata. Used when
   /// the station is not composed into a StackPipeline.
   using RxFn = std::function<void(net::Packet&&, const Frame&)>;
