@@ -74,6 +74,23 @@ void* operator new(std::size_t size, std::align_val_t align) {
 void* operator new[](std::size_t size, std::align_val_t align) {
   return ::operator new(size, align);
 }
+// Nothrow variants too: libstdc++ internals (stable_sort's temporary
+// buffer) allocate with new(nothrow) but free through plain delete — an
+// incomplete replacement pairs the runtime's allocator with our free,
+// which ASan rejects as an alloc-dealloc mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ::operator new(size, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
@@ -323,6 +340,71 @@ WorkloadRow run_workload(tools::ToolKind kind, std::size_t workers) {
   return row;
 }
 
+// Passive-vantage overhead rung: the same TCP-workload grid twice — once
+// active-only, once with both passive observers (sniffer pping + per-app
+// monitor) attached — best of three each. The observers sit on the capture
+// and demux hot paths of every frame, so this is the number that catches a
+// regression from "pure observer" to "accidental participant"; the budget
+// is <= 5% wall overhead.
+struct PassiveOverhead {
+  double active_seconds = 0;
+  double passive_seconds = 0;
+  double overhead = 0;  // passive/active - 1
+  std::size_t passive_samples = 0;
+};
+
+PassiveOverhead run_passive_overhead(std::size_t workers) {
+  const auto build_spec = [](passive::PassiveVantage vantage) {
+    testbed::ScenarioGrid grid;
+    grid.phone_counts = {1, 2};
+    grid.emulated_rtts = {Duration::millis(10), Duration::millis(30)};
+    grid.cross_traffic = {false, true};
+    testbed::WorkloadSpec workload;
+    workload.tool = tools::ToolKind::httping;  // TCP: the sniffer works
+    workload.passive = vantage;
+    grid.workloads = {workload};
+    testbed::CampaignSpec spec;
+    spec.seed = 42;
+    spec.scenarios = grid.expand();
+    // Large enough that each side runs ~0.5 s of wall: at the matrix's
+    // ~70 ms scale the rung's run-to-run noise dwarfs a 5% budget.
+    spec.probes_per_phone = 200;
+    spec.probe_interval = Duration::millis(100);
+    spec.keep_samples = false;
+    return spec;
+  };
+  constexpr int kRepetitions = 3;
+  PassiveOverhead result;
+  double active_best = 0, passive_best = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    {
+      testbed::Campaign campaign(build_spec(passive::PassiveVantage::none));
+      const auto start = std::chrono::steady_clock::now();
+      (void)campaign.run(workers);
+      const double wall = wall_seconds_since(start);
+      if (active_best == 0 || wall < active_best) active_best = wall;
+    }
+    {
+      testbed::Campaign campaign(build_spec(passive::PassiveVantage::both));
+      const auto start = std::chrono::steady_clock::now();
+      const testbed::CampaignReport report = campaign.run(workers);
+      const double wall = wall_seconds_since(start);
+      if (passive_best == 0 || wall < passive_best) passive_best = wall;
+      if (rep == 0) {
+        for (const testbed::WorkloadDigest& digest :
+             report.workload_digests()) {
+          result.passive_samples +=
+              digest.passive_sniffer_samples + digest.passive_app_samples;
+        }
+      }
+    }
+  }
+  result.active_seconds = active_best;
+  result.passive_seconds = passive_best;
+  result.overhead = passive_best / active_best - 1.0;
+  return result;
+}
+
 void print_pool_run(const PoolRun& run) {
   std::printf(
       "  workers=%2zu  wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
@@ -491,6 +573,15 @@ int main(int argc, char** argv) {
         row.probes_per_sec, row.median_rtt_ms, row.lost, row.probes);
   }
 
+  // Passive-vantage overhead: the <= 5% budget of the pure-observer rung.
+  const PassiveOverhead passive = run_passive_overhead(matrix_workers);
+  std::printf(
+      "passive overhead (httping grid, both vantages, best of 3):\n"
+      "  active=%.3fs  passive=%.3fs  overhead=%.1f%%  "
+      "(%zu passive samples; budget <= 5%%)\n",
+      passive.active_seconds, passive.passive_seconds,
+      passive.overhead * 100.0, passive.passive_samples);
+
   std::printf("packet path: measuring...\n");
   const PacketPath path = measure_packet_path();
   std::printf(
@@ -554,7 +645,17 @@ int main(int argc, char** argv) {
                  i + 1 < matrix.size() ? "," : "");
   }
   std::fprintf(json,
-               "    ]\n"
+               "    ],\n"
+               "    \"passive_overhead\": {\n"
+               "      \"tool\": \"httping\",\n"
+               "      \"vantage\": \"both\",\n"
+               "      \"workers\": %zu,\n"
+               "      \"active_seconds\": %.4f,\n"
+               "      \"passive_seconds\": %.4f,\n"
+               "      \"overhead\": %.4f,\n"
+               "      \"overhead_budget\": 0.05,\n"
+               "      \"passive_samples\": %zu\n"
+               "    }\n"
                "  },\n"
                "  \"packet_path\": {\n"
                "    \"roundtrip_ns_per_20probe_run\": %.1f,\n"
@@ -563,8 +664,11 @@ int main(int argc, char** argv) {
                "    \"pre_refactor_copies_per_probe\": %.1f\n"
                "  }\n"
                "}\n",
-               path.roundtrip_ns, path.copies_per_probe,
-               kPreRefactorRoundTripNs, kPreRefactorCopiesPerProbe);
+               matrix_workers, passive.active_seconds,
+               passive.passive_seconds, passive.overhead,
+               passive.passive_samples, path.roundtrip_ns,
+               path.copies_per_probe, kPreRefactorRoundTripNs,
+               kPreRefactorCopiesPerProbe);
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
 

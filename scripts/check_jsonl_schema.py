@@ -3,10 +3,14 @@
 
 Each line must be a self-contained JSON object with the documented schema
 (docs/campaigns.md "Results pipeline"): scenario/seed/phone/probe integers,
-a known tool id, a boolean timed_out, numeric rtt_ms, and either all four
-layer keys or none. With --scenarios N, the union of scenario indices
-across every input file must be exactly 0..N-1 — the check CI runs on the
-two halves (killed + resumed) of the resume-smoke sweep.
+a known tool id, a known vantage ("active", "passive-sniffer" or
+"passive-app"), a boolean timed_out, numeric rtt_ms, and either all four
+layer keys or none. Passive records never time out and never carry the
+layer decomposition — an unknown vantage or a passive record violating
+either rule fails loudly, it is not skipped. With --scenarios N, the union
+of scenario indices across every input file must be exactly 0..N-1 — the
+check CI runs on the two halves (killed + resumed) of the resume-smoke
+sweep.
 
 Usage: check_jsonl_schema.py [--scenarios N] FILE...
 """
@@ -14,12 +18,14 @@ import json
 import sys
 
 KNOWN_TOOLS = {"acutemon", "icmp-ping", "httping", "java-ping"}
+KNOWN_VANTAGES = {"active", "passive-sniffer", "passive-app"}
 REQUIRED = {
     "scenario": int,
     "seed": int,
     "phone": int,
     "probe": int,
     "tool": str,
+    "vantage": str,
     "timed_out": bool,
     "rtt_ms": (int, float),
 }
@@ -58,6 +64,11 @@ def check_file(path, scenarios_seen):
                 errors += fail(
                     path, lineno, f"unknown tool {record.get('tool')!r}"
                 )
+            vantage = record.get("vantage")
+            if vantage not in KNOWN_VANTAGES:
+                errors += fail(
+                    path, lineno, f"unknown vantage {vantage!r}"
+                )
             layers = [key for key in LAYER_KEYS if key in record]
             if layers and len(layers) != len(LAYER_KEYS):
                 errors += fail(
@@ -65,6 +76,15 @@ def check_file(path, scenarios_seen):
                 )
             if record.get("timed_out") is True and layers:
                 errors += fail(path, lineno, "timed-out probe carries layers")
+            if vantage in KNOWN_VANTAGES and vantage != "active":
+                if record.get("timed_out") is True:
+                    errors += fail(
+                        path, lineno, "passive record marked timed_out"
+                    )
+                if layers:
+                    errors += fail(
+                        path, lineno, "passive record carries layers"
+                    )
             if isinstance(record.get("scenario"), int):
                 scenarios_seen.add(record["scenario"])
     if records == 0:

@@ -105,6 +105,9 @@ Packet Packet::make_response(const Packet& request, PacketType type,
                          size_bytes);
   response.probe_id = request.probe_id;
   response.flow_id = request.flow_id;
+  // RFC 7323 echo: every responder (SYN-ACK, RST, HTTP response) reflects
+  // the request's TSval, which is what capture-point estimators match on.
+  response.tcp_ts.tsecr = request.tcp_ts.tsval;
   response.request_stamps =
       std::make_shared<const LayerStamps>(request.stamps);
   return response;

@@ -94,6 +94,17 @@ struct LayerStamps {
   std::optional<sim::TimePoint> app_recv;            // t_u^i
 };
 
+/// TCP timestamp option (RFC 7323): senders stamp `tsval` from their own
+/// millisecond-class clock; receivers echo the last received value back in
+/// `tsecr`. Passive capture-point estimators (passive::PpingEstimator)
+/// match tsval -> tsecr pairs to recover RTTs without injecting traffic —
+/// the pping/DlyLoc technique. 0 means "option absent" on either field;
+/// the simulator's TSval clock (tools::MeasurementTool) never emits 0.
+struct TcpTimestamps {
+  std::uint32_t tsval = 0;
+  std::uint32_t tsecr = 0;
+};
+
 /// 802.11-specific header bits used by the AP/STA power-save machinery.
 struct WifiHeader {
   /// Power-management bit: true = the sender will doze after this frame.
@@ -117,6 +128,9 @@ struct Packet {
   std::uint32_t size_bytes = 0;  // on-the-wire size incl. headers
   std::uint8_t ttl = 64;
   std::uint32_t flow_id = 0;  // demultiplexes concurrent apps on one phone
+
+  /// TCP timestamp option; all-zero on non-TCP packets.
+  TcpTimestamps tcp_ts;
 
   WifiHeader wifi;
   LayerStamps stamps;
@@ -157,7 +171,8 @@ struct Packet {
                                    std::uint32_t size_bytes);
 
   /// Builds the response to `request`: src/dst swapped, probe_id and flow_id
-  /// preserved, request stamps attached for testbed correlation.
+  /// preserved, the request's TSval echoed as the response's TSecr (TCP
+  /// only), request stamps attached for testbed correlation.
   [[nodiscard]] static Packet make_response(const Packet& request,
                                             PacketType type,
                                             std::uint32_t size_bytes);

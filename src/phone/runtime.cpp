@@ -55,10 +55,12 @@ void ExecEnvLayer::reset(sim::Rng rng, const PhoneProfile& profile) {
   env_.reset(std::move(rng), profile);
   flows_.clear();
   flow_ids_ = net::IdAllocator<std::uint32_t>{};
+  tap_ = nullptr;
 }
 
 void ExecEnvLayer::send(Packet&& packet, ExecMode mode) {
   stamp(packet, StampPoint::app_send, sim_->now());  // t_u^o
+  if (tap_ != nullptr) tap_->on_app_send(packet, sim_->now());
   const Duration overhead = env_.send_overhead(mode);
   sim_->schedule_in(overhead, sim::assert_fits_inline(
                                   [this, pkt = std::move(packet)]() mutable {
@@ -77,6 +79,7 @@ void ExecEnvLayer::deliver(Packet&& packet) {
     // Re-look-up: the app may have unregistered while the packet climbed.
     FlowEntry* handler_entry = find_flow(flow_id);
     if (handler_entry == nullptr) return;
+    if (tap_ != nullptr) tap_->on_app_deliver(pkt, sim_->now());
     handler_entry->handler(std::move(pkt));
   }));
 }

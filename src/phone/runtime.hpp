@@ -18,6 +18,7 @@
 
 #include "net/id_alloc.hpp"
 #include "net/packet.hpp"
+#include "passive/observer.hpp"
 #include "phone/profile.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -88,6 +89,15 @@ class ExecEnvLayer : public stack::StackLayer {
   /// 0 (the "no app" sentinel) and ids still registered.
   [[nodiscard]] std::uint32_t allocate_flow_id();
 
+  /// Forwards every app-boundary observation to `tap`: each send at its
+  /// t_u^o stamp instant, each delivery to a *registered* flow at its t_u^i
+  /// stamp instant (packets no app is bound to are invisible here, exactly
+  /// as they are to the apps) — the attachment point of MopEye-style
+  /// per-app monitors (passive::PerAppMonitor). One tap per layer; nullptr
+  /// detaches. reset() detaches, so shard-context reuse re-attaches per
+  /// shard.
+  void attach_flow_tap(passive::FlowTap* tap) { tap_ = tap; }
+
   [[nodiscard]] ExecEnv& env() { return env_; }
 
  private:
@@ -104,6 +114,7 @@ class ExecEnvLayer : public stack::StackLayer {
   // (handlers that fit std::function's inline buffer included).
   std::vector<FlowEntry> flows_;
   net::IdAllocator<std::uint32_t> flow_ids_;
+  passive::FlowTap* tap_ = nullptr;
 };
 
 }  // namespace acute::phone

@@ -29,7 +29,7 @@ std::string render_checkpoint_record(const ShardCheckpoint& checkpoint) {
   char hash_hex[17];
   std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
                 static_cast<unsigned long long>(checkpoint.spec_hash));
-  line << "ckpt1 " << s.info.scenario_index << ' ' << s.info.shard_seed << ' '
+  line << "ckpt2 " << s.info.scenario_index << ' ' << s.info.shard_seed << ' '
        << hash_hex << ' ' << s.info.phone_count << ' ' << s.probes_sent << ' '
        << s.probes_lost << ' ' << s.frames_on_air << ' ' << s.events_fired
        << ' ';
@@ -53,6 +53,11 @@ std::string render_checkpoint_record(const ShardCheckpoint& checkpoint) {
     stats::write_digest(line, digest.dv_ms);
     line << ' ';
     stats::write_digest(line, digest.dn_ms);
+    line << ' ' << digest.passive_sniffer_samples << ' '
+         << digest.passive_app_samples << ' ';
+    stats::write_digest(line, digest.passive_sniffer_rtt_ms);
+    line << ' ';
+    stats::write_digest(line, digest.passive_app_rtt_ms);
   }
   line << " end\n";
   return line.str();
@@ -60,12 +65,22 @@ std::string render_checkpoint_record(const ShardCheckpoint& checkpoint) {
 
 namespace {
 
-/// Parses one record line; returns false on any malformation (torn write).
-bool parse_record(const std::string& line, ShardCheckpoint& out) {
+/// True when the line's last whitespace-separated token is the "end"
+/// sentinel — the writer finished this record, so it is complete, whatever
+/// else is wrong with it.
+bool has_end_sentinel(const std::string& line) {
+  const auto last = line.find_last_not_of(" \t\r\n");
+  if (last == std::string::npos || line[last] != 'd') return false;
+  if (last < 2 || line[last - 1] != 'n' || line[last - 2] != 'e') return false;
+  return last == 2 || line[last - 3] == ' ' || line[last - 3] == '\t';
+}
+
+/// Parses one complete-record body; returns false on any malformation.
+bool parse_record_body(const std::string& line, ShardCheckpoint& out) {
   std::istringstream in(line);
   std::string magic;
   in >> magic;
-  if (magic != "ckpt1") return false;
+  if (magic != "ckpt2") return false;
   try {
     ShardSummary& s = out.summary;
     std::string hash_hex;
@@ -93,6 +108,10 @@ bool parse_record(const std::string& line, ShardCheckpoint& out) {
       digest.dk_ms = stats::read_digest(in);
       digest.dv_ms = stats::read_digest(in);
       digest.dn_ms = stats::read_digest(in);
+      in >> digest.passive_sniffer_samples >> digest.passive_app_samples;
+      if (!in) return false;
+      digest.passive_sniffer_rtt_ms = stats::read_digest(in);
+      digest.passive_app_rtt_ms = stats::read_digest(in);
       out.digests.push_back(std::move(digest));
     }
     std::string sentinel;
@@ -101,6 +120,21 @@ bool parse_record(const std::string& line, ShardCheckpoint& out) {
   } catch (const sim::ContractViolation&) {
     return false;  // torn digest blob: treat the record as truncated
   }
+}
+
+/// Parses one record line; returns false on a torn write (no sentinel —
+/// the writer died mid-append, the shard simply reruns). A line the writer
+/// *finished* (sentinel present) that still fails to parse is a different
+/// beast — an unknown record kind (a ckpt1-era file, a future version, a
+/// foreign tool/vantage name) — and fails loudly: silently skipping it
+/// would re-run and double-merge a shard the file already accounts for.
+bool parse_record(const std::string& line, ShardCheckpoint& out) {
+  if (parse_record_body(line, out)) return true;
+  expects(!has_end_sentinel(line),
+          "checkpoint: complete record of an unknown kind or version "
+          "(expected ckpt2) — refusing to silently skip it; delete or "
+          "migrate the checkpoint file");
+  return false;
 }
 
 /// fsyncs `path` through a throwaway read-only fd (fsync flushes the file's

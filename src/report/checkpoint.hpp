@@ -11,13 +11,20 @@
 //     so a restored digest merges exactly like the one that was dropped.
 //   * load_checkpoint() ignores records without the trailing "end" sentinel
 //     — a writer killed mid-append loses at most that one shard, which
-//     simply reruns.
+//     simply reruns. A *complete* record (sentinel present) that fails to
+//     parse — an unknown magic/version, an unknown tool or vantage kind —
+//     is a loud contract violation instead: silently re-running it would
+//     silently double-merge whatever the unknown record already folded.
 //
 // File format, one record per line (space-separated tokens; integers
 // decimal, spec hash and doubles 16-hex-digit):
-//   ckpt1 <scenario_index> <shard_seed> <spec_hash> <phones> <sent> <lost>
+//   ckpt2 <scenario_index> <shard_seed> <spec_hash> <phones> <sent> <lost>
 //   <frames> <events> <sim_seconds> <ndigests> [<tool> <probes> <lost>
-//   <rtt-digest> <du-digest> <dk-digest> <dv-digest> <dn-digest>]... end
+//   <rtt-digest> <du-digest> <dk-digest> <dv-digest> <dn-digest>
+//   <passive-sniffer-samples> <passive-app-samples>
+//   <passive-sniffer-digest> <passive-app-digest>]... end
+// (ckpt1, the pre-passive format, is an unknown kind: resuming a campaign
+// against a ckpt1 file fails loudly rather than guessing at its digests.)
 #pragma once
 
 #include <cstddef>

@@ -18,6 +18,10 @@ void WorkloadDigest::merge(const WorkloadDigest& other) {
   dk_ms.merge(other.dk_ms);
   dv_ms.merge(other.dv_ms);
   dn_ms.merge(other.dn_ms);
+  passive_sniffer_samples += other.passive_sniffer_samples;
+  passive_app_samples += other.passive_app_samples;
+  passive_sniffer_rtt_ms.merge(other.passive_sniffer_rtt_ms);
+  passive_app_rtt_ms.merge(other.passive_app_rtt_ms);
 }
 
 void WorkloadDigest::merge(WorkloadDigest&& other) {
@@ -30,8 +34,14 @@ void WorkloadDigest::merge(WorkloadDigest&& other) {
   dk_ms.merge(std::move(other.dk_ms));
   dv_ms.merge(std::move(other.dv_ms));
   dn_ms.merge(std::move(other.dn_ms));
+  passive_sniffer_samples += other.passive_sniffer_samples;
+  passive_app_samples += other.passive_app_samples;
+  passive_sniffer_rtt_ms.merge(std::move(other.passive_sniffer_rtt_ms));
+  passive_app_rtt_ms.merge(std::move(other.passive_app_rtt_ms));
   other.probes = 0;
   other.lost = 0;
+  other.passive_sniffer_samples = 0;
+  other.passive_app_samples = 0;
 }
 
 WorkloadDigest& WorkloadFold::slot(tools::ToolKind kind) {
@@ -72,6 +82,19 @@ void WorkloadFold::fold_shard(std::vector<WorkloadDigest>&& digests) {
 
 void fold_probe(WorkloadFold& fold, const ProbeEvent& event) {
   WorkloadDigest& slot = fold.slot(event.tool);
+  // Passive samples fold into their own accumulators: they are observations
+  // of the active flow, not probes, so the probe/loss counters (and the
+  // active RTT digests) must not see them.
+  if (event.vantage == Vantage::passive_sniffer) {
+    ++slot.passive_sniffer_samples;
+    slot.passive_sniffer_rtt_ms.add(event.reported_rtt_ms);
+    return;
+  }
+  if (event.vantage == Vantage::passive_app) {
+    ++slot.passive_app_samples;
+    slot.passive_app_rtt_ms.add(event.reported_rtt_ms);
+    return;
+  }
   ++slot.probes;
   if (event.timed_out) {
     ++slot.lost;

@@ -32,6 +32,12 @@ struct WorkloadDigest {
   /// Fig. 1 decomposition of the fully-stamped probes (ms; WiFi phones
   /// only — cellular probes lack driver/air stamps).
   stats::MergingDigest du_ms, dk_ms, dv_ms, dn_ms;
+  /// Passive vantage points observing the same flows (zero-injected RTT
+  /// samples; see report::Vantage). Sample counts are exact and separate
+  /// from `probes`/`lost` — passive samples are not probes.
+  std::size_t passive_sniffer_samples = 0;
+  std::size_t passive_app_samples = 0;
+  stats::MergingDigest passive_sniffer_rtt_ms, passive_app_rtt_ms;
 
   /// Folds `other` (same tool kind) into this accumulator.
   void merge(const WorkloadDigest& other);

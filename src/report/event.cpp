@@ -1,0 +1,17 @@
+#include "report/event.hpp"
+
+namespace acute::report {
+
+const char* to_string(Vantage vantage) {
+  switch (vantage) {
+    case Vantage::active:
+      return "active";
+    case Vantage::passive_sniffer:
+      return "passive-sniffer";
+    case Vantage::passive_app:
+      return "passive-app";
+  }
+  return "?";
+}
+
+}  // namespace acute::report

@@ -42,16 +42,35 @@ struct LayerBreakdown {
   double dn_ms = 0;
 };
 
-/// One completed probe (response or timeout).
+/// Which vantage point produced a ProbeEvent's RTT. Active events are the
+/// tool's own probe outcomes — they alone carry timeouts and count toward
+/// ShardSummary::probes_sent/probes_lost. Passive events are zero-injected
+/// RTT samples observed on the same flow: `passive_sniffer` from the
+/// capture-point TSval matcher (passive::PpingEstimator), `passive_app`
+/// from the exec-env monitor (passive::PerAppMonitor). They stream through
+/// the same sinks but fold into separate digest accumulators.
+enum class Vantage : std::uint8_t { active, passive_sniffer, passive_app };
+
+/// Machine-stable ids ("active", "passive-sniffer", "passive-app") — the
+/// spelling the JSONL export writes.
+[[nodiscard]] const char* to_string(Vantage vantage);
+
+/// One completed probe (response or timeout) — or, for passive vantages,
+/// one passively observed RTT sample on a probe flow.
 struct ProbeEvent {
   std::size_t scenario_index = 0;
   /// Phone that sent the probe (scenario phone order).
   std::size_t phone_index = 0;
-  /// 0-based position in the phone's probe schedule.
+  /// 0-based position in the phone's probe schedule (active events), or the
+  /// sample's emission ordinal within its flow (passive events).
   int probe_index = 0;
-  /// The tool the phone's workload ran.
+  /// The tool the phone's workload ran; passive events attribute samples to
+  /// the tool owning the observed flow.
   tools::ToolKind tool = tools::ToolKind::icmp_ping;
-  /// True when no response arrived within the tool's timeout.
+  /// The vantage point this event's RTT was measured from.
+  Vantage vantage = Vantage::active;
+  /// True when no response arrived within the tool's timeout. Always false
+  /// on passive events (an unanswered send simply never matches).
   bool timed_out = false;
   /// Tool-reported RTT in **milliseconds** (quantization quirks included);
   /// 0 when timed_out.

@@ -104,10 +104,11 @@ void JsonlExportSink::probe_completed(const ProbeEvent& event) {
   int written = std::snprintf(
       line, sizeof line,
       "{\"scenario\":%zu,\"seed\":%llu,\"phone\":%zu,\"probe\":%d,"
-      "\"tool\":\"%s\",\"timed_out\":%s,\"rtt_ms\":%.12g",
+      "\"tool\":\"%s\",\"vantage\":\"%s\",\"timed_out\":%s,\"rtt_ms\":%.12g",
       event.scenario_index, static_cast<unsigned long long>(info_.shard_seed),
       event.phone_index, event.probe_index, tools::grid_name(event.tool),
-      event.timed_out ? "true" : "false", event.reported_rtt_ms);
+      to_string(event.vantage), event.timed_out ? "true" : "false",
+      event.reported_rtt_ms);
   block_.append(line, static_cast<std::size_t>(written));
   if (event.layers.has_value()) {
     written = std::snprintf(

@@ -3,6 +3,14 @@
 namespace acute::report {
 
 void SampleBufferSink::probe_completed(const ProbeEvent& event) {
+  if (event.vantage == Vantage::passive_sniffer) {
+    buffers_.passive_sniffer_rtt_ms.push_back(event.reported_rtt_ms);
+    return;
+  }
+  if (event.vantage == Vantage::passive_app) {
+    buffers_.passive_app_rtt_ms.push_back(event.reported_rtt_ms);
+    return;
+  }
   if (event.timed_out) return;
   buffers_.reported_rtt_ms.push_back(event.reported_rtt_ms);
   if (event.layers.has_value()) {

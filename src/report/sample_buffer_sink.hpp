@@ -21,6 +21,9 @@ class SampleBufferSink : public ResultSink {
   struct Buffers {
     std::vector<double> reported_rtt_ms;
     std::vector<double> du_ms, dk_ms, dv_ms, dn_ms;
+    /// Passive vantage samples (report::Vantage), kept out of the active
+    /// vectors above so the legacy surface is unchanged by passive axes.
+    std::vector<double> passive_sniffer_rtt_ms, passive_app_rtt_ms;
   };
 
   void probe_completed(const ProbeEvent& event) override;
@@ -35,6 +38,8 @@ class SampleBufferSink : public ResultSink {
     buffers_.dk_ms.clear();
     buffers_.dv_ms.clear();
     buffers_.dn_ms.clear();
+    buffers_.passive_sniffer_rtt_ms.clear();
+    buffers_.passive_app_rtt_ms.clear();
   }
 
  private:

@@ -12,6 +12,11 @@
 //     phones in scenario order, probes in schedule-index order within each
 //     phone — the same order the legacy buffered sample vectors used, so
 //     order-sensitive folds (t-digests) reproduce the historical bits.
+//     When a phone's workload enables a passive vantage point, its passive
+//     events follow its active probes: first every Vantage::passive_sniffer
+//     sample (estimator emission order), then every Vantage::passive_app
+//     sample (monitor emission order), still within the phone's slot of the
+//     phone-major sweep. Passive events never count toward probes_sent/lost.
 //   * Exactly one shard_finished(summary), last, after the shard's work
 //     counters are final.
 //   * All three happen on the worker thread executing the shard; a sink

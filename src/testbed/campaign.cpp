@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "core/layer_sample.hpp"
+#include "passive/per_app.hpp"
+#include "passive/pping.hpp"
 #include "report/sample_buffer_sink.hpp"
 #include "sim/contracts.hpp"
 #include "sim/random.hpp"
@@ -118,7 +120,8 @@ std::uint64_t shard_spec_hash(const CampaignSpec& spec,
         .mix(static_cast<std::uint64_t>(phone.workload.tool))
         .mix(static_cast<std::uint64_t>(phone.workload.probe_count))
         .mix(phone.workload.interval)
-        .mix(phone.workload.timeout);
+        .mix(phone.workload.timeout)
+        .mix(static_cast<std::uint64_t>(phone.workload.passive));
   }
   hash.mix(scenario.emulated_rtt)
       .mix(scenario.netem_jitter)
@@ -433,6 +436,10 @@ struct ShardContext::Impl {
   report::SinkChain chain;
   report::DigestSink digests;
   report::SampleBufferSink buffers;
+  /// Passive vantage points (warm tables; reset per shard, attached only
+  /// when a workload asks for them).
+  passive::PpingEstimator pping;
+  passive::PerAppMonitor per_app;
   std::size_t shards_run = 0;
   std::size_t reuses = 0;
 };
@@ -490,6 +497,8 @@ ShardResult Campaign::run_shard(
   ctx.chain.clear();
   ctx.digests.reset();
   ctx.buffers.reset();
+  ctx.pping.reset();
+  ctx.per_app.reset();
 
   ScenarioSpec& scenario = ctx.scenario;
   scenario_into(scenario_index, scenario);
@@ -583,6 +592,18 @@ ShardResult Campaign::run_shard(
   }
   if (ctx.tools.size() > phone_count) ctx.tools.resize(phone_count);
   ctx.running.clear();
+  // Passive vantage points: rebuild()/reset() detached every observer and
+  // tap, so attachment is strictly per shard. The sniffer-side estimator
+  // attaches once (sniffer 0 — all sniffers see the same frames); both it
+  // and the per-app monitor must be wired BEFORE any tool starts, because
+  // sequential tools launch probe 0 synchronously inside start().
+  bool sniffer_vantage = false;
+  for (const PhoneSpec& phone : testbed.spec().phones) {
+    sniffer_vantage |= passive::wants_sniffer(phone.workload.passive);
+  }
+  if (sniffer_vantage && testbed.sniffer_count() > 0) {
+    testbed.sniffer(0).attach_capture_observer(&ctx.pping);
+  }
   for (std::size_t i = 0; i < phone_count; ++i) {
     const WorkloadSpec& workload = testbed.spec().phones[i].workload;
     tools::MeasurementTool::Config config;
@@ -627,6 +648,16 @@ ShardResult Campaign::run_shard(
           }
           events->push_back(event);
         });
+    if (passive::wants_sniffer(workload.passive) &&
+        testbed.sniffer_count() > 0) {
+      ctx.pping.watch_flow(Testbed::phone_id(i), slot.tool->flow_id(), i,
+                           workload.tool);
+    }
+    if (passive::wants_exec_env(workload.passive)) {
+      testbed.phone(i).exec_env().attach_flow_tap(&ctx.per_app);
+      ctx.per_app.watch_flow(Testbed::phone_id(i), slot.tool->flow_id(), i,
+                             workload.tool);
+    }
     slot.tool->start();
     ctx.running.push_back(slot.tool.get());
   }
@@ -638,6 +669,24 @@ ShardResult Campaign::run_shard(
   // when a timeout outlives later responses) — the ordering contract
   // report::ResultSink documents, and byte-for-byte the order the legacy
   // buffered fold used.
+  // Passive samples ride the same canonical sweep: after a phone's active
+  // probes come its sniffer-vantage samples, then its per-app samples, each
+  // in emission order. Passive events never count as probes (sent or lost).
+  auto flush_passive = [&chain, scenario_index](
+                           const std::vector<passive::RttSample>& samples,
+                           std::size_t phone, report::Vantage vantage) {
+    for (const passive::RttSample& sample : samples) {
+      if (sample.phone_index != phone) continue;
+      report::ProbeEvent event;
+      event.scenario_index = scenario_index;
+      event.phone_index = phone;
+      event.probe_index = sample.ordinal;
+      event.tool = sample.tool;
+      event.vantage = vantage;
+      event.reported_rtt_ms = sample.rtt_ms;
+      chain.probe_completed(event);
+    }
+  };
   for (std::size_t i = 0; i < phone_count; ++i) {
     std::vector<report::ProbeEvent>& events = ctx.phone_events[i];
     std::sort(events.begin(), events.end(),
@@ -649,6 +698,8 @@ ShardResult Campaign::run_shard(
       if (event.timed_out) result.probes_lost += 1;
       chain.probe_completed(event);
     }
+    flush_passive(ctx.pping.samples(), i, report::Vantage::passive_sniffer);
+    flush_passive(ctx.per_app.samples(), i, report::Vantage::passive_app);
   }
 
   // Compose the ShardResult view from the built-in sink outputs.
@@ -660,6 +711,8 @@ ShardResult Campaign::run_shard(
     result.dk_ms = std::move(taken.dk_ms);
     result.dv_ms = std::move(taken.dv_ms);
     result.dn_ms = std::move(taken.dn_ms);
+    result.passive_sniffer_rtt_ms = std::move(taken.passive_sniffer_rtt_ms);
+    result.passive_app_rtt_ms = std::move(taken.passive_app_rtt_ms);
   }
   if (testbed.cross_traffic_running()) testbed.stop_cross_traffic();
   result.frames_on_air = testbed.channel().frames_transmitted();

@@ -202,6 +202,10 @@ struct ShardResult {
   /// cellular phone's probes lack driver/air stamps and appear only in
   /// reported_rtt_ms). Empty when keep_samples is false.
   std::vector<double> du_ms, dk_ms, dv_ms, dn_ms;
+  /// Passive vantage-point RTT samples (ms), canonical event order: sniffer
+  /// TCP-timestamp estimates and per-app exec-env estimates, for phones
+  /// whose WorkloadSpec enables them. Empty when keep_samples is false.
+  std::vector<double> passive_sniffer_rtt_ms, passive_app_rtt_ms;
   /// Streaming per-workload accumulators, ordered by ToolKind enumerator
   /// value; only kinds the shard actually ran appear. Always populated,
   /// independent of keep_samples.

@@ -28,6 +28,7 @@
 #include "net/server.hpp"
 #include "net/switch.hpp"
 #include "net/traffic_gen.hpp"
+#include "passive/observer.hpp"
 #include "phone/profile.hpp"
 #include "phone/smartphone.hpp"
 #include "sim/random.hpp"
@@ -107,6 +108,12 @@ struct WorkloadSpec {
   sim::Duration interval{};
   /// Per-probe timeout; zero means "use CampaignSpec::probe_timeout".
   sim::Duration timeout{};
+  /// Passive RTT vantage points the campaign attaches alongside the tool:
+  /// a pping-style TCP-timestamp estimator on sniffer 0 and/or a MopEye-style
+  /// per-app monitor on this phone's exec-env layer. Passive samples stream
+  /// as Vantage::passive_* ProbeEvents after the phone's active probes; none
+  /// of them injects traffic or perturbs the active schedule.
+  passive::PassiveVantage passive = passive::PassiveVantage::none;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };

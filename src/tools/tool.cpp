@@ -107,6 +107,15 @@ Packet MeasurementTool::new_probe(int index, net::PacketType type,
                               size_bytes);
   probe.probe_id = Packet::allocate_id();
   probe.flow_id = flow_id_;
+  if (protocol == net::Protocol::tcp) {
+    // TCP timestamp option (RFC 7323). Microsecond granularity instead of
+    // the classic milliseconds so back-to-back probes never share a TSval
+    // (value-matching passive estimators would alias them); +1 keeps the
+    // "option absent" sentinel 0 out of the value space. Wraps at ~71
+    // minutes of sim time, far beyond any probe's lifetime in flight.
+    probe.tcp_ts.tsval = static_cast<std::uint32_t>(
+        (sim_->now() - TimePoint::epoch()).count_nanos() / 1000 + 1);
+  }
 
   Outstanding entry;
   entry.index = index;

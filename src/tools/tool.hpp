@@ -120,6 +120,10 @@ class MeasurementTool {
   /// The schedule the tool was constructed with (after any constructor
   /// adaptation, e.g. sequential tools setting `sequential`).
   [[nodiscard]] const Config& config() const { return config_; }
+  /// The flow id this tool's probes travel on (drawn from the phone's
+  /// allocator at construction/reinitialize time). Passive observers use it
+  /// to attribute the flow's traffic back to the tool (MopEye-style).
+  [[nodiscard]] std::uint32_t flow_id() const { return flow_id_; }
 
  protected:
   /// Launch hook behind start()'s once-only guard. The default arms the

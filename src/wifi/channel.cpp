@@ -40,6 +40,13 @@ void Channel::attach_radio(Radio& radio) {
   radios_.push_back(&radio);
 }
 
+void Channel::detach_radio(Radio& radio) {
+  // No-op when the channel was reset since the attach (radios_ cleared):
+  // shard-context reuse destroys nodes after their channel rewound.
+  const auto it = std::find(radios_.begin(), radios_.end(), &radio);
+  if (it != radios_.end()) radios_.erase(it);
+}
+
 void Channel::attach_observer(MediumObserver& observer) {
   observers_.push_back(&observer);
 }

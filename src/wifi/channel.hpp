@@ -52,6 +52,9 @@ class Channel {
 
   /// Radios self-register on construction.
   void attach_radio(Radio& radio);
+  /// Removes a dying radio's registration; no-op if not attached (the
+  /// channel may have been reset since). Called from ~Radio.
+  void detach_radio(Radio& radio);
   void attach_observer(MediumObserver& observer);
 
   /// Returns the channel to its freshly-constructed state (new rng stream,

@@ -11,6 +11,8 @@ Radio::Radio(Channel& channel, net::NodeId owner)
   channel.attach_radio(*this);
 }
 
+Radio::~Radio() { channel_->detach_radio(*this); }
+
 void Radio::reset() {
   queue_.clear();
   queue_limit_ = 1000;

@@ -29,6 +29,11 @@ class Radio {
   /// `owner` is the address frames are delivered to.
   Radio(Channel& channel, net::NodeId owner);
 
+  /// Detaches from the channel: a Radio destroyed before its channel (a
+  /// node constructor that throws after building its radio member) must
+  /// not leave the channel holding a dangling pointer.
+  ~Radio();
+
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
 

@@ -14,6 +14,7 @@ void Sniffer::reset(const std::string& name, sim::Rng rng,
   name_ = name;
   rng_ = std::move(rng);
   noise_ = timestamp_noise;
+  observer_ = nullptr;
   captures_.clear();
 }
 
@@ -30,6 +31,12 @@ void Sniffer::on_frame(const Frame& frame) {
     capture.time += rng_.uniform_duration(-noise_, noise_);
   }
   capture.collided = frame.collided;
+  if (observer_ != nullptr) {
+    // The observer gets the sniffer's clock (capture.time), not the true
+    // tx_start: a capture-point estimator inherits this vantage's noise.
+    observer_->on_capture(frame.packet, frame.transmitter, frame.receiver,
+                          capture.time, capture.collided);
+  }
   captures_.push_back(std::move(capture));
 }
 

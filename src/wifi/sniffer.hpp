@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "passive/observer.hpp"
 #include "sim/random.hpp"
 #include "wifi/channel.hpp"
 
@@ -54,12 +55,22 @@ class Sniffer : public MediumObserver {
   /// Number of clean captures of the given type.
   [[nodiscard]] std::size_t count_of(net::PacketType type) const;
 
+  /// Forwards every capture — the packet by reference, plus the sniffer's
+  /// (possibly noise-perturbed) capture timestamp — to `observer` as it is
+  /// logged: the attachment point of passive capture estimators
+  /// (passive::PpingEstimator). One observer per sniffer; nullptr detaches.
+  /// reset() detaches, so shard-context reuse must re-attach per shard.
+  void attach_capture_observer(passive::CaptureObserver* observer) {
+    observer_ = observer;
+  }
+
   void clear();
 
  private:
   std::string name_;
   sim::Rng rng_;
   sim::Duration noise_;
+  passive::CaptureObserver* observer_ = nullptr;
   // Append-only capture log. Lookups (air_time_of) are test/prober-side and
   // scan linearly; recording a capture must not allocate in steady state,
   // so there is deliberately no per-packet index map.

@@ -202,6 +202,64 @@ TEST(Checkpoint, TornTrailingRecordIsSkipped) {
   EXPECT_EQ(repaired[1].summary.info.scenario_index, 7u);
 }
 
+TEST(Checkpoint, UnknownCompleteRecordKindFailsLoudly) {
+  // The torn-tolerance rule is narrow: only a line WITHOUT the trailing
+  // "end" sentinel (a kill mid-append) may be skipped. A COMPLETE record
+  // of an unknown kind — a ckpt1-era file, a future format, a corrupted
+  // byte range that still ends in " end" — means silently skipping would
+  // silently rerun (and double-append) every shard it held. Every reading
+  // surface must refuse instead.
+  TempFile file("ckpt_unknown_kind");
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(0));
+  }
+  {
+    std::ofstream out(file.path, std::ios::app);
+    out << "ckpt1 3 123 8 0 1 end\n";
+  }
+  EXPECT_THROW((void)load_checkpoint(file.path), sim::ContractViolation);
+  {
+    CheckpointReader reader(file.path);
+    ShardCheckpoint record;
+    ASSERT_TRUE(reader.next(record));  // record 0 parses fine
+    EXPECT_THROW((void)reader.next(record), sim::ContractViolation);
+  }
+  EXPECT_THROW(
+      for_each_checkpoint(file.path, [](ShardCheckpoint&&) {}),
+      sim::ContractViolation);
+  EXPECT_THROW(compact_checkpoint(file.path), sim::ContractViolation);
+}
+
+TEST(Checkpoint, CorruptCompleteRecordFailsLoudly) {
+  // Same rule for a line that IS ckpt2-prefixed and sentinel-complete but
+  // whose body no longer parses: that is corruption, not a torn write.
+  TempFile file("ckpt_corrupt_body");
+  {
+    std::ofstream out(file.path, std::ios::trunc);
+    out << "ckpt2 0 not-a-seed 1 end\n";
+  }
+  EXPECT_THROW((void)load_checkpoint(file.path), sim::ContractViolation);
+}
+
+TEST(Checkpoint, TornUnknownKindFragmentIsStillSkipped) {
+  // The counterpart: the same foreign prefix WITHOUT the sentinel is a
+  // torn write by definition and stays silently skippable — loud failure
+  // must not break kill-tolerance for fragments.
+  TempFile file("ckpt_unknown_torn");
+  {
+    CheckpointWriter writer(file.path);
+    writer.append(sample_checkpoint(0));
+  }
+  {
+    std::ofstream out(file.path, std::ios::app);
+    out << "ckpt1 3 123 torn-fragmen";
+  }
+  const auto records = load_checkpoint(file.path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].summary.info.scenario_index, 0u);
+}
+
 TEST(Checkpoint, CompactionDedupesAndSortsRecords) {
   TempFile file("ckpt_compact");
   {
