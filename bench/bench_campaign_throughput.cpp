@@ -39,7 +39,12 @@
 #include <sched.h>
 #endif
 #include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include "fabric/coordinator.hpp"
+#include "fabric/transport.hpp"
+#include "fabric/worker.hpp"
 #include "net/packet.hpp"
 #include "testbed/campaign.hpp"
 #include "testbed/experiment.hpp"
@@ -204,6 +209,59 @@ PoolRun run_pool(const testbed::CampaignSpec& spec, std::size_t workers) {
     run.allocs_per_shard = double(run_allocs) / double(report.shard_count());
   }
   run.peak_rss = peak_rss_bytes();
+  return run;
+}
+
+// Distributed-fabric rung: the same scaling grid served by a coordinator to
+// forked worker *processes* over the pipe transport (docs/fabric.md). The
+// delta against the in-process ladder row with the same worker count is the
+// price of process isolation: wire framing, ckpt2 text round-trips and the
+// lease protocol.
+struct FabricRun {
+  std::size_t workers = 0;
+  double wall_seconds = 0;
+  double scenarios_per_sec = 0;
+  double probes_per_sec = 0;
+  std::size_t leases_granted = 0;
+  /// lease_request -> lease_grant round-trips per second — the protocol
+  /// overhead axis the batch size amortizes.
+  double lease_roundtrips_per_sec = 0;
+};
+
+FabricRun run_fabric(const testbed::CampaignSpec& spec, std::size_t workers) {
+  std::vector<std::unique_ptr<fabric::Transport>> coordinator_ends;
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < workers; ++i) {
+    auto ends = fabric::transport_pair();
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: drop every inherited coordinator end (so a sibling's death
+      // reaches the coordinator as EOF), serve leases, leave without
+      // flushing the parent's stdio buffers twice.
+      coordinator_ends.clear();
+      ends.first.reset();
+      fabric::Worker worker(spec);
+      (void)worker.run(*ends.second);
+      std::_Exit(0);
+    }
+    children.push_back(pid);
+    coordinator_ends.push_back(std::move(ends.first));
+    // ends.second (the parent's copy of the worker end) closes here, so
+    // only the child holds it.
+  }
+  fabric::Coordinator coordinator(spec, {});
+  const auto start = std::chrono::steady_clock::now();
+  const testbed::CampaignReport report =
+      coordinator.run(std::move(coordinator_ends));
+  FabricRun run;
+  run.workers = workers;
+  run.wall_seconds = wall_seconds_since(start);
+  for (const pid_t pid : children) ::waitpid(pid, nullptr, 0);
+  run.scenarios_per_sec = double(report.shard_count()) / run.wall_seconds;
+  run.probes_per_sec = double(report.total_probes()) / run.wall_seconds;
+  run.leases_granted = coordinator.stats().leases_granted;
+  run.lease_roundtrips_per_sec =
+      double(run.leases_granted) / run.wall_seconds;
   return run;
 }
 
@@ -554,6 +612,22 @@ int main(int argc, char** argv) {
                 scaling_efficiency, cores);
   }
 
+  // The fabric rung: the same grid served to forked worker processes.
+  std::vector<FabricRun> fabric_ladder;
+  std::printf("fabric (coordinator + forked worker processes, same grid):\n");
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    if (workers > max_workers && workers != 1) continue;
+    const FabricRun run = run_fabric(scaling_spec, workers);
+    fabric_ladder.push_back(run);
+    std::printf(
+        "  workers=%2zu  wall=%.3fs  scenarios/s=%.1f  probes/s=%.0f  "
+        "leases=%zu  lease-roundtrips/s=%.1f\n",
+        run.workers, run.wall_seconds, run.scenarios_per_sec,
+        run.probes_per_sec, run.leases_granted,
+        run.lease_roundtrips_per_sec);
+  }
+
   // Per-workload matrix: one row per tool kind on the same 8-scenario
   // grid, streaming-digest mode.
   std::vector<WorkloadRow> matrix;
@@ -630,8 +704,27 @@ int main(int argc, char** argv) {
                "      ],\n"
                "      \"scaling_efficiency_8_workers\": %.3f\n"
                "    },\n"
-               "    \"workload_matrix\": [\n",
-               scaling_efficiency);
+               "    \"fabric\": {\n"
+               "      \"scenarios\": %zu,\n"
+               "      \"transport\": \"pipe\",\n"
+               "      \"ladder\": [\n",
+               scaling_efficiency, sizing.scenario_count());
+  for (std::size_t i = 0; i < fabric_ladder.size(); ++i) {
+    const FabricRun& run = fabric_ladder[i];
+    std::fprintf(json,
+                 "      {\"workers\": %zu, \"wall_seconds\": %.4f, "
+                 "\"scenarios_per_sec\": %.2f, \"probes_per_sec\": %.1f, "
+                 "\"leases_granted\": %zu, "
+                 "\"lease_roundtrips_per_sec\": %.2f}%s\n",
+                 run.workers, run.wall_seconds, run.scenarios_per_sec,
+                 run.probes_per_sec, run.leases_granted,
+                 run.lease_roundtrips_per_sec,
+                 i + 1 < fabric_ladder.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "      ]\n"
+               "    },\n"
+               "    \"workload_matrix\": [\n");
   for (std::size_t i = 0; i < matrix.size(); ++i) {
     const WorkloadRow& row = matrix[i];
     std::fprintf(json,

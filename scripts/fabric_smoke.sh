@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Fabric fault-tolerance smoke (CI): a coordinator with 4 forked worker
+# processes sweeps a 10^3-shard lazy grid while one worker is SIGKILLed
+# mid-run. The pin is the tentpole guarantee from docs/fabric.md — the
+# merged digest dump must be BYTE-identical to a single-process,
+# single-thread reference run, kill or no kill — plus loud evidence in the
+# coordinator log that the death was detected and the orphaned range
+# re-leased.
+#
+# Usage: scripts/fabric_smoke.sh [path/to/acute_fabric] [output-dir]
+set -euo pipefail
+
+BIN=${1:-build/acute_fabric}
+OUT=${2:-build/fabric-smoke}
+SHARDS=1000
+# Enough simulated probes per shard that the sweep runs long enough for the
+# kill below to land while leases are outstanding, even on a fast runner.
+PROBES=60
+
+mkdir -p "$OUT"
+rm -f "$OUT"/reference.txt "$OUT"/fabric.txt "$OUT"/coordinator.ckpt \
+      "$OUT"/coordinator.log "$OUT"/coordinator.stdout
+
+echo "== single-process single-thread reference =="
+"$BIN" local --shards $SHARDS --probes $PROBES \
+  --digest-out "$OUT/reference.txt"
+
+echo "== coordinator + 4 forked workers =="
+"$BIN" coordinate --spawn 4 --shards $SHARDS --probes $PROBES --batch 8 \
+  --checkpoint "$OUT/coordinator.ckpt" --digest-out "$OUT/fabric.txt" \
+  >"$OUT/coordinator.stdout" 2>"$OUT/coordinator.log" &
+COORD=$!
+
+# The coordinator prints one "worker-pid N" line per forked worker before
+# serving; the first one is the victim.
+VICTIM=
+for _ in $(seq 1 500); do
+  VICTIM=$(awk '/^worker-pid /{print $2; exit}' "$OUT/coordinator.stdout" \
+           2>/dev/null || true)
+  [ -n "$VICTIM" ] && break
+  sleep 0.01
+done
+if [ -z "$VICTIM" ]; then
+  echo "FAIL: coordinator never reported a worker pid" >&2
+  kill "$COORD" 2>/dev/null || true
+  exit 1
+fi
+
+# Kill once the run is provably in flight — the coordinator checkpoint
+# grows by one record per completed shard, so >= 50 lines means we are
+# mid-campaign regardless of how fast this runner is.
+while kill -0 "$COORD" 2>/dev/null; do
+  DONE=$(wc -l <"$OUT/coordinator.ckpt" 2>/dev/null || echo 0)
+  [ "$DONE" -ge 50 ] && break
+  sleep 0.01
+done
+if ! kill -9 "$VICTIM" 2>/dev/null; then
+  echo "FAIL: worker $VICTIM was already gone before the kill" >&2
+  wait "$COORD" || true
+  exit 1
+fi
+echo "killed worker pid $VICTIM mid-run (checkpoint had ${DONE:-?} records)"
+wait "$COORD"
+
+echo "== coordinator log =="
+cat "$OUT/coordinator.log"
+cat "$OUT/coordinator.stdout"
+
+echo "== assertions =="
+cmp "$OUT/reference.txt" "$OUT/fabric.txt"
+echo "OK: merged digest dump is byte-identical to the reference"
+
+grep -Eq "re-leasing|closed its connection|torn frame" "$OUT/coordinator.log"
+echo "OK: coordinator logged the worker death / re-lease"
+
+grep -Eq "fabric: 4 workers joined, [1-9] died" "$OUT/coordinator.stdout"
+echo "OK: stats line confirms a worker died mid-run"
+
+# The compacted coordinator checkpoint must hold exactly one record per
+# shard — duplicates from the re-lease race collapse under last-wins.
+LINES=$(wc -l <"$OUT/coordinator.ckpt")
+if [ "$LINES" -ne "$SHARDS" ]; then
+  echo "FAIL: compacted checkpoint has $LINES records, want $SHARDS" >&2
+  exit 1
+fi
+echo "OK: compacted checkpoint holds exactly $SHARDS records"
+
+echo "fabric smoke: PASS"

@@ -1,0 +1,387 @@
+#include "fabric/coordinator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <exception>
+#include <set>
+#include <utility>
+
+#include "fabric/wire.hpp"
+#include "report/checkpoint.hpp"
+#include "sim/contracts.hpp"
+#include "testbed/merge_frontier.hpp"
+
+namespace acute::fabric {
+
+using sim::expects;
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One connected worker: its transport, handshake progress and the leases
+/// it currently holds.
+struct Coordinator::Conn {
+  std::unique_ptr<Transport> transport;
+  enum class State { handshaking, active, parked } state = State::handshaking;
+  std::set<std::uint64_t> leases;
+  std::size_t id = 0;  // stable worker number, for the log
+  bool dead = false;
+};
+
+Coordinator::Coordinator(testbed::CampaignSpec spec, CoordinatorConfig config)
+    : campaign_(std::move(spec)), config_(config) {}
+
+testbed::CampaignReport Coordinator::run(
+    std::vector<std::unique_ptr<Transport>> workers, UnixListener* listener) {
+  const testbed::CampaignSpec& spec = campaign_.spec();
+  const std::size_t shard_count = campaign_.scenario_count();
+  // O(shards) to compute, so hash once here, not per hello.
+  const std::uint64_t campaign_hash = spec.spec_hash();
+  auto log = [this](const std::string& line) {
+    if (config_.log != nullptr) {
+      *config_.log << "fabric coordinator: " << line << std::endl;
+    }
+  };
+
+  testbed::CampaignReport report;
+  report.frontier.active = true;
+  report.frontier.shard_count = shard_count;
+
+  // Coordinator resume: identical to Campaign::run's frontier restore —
+  // validate every record on disk, compact to one ascending line per
+  // shard, then feed restored slots from the compacted file as the fold
+  // reaches them. A killed coordinator loses nothing but in-flight leases.
+  std::shared_ptr<report::CheckpointWriter> checkpoint;
+  std::vector<bool> restored_set;
+  std::unique_ptr<report::CheckpointReader> restored_feed;
+  if (!spec.checkpoint_path.empty()) {
+    const auto restore_start = std::chrono::steady_clock::now();
+    restored_set.assign(shard_count, false);
+    std::size_t restored_count = 0;
+    report::for_each_checkpoint(
+        spec.checkpoint_path, [&](report::ShardCheckpoint&& record) {
+          const std::size_t index = record.summary.info.scenario_index;
+          expects(index < shard_count,
+                  "fabric coordinator: checkpoint does not match this "
+                  "campaign (shard out of range)");
+          expects(record.summary.info.shard_seed ==
+                      testbed::Campaign::shard_seed(spec.seed, index),
+                  "fabric coordinator: checkpoint does not match this "
+                  "campaign (seed mismatch)");
+          expects(record.spec_hash ==
+                      spec.shard_hash(campaign_.scenario_at(index)),
+                  "fabric coordinator: checkpoint does not match this "
+                  "campaign (spec edited since the checkpoint was written)");
+          if (!restored_set[index]) {
+            restored_set[index] = true;
+            ++restored_count;
+          }
+        });
+    if (restored_count > 0) {
+      report::compact_checkpoint(spec.checkpoint_path);
+      log("restored " + std::to_string(restored_count) +
+          " shards from checkpoint");
+    }
+    restored_feed =
+        std::make_unique<report::CheckpointReader>(spec.checkpoint_path);
+    checkpoint =
+        std::make_shared<report::CheckpointWriter>(spec.checkpoint_path);
+    report.stage.restore =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      restore_start)
+            .count();
+  }
+
+  // Shard classification, exactly as Campaign::run: restored shards feed
+  // the fold from disk, at most max_shards pending ones become leasable,
+  // the capped tail is skipped.
+  std::vector<bool> leasable(shard_count, false);
+  std::vector<testbed::MergeFrontier::Slot> slots(
+      shard_count, testbed::MergeFrontier::Slot::skipped);
+  std::size_t leasable_count = 0;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    if (!restored_set.empty() && restored_set[i]) {
+      slots[i] = testbed::MergeFrontier::Slot::restored;
+      continue;
+    }
+    if (spec.max_shards > 0 && leasable_count == spec.max_shards) continue;
+    slots[i] = testbed::MergeFrontier::Slot::fresh;
+    leasable[i] = true;
+    ++leasable_count;
+  }
+  auto feed = [reader = restored_feed.get()](std::size_t expected_index) {
+    report::ShardCheckpoint record;
+    expects(reader != nullptr && reader->next(record),
+            "fabric coordinator: compacted checkpoint exhausted before all "
+            "restored shards were folded");
+    expects(record.summary.info.scenario_index == expected_index,
+            "fabric coordinator: compacted checkpoint out of order");
+    return testbed::shard_result_from_checkpoint(std::move(record));
+  };
+  testbed::MergeFrontier frontier(std::move(slots), std::move(feed),
+                                  report.frontier);
+  LeaseTable table(std::move(leasable), config_.lease);
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::size_t next_worker_id = 0;
+  for (std::unique_ptr<Transport>& transport : workers) {
+    auto conn = std::make_unique<Conn>();
+    conn->transport = std::move(transport);
+    conn->id = next_worker_id++;
+    conns.push_back(std::move(conn));
+  }
+
+  // Grants one lease (or parks the worker) — the only way work leaves the
+  // table. Throws whatever the transport throws; callers route that to the
+  // death path.
+  auto try_grant = [&](Conn& conn) {
+    const std::optional<Lease> lease = table.grant(now_ms());
+    if (!lease.has_value()) {
+      write_frame(*conn.transport, FrameType::idle);
+      conn.state = Conn::State::parked;
+      return;
+    }
+    LeaseGrantBody body{lease->id, lease->begin, lease->end};
+    try {
+      write_frame(*conn.transport, FrameType::lease_grant,
+                  encode_lease_grant(body));
+    } catch (...) {
+      // The worker died between asking and receiving: the grant never
+      // reached anyone, so reclaim it NOW instead of waiting out a
+      // deadline nobody will ever heartbeat.
+      table.revoke(lease->id);
+      log("worker " + std::to_string(conn.id) +
+          " died before receiving lease " + std::to_string(lease->id) +
+          "; re-leasing [" + std::to_string(lease->begin) + ", " +
+          std::to_string(lease->end) + ")");
+      throw;
+    }
+    conn.leases.insert(lease->id);
+    conn.state = Conn::State::active;
+    ++stats_.leases_granted;
+  };
+
+  auto bury = [&](Conn& conn, const char* cause) {
+    conn.dead = true;
+    std::size_t returned = 0;
+    for (const std::uint64_t id : conn.leases) {
+      const std::size_t before = table.pending_count();
+      table.revoke(id);
+      returned += table.pending_count() - before;
+    }
+    const bool had_leases = !conn.leases.empty();
+    conn.leases.clear();
+    if (conn.state != Conn::State::handshaking || had_leases) {
+      ++stats_.workers_died;
+    }
+    log("worker " + std::to_string(conn.id) + " " + cause +
+        (returned > 0
+             ? "; re-leasing " + std::to_string(returned) + " shards"
+             : ""));
+  };
+
+  // Handles exactly one frame from `conn`; throws on torn frames (the
+  // caller buries the worker).
+  auto handle_frame = [&](Conn& conn) {
+    Frame frame;
+    if (!read_frame(*conn.transport, frame)) {
+      bury(conn, "closed its connection");
+      return;
+    }
+    switch (frame.type) {
+      case FrameType::hello: {
+        const HelloBody hello = decode_hello(frame.payload);
+        std::string why;
+        if (hello.protocol != kProtocolVersion) {
+          why = "protocol version mismatch";
+        } else if (hello.spec_hash != campaign_hash) {
+          why = "campaign spec (grid) hash mismatch";
+        } else if (hello.seed != spec.seed) {
+          why = "campaign seed mismatch";
+        } else if (hello.shard_count != shard_count) {
+          why = "shard count mismatch";
+        }
+        if (!why.empty()) {
+          ++stats_.workers_rejected;
+          log("REJECTED worker " + std::to_string(conn.id) + ": " + why);
+          write_frame(*conn.transport, FrameType::reject, why);
+          conn.dead = true;
+          return;
+        }
+        ++stats_.workers_joined;
+        log("worker " + std::to_string(conn.id) + " joined");
+        write_frame(*conn.transport, FrameType::hello_ok);
+        conn.state = Conn::State::active;
+        break;
+      }
+      case FrameType::lease_request:
+        expects(conn.state == Conn::State::active,
+                "fabric coordinator: lease_request before handshake");
+        try_grant(conn);
+        break;
+      case FrameType::heartbeat:
+        // False (unknown lease) means the lease already expired and was
+        // re-leased; the stalled worker's completions arrive as harmless
+        // duplicates, so nothing to do here.
+        (void)table.heartbeat(decode_lease_id(frame.payload), now_ms());
+        break;
+      case FrameType::shard_done: {
+        const ShardDoneBody done = decode_shard_done(frame.payload);
+        report::ShardCheckpoint record;
+        expects(report::parse_checkpoint_record(done.record_line, record),
+                "fabric coordinator: shard_done carried a torn record");
+        const std::size_t index = record.summary.info.scenario_index;
+        expects(index < shard_count,
+                "fabric coordinator: shard_done index out of range");
+        expects(record.summary.info.shard_seed ==
+                    testbed::Campaign::shard_seed(spec.seed, index),
+                "fabric coordinator: shard_done seed mismatch");
+        expects(record.spec_hash ==
+                    spec.shard_hash(campaign_.scenario_at(index)),
+                "fabric coordinator: shard_done spec hash mismatch");
+        // Checkpoint first (matching the single-process sink order:
+        // durable before merged), every arrival — compaction's last-wins
+        // rule collapses duplicates exactly as it does for a re-run shard.
+        if (checkpoint != nullptr) checkpoint->append(record);
+        if (table.complete(index)) {
+          frontier.submit(index,
+                          testbed::shard_result_from_checkpoint(
+                              std::move(record)));
+          ++stats_.shards_merged;
+        } else {
+          // The re-lease race: another worker already delivered this index.
+          // Determinism makes both copies bit-identical, so dropping the
+          // late one loses nothing.
+          ++stats_.duplicate_shards;
+          log("duplicate completion of shard " + std::to_string(index) +
+              " (re-lease race; merged copy wins)");
+        }
+        break;
+      }
+      case FrameType::lease_done:
+        table.finish(decode_lease_id(frame.payload));
+        conn.leases.erase(decode_lease_id(frame.payload));
+        break;
+      default:
+        expects(false, "fabric coordinator: unexpected frame from worker");
+    }
+  };
+
+  while (!table.all_complete()) {
+    // Expired leases (stalled or slow workers) go back to pending with
+    // backoff; their holders keep running — late results dedupe.
+    for (const Lease& lease : table.expire(now_ms())) {
+      ++stats_.leases_expired;
+      log("lease " + std::to_string(lease.id) + " [" +
+          std::to_string(lease.begin) + ", " + std::to_string(lease.end) +
+          ") expired without heartbeat; re-leasing");
+      for (std::unique_ptr<Conn>& conn : conns) conn->leases.erase(lease.id);
+    }
+
+    // Push re-queued work to parked workers instead of waiting for them to
+    // ask again (they block after idle by design).
+    for (std::unique_ptr<Conn>& conn : conns) {
+      if (conn->dead || conn->state != Conn::State::parked) continue;
+      if (table.pending_count() == 0) break;
+      try {
+        try_grant(*conn);
+      } catch (const sim::ContractViolation&) {
+        bury(*conn, "died while being granted a lease");
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::unique_ptr<Conn>& conn) {
+                                 return conn->dead;
+                               }),
+                conns.end());
+    if (table.all_complete()) break;
+    expects(!conns.empty() || listener != nullptr,
+            "fabric coordinator: every worker is gone (and no listener "
+            "remains) with shards still pending");
+
+    std::vector<pollfd> fds;
+    std::vector<Conn*> fd_conns;
+    if (listener != nullptr) {
+      fds.push_back(pollfd{listener->fd(), POLLIN, 0});
+      fd_conns.push_back(nullptr);
+    }
+    for (std::unique_ptr<Conn>& conn : conns) {
+      fds.push_back(pollfd{conn->transport->fd(), POLLIN, 0});
+      fd_conns.push_back(conn.get());
+    }
+    int timeout = -1;
+    if (const auto deadline = table.next_deadline_ms(); deadline.has_value()) {
+      const std::uint64_t now = now_ms();
+      timeout = *deadline <= now
+                    ? 0
+                    : static_cast<int>(std::min<std::uint64_t>(
+                          *deadline - now, 60'000));
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    expects(ready >= 0 || errno == EINTR, "fabric coordinator: poll failed");
+    if (ready <= 0) continue;  // timeout: loop to expire leases
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (fd_conns[i] == nullptr) {
+        auto conn = std::make_unique<Conn>();
+        conn->transport = listener->accept();
+        conn->id = next_worker_id++;
+        conns.push_back(std::move(conn));
+        continue;
+      }
+      Conn& conn = *fd_conns[i];
+      if (conn.dead) continue;
+      try {
+        handle_frame(conn);
+      } catch (const sim::ContractViolation& violation) {
+        // Torn frame / malformed record: that worker is compromised, the
+        // campaign is not. Loud, buried, work re-leased.
+        log(std::string("worker ") + std::to_string(conn.id) +
+            " sent a torn or invalid frame: " + violation.what());
+        bury(conn, "is being dropped after a torn frame");
+      }
+      if (table.all_complete()) break;
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::unique_ptr<Conn>& conn) {
+                                 return conn->dead;
+                               }),
+                conns.end());
+  }
+
+  // Campaign complete: release the fleet (best effort — a worker killed
+  // between its last shard and here is indistinguishable from one that
+  // left) and seal the merge + checkpoint.
+  for (std::unique_ptr<Conn>& conn : conns) {
+    try {
+      write_frame(*conn->transport, FrameType::shutdown);
+    } catch (const sim::ContractViolation&) {
+      // Already gone; the work is done, nothing to re-lease.
+    }
+  }
+  frontier.finalize();
+  report.stage.merge = frontier.fold_seconds();
+  if (checkpoint != nullptr) {
+    checkpoint.reset();  // flush before the compaction rewrite
+    report::compact_checkpoint(spec.checkpoint_path);
+  }
+  log("campaign complete: " + std::to_string(report.frontier.completed) +
+      "/" + std::to_string(shard_count) + " shards merged, " +
+      std::to_string(stats_.leases_granted) + " leases, " +
+      std::to_string(stats_.duplicate_shards) + " duplicates");
+  return report;
+}
+
+}  // namespace acute::fabric

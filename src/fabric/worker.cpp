@@ -1,0 +1,130 @@
+#include "fabric/worker.hpp"
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "fabric/wire.hpp"
+#include "report/checkpoint.hpp"
+#include "sim/contracts.hpp"
+
+namespace acute::fabric {
+
+using sim::expects;
+
+Worker::Worker(testbed::CampaignSpec spec, WorkerConfig config)
+    : campaign_([&spec] {
+        // Workers never persist or buffer: the coordinator owns the
+        // checkpoint, and run_shard_record only needs digests.
+        spec.checkpoint_path.clear();
+        spec.sinks = nullptr;
+        return testbed::Campaign(std::move(spec));
+      }()),
+      config_(config) {}
+
+std::size_t Worker::run(Transport& transport) {
+  // Handshake: prove we hold the same campaign before any work moves.
+  HelloBody hello;
+  hello.spec_hash = campaign_.spec().spec_hash();
+  hello.seed = campaign_.spec().seed;
+  hello.shard_count = campaign_.scenario_count();
+  write_frame(transport, FrameType::hello, encode_hello(hello));
+
+  Frame frame;
+  expects(read_frame(transport, frame),
+          "fabric worker: coordinator closed during handshake");
+  if (frame.type == FrameType::reject) {
+    expects(false, ("fabric worker: coordinator rejected handshake: " +
+                    frame.payload)
+                       .c_str());
+  }
+  if (frame.type == FrameType::shutdown) return 0;  // nothing to do
+  expects(frame.type == FrameType::hello_ok,
+          "fabric worker: unexpected frame during handshake");
+
+  // Campaign completion is the coordinator's call, made the instant the
+  // last shard_done arrives — which may be ours, with more frames (our
+  // lease_done, our next lease_request) still in flight when it sends
+  // shutdown and closes. A failed send therefore checks the read side
+  // first: a buffered shutdown turns the failure into a graceful exit;
+  // anything else (the coordinator actually died) stays loud.
+  auto send_or_finished = [&transport](FrameType type,
+                                       std::string_view payload = {}) {
+    try {
+      write_frame(transport, type, payload);
+      return false;
+    } catch (const sim::ContractViolation&) {
+      Frame pending;
+      if (read_frame(transport, pending) &&
+          pending.type == FrameType::shutdown) {
+        return true;
+      }
+      throw;
+    }
+  };
+
+  // One warm context for every lease this worker ever serves — the same
+  // reuse (and the same bits) as an in-process pool worker's claim stream.
+  testbed::ShardContext context;
+  std::size_t shards_run = 0;
+  bool request_next = true;
+  while (true) {
+    if (request_next && send_or_finished(FrameType::lease_request)) {
+      return shards_run;
+    }
+    request_next = true;
+    if (!read_frame(transport, frame)) {
+      // Coordinator vanished without shutdown: loud, a worker must not
+      // idle against a dead coordinator.
+      expects(false, "fabric worker: coordinator closed unexpectedly");
+    }
+    switch (frame.type) {
+      case FrameType::shutdown:
+        return shards_run;
+      case FrameType::idle:
+        // Nothing pending right now, but outstanding leases elsewhere may
+        // still expire back to us: park and wait for a pushed grant (or
+        // shutdown) instead of spamming lease_request.
+        request_next = false;
+        continue;
+      case FrameType::lease_grant: {
+        const LeaseGrantBody lease = decode_lease_grant(frame.payload);
+        expects(lease.end <= campaign_.scenario_count(),
+                "fabric worker: lease range beyond the campaign");
+        for (std::uint64_t index = lease.begin; index < lease.end; ++index) {
+          if (config_.max_shards > 0 && shards_run >= config_.max_shards) {
+            // Simulated mid-lease death: no lease_done, no goodbye — the
+            // transport closes when the caller drops it, exactly what the
+            // coordinator sees when SIGKILL takes a real worker.
+            return shards_run;
+          }
+          // Heartbeat before each shard, so lease_timeout_ms only has to
+          // outlive ONE shard, not a whole lease.
+          if (send_or_finished(FrameType::heartbeat,
+                               encode_lease_id(lease.lease_id))) {
+            return shards_run;
+          }
+          report::ShardCheckpoint record = campaign_.run_shard_record(
+              static_cast<std::size_t>(index), context);
+          ShardDoneBody done;
+          done.lease_id = lease.lease_id;
+          done.record_line = report::render_checkpoint_record(record);
+          if (send_or_finished(FrameType::shard_done,
+                               encode_shard_done(done))) {
+            return shards_run;
+          }
+          ++shards_run;
+        }
+        if (send_or_finished(FrameType::lease_done,
+                             encode_lease_id(lease.lease_id))) {
+          return shards_run;
+        }
+        break;
+      }
+      default:
+        expects(false, "fabric worker: unexpected frame from coordinator");
+    }
+  }
+}
+
+}  // namespace acute::fabric

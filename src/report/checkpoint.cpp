@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <utility>
 
+#include "report/latest_wins.hpp"
 #include "sim/contracts.hpp"
 #include "stats/digest_io.hpp"
 
@@ -122,21 +122,6 @@ bool parse_record_body(const std::string& line, ShardCheckpoint& out) {
   }
 }
 
-/// Parses one record line; returns false on a torn write (no sentinel —
-/// the writer died mid-append, the shard simply reruns). A line the writer
-/// *finished* (sentinel present) that still fails to parse is a different
-/// beast — an unknown record kind (a ckpt1-era file, a future version, a
-/// foreign tool/vantage name) — and fails loudly: silently skipping it
-/// would re-run and double-merge a shard the file already accounts for.
-bool parse_record(const std::string& line, ShardCheckpoint& out) {
-  if (parse_record_body(line, out)) return true;
-  expects(!has_end_sentinel(line),
-          "checkpoint: complete record of an unknown kind or version "
-          "(expected ckpt2) — refusing to silently skip it; delete or "
-          "migrate the checkpoint file");
-  return false;
-}
-
 /// fsyncs `path` through a throwaway read-only fd (fsync flushes the file's
 /// dirty pages regardless of which descriptor requests it).
 void fsync_path(const std::string& path) {
@@ -171,22 +156,30 @@ void durable_replace(const std::string& temp, const std::string& path) {
 
 }  // namespace
 
+bool parse_checkpoint_record(const std::string& line, ShardCheckpoint& out) {
+  if (parse_record_body(line, out)) return true;
+  expects(!has_end_sentinel(line),
+          "checkpoint: complete record of an unknown kind or version "
+          "(expected ckpt2) — refusing to silently skip it; delete or "
+          "migrate the checkpoint file");
+  return false;
+}
+
 void compact_checkpoint(const std::string& path,
                         const std::vector<ShardCheckpoint>& records) {
-  // Last record per scenario wins — the same rule resume's restore loop
-  // applies — then ascending scenario order, so the compacted file reads
-  // like an uninterrupted front-to-back sweep.
-  std::map<std::size_t, const ShardCheckpoint*> latest;
+  // LatestWinsMerge is resume's restore rule, so the compacted file reads
+  // like an uninterrupted ascending front-to-back sweep.
+  LatestWinsMerge<const ShardCheckpoint*> latest;
   for (const ShardCheckpoint& record : records) {
-    latest[record.summary.info.scenario_index] = &record;
+    latest.claim(record.summary.info.scenario_index, &record);
   }
   const std::string temp = path + ".compact";
   {
     std::ofstream out(temp, std::ios::trunc);
     expects(out.is_open(), "compact_checkpoint: cannot open temp file");
-    for (const auto& [index, record] : latest) {
+    latest.for_each([&](std::size_t, const ShardCheckpoint* record) {
       out << render_checkpoint_record(*record);
-    }
+    });
     out.flush();
     expects(out.good(), "compact_checkpoint: short write to temp file");
   }
@@ -196,16 +189,16 @@ void compact_checkpoint(const std::string& path,
 void compact_checkpoint(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) return;  // nothing to compact
-  // Pass 1: byte offset of each scenario's winning (last complete) record.
-  // std::map iteration order gives the ascending-scenario output order.
-  std::map<std::size_t, std::streamoff> latest;
+  // Pass 1: byte offset of each scenario's winning (last complete) record —
+  // O(shards) offsets, not digests.
+  LatestWinsMerge<std::streamoff> latest;
   {
     ShardCheckpoint record;
     std::string line;
     for (std::streamoff pos = in.tellg(); std::getline(in, line);
          pos = in.tellg()) {
-      if (parse_record(line, record)) {
-        latest[record.summary.info.scenario_index] = pos;
+      if (parse_checkpoint_record(line, record)) {
+        latest.claim(record.summary.info.scenario_index, pos);
       }
     }
     in.clear();  // getline hit EOF; clear so the pass-2 seeks work
@@ -216,17 +209,17 @@ void compact_checkpoint(const std::string& path) {
     expects(out.is_open(), "compact_checkpoint: cannot open temp file");
     ShardCheckpoint record;
     std::string line;
-    for (const auto& [index, pos] : latest) {
+    latest.for_each([&](std::size_t index, std::streamoff pos) {
       in.seekg(pos);
       expects(std::getline(in, line).good() || in.eof(),
               "compact_checkpoint: checkpoint shrank during compaction");
-      expects(parse_record(line, record),
+      expects(parse_checkpoint_record(line, record),
               "compact_checkpoint: record vanished during compaction");
       expects(record.summary.info.scenario_index == index,
               "compact_checkpoint: record moved during compaction");
       out << render_checkpoint_record(record);
       in.clear();
-    }
+    });
     out.flush();
     expects(out.good(), "compact_checkpoint: short write to temp file");
   }
@@ -237,7 +230,7 @@ CheckpointReader::CheckpointReader(const std::string& path) : in_(path) {}
 
 bool CheckpointReader::next(ShardCheckpoint& out) {
   while (std::getline(in_, line_)) {
-    if (parse_record(line_, out)) return true;
+    if (parse_checkpoint_record(line_, out)) return true;
   }
   return false;
 }

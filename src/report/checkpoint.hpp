@@ -113,6 +113,17 @@ void for_each_checkpoint(const std::string& path,
 [[nodiscard]] std::string render_checkpoint_record(
     const ShardCheckpoint& checkpoint);
 
+/// Parses one record line (render_checkpoint_record's inverse, trailing
+/// newline optional); returns false on a torn write (no "end" sentinel —
+/// the writer died mid-append, the shard simply reruns). A line the writer
+/// *finished* that still fails to parse — an unknown record kind or
+/// version, a foreign tool/vantage name — is a loud contract violation:
+/// silently skipping it would re-run and double-merge a shard the file
+/// already accounts for. The fabric wire protocol ships ckpt2 lines
+/// verbatim, so this is also the frame-payload decoder.
+[[nodiscard]] bool parse_checkpoint_record(const std::string& line,
+                                           ShardCheckpoint& out);
+
 /// Rewrites `path` to one record per shard: `records` (typically the result
 /// of load_checkpoint) are deduplicated by scenario index — the last record
 /// wins, matching resume's restore order — and written in ascending

@@ -15,10 +15,12 @@
 #include "core/layer_sample.hpp"
 #include "passive/per_app.hpp"
 #include "passive/pping.hpp"
+#include "report/latest_wins.hpp"
 #include "report/sample_buffer_sink.hpp"
 #include "sim/contracts.hpp"
 #include "sim/random.hpp"
 #include "stats/digest_io.hpp"
+#include "testbed/merge_frontier.hpp"
 #include "tools/factory.hpp"
 
 namespace acute::testbed {
@@ -138,6 +140,26 @@ std::uint64_t shard_spec_hash(const CampaignSpec& spec,
 }
 
 }  // namespace
+
+std::uint64_t CampaignSpec::shard_hash(const ScenarioSpec& scenario) const {
+  return shard_spec_hash(*this, scenario);
+}
+
+std::uint64_t CampaignSpec::spec_hash() const {
+  SpecHash hash;
+  const std::size_t count = grid.has_value() ? grid->size() : scenarios.size();
+  hash.mix(count);
+  ScenarioSpec scratch;  // capacity-reused across the grid sweep
+  for (std::size_t i = 0; i < count; ++i) {
+    if (grid.has_value()) {
+      grid->at_into(i, scratch);
+    } else {
+      scratch = scenarios[i];
+    }
+    hash.mix(shard_spec_hash(*this, scratch));
+  }
+  return hash.value();
+}
 
 namespace {
 
@@ -473,6 +495,27 @@ ShardResult Campaign::run_shard(std::size_t scenario_index,
                    context);
 }
 
+report::ShardCheckpoint Campaign::run_shard_record(
+    std::size_t scenario_index, ShardContext& context) const {
+  ShardResult result = run_shard(scenario_index, /*run_sequence=*/0, nullptr,
+                                 nullptr, context);
+  report::ShardCheckpoint record;
+  record.summary.info = report::ShardInfo{scenario_index, result.shard_seed,
+                                          result.phone_count,
+                                          /*run_sequence=*/0};
+  record.summary.probes_sent = result.probes_sent;
+  record.summary.probes_lost = result.probes_lost;
+  record.summary.frames_on_air = result.frames_on_air;
+  record.summary.events_fired = result.events_fired;
+  record.summary.sim_seconds = result.sim_seconds;
+  // run_shard left context's scenario scratch holding this shard's spec;
+  // hashing it avoids re-materializing the scenario (the hash ignores the
+  // seed field run_shard overwrote).
+  record.spec_hash = spec_.shard_hash(context.impl_->scenario);
+  record.digests = std::move(result.digests);
+  return record;
+}
+
 ShardResult Campaign::run_shard(
     std::size_t scenario_index, std::size_t run_sequence,
     const std::shared_ptr<report::CheckpointWriter>& checkpoint,
@@ -534,7 +577,7 @@ ShardResult Campaign::run_shard(
     // the outcome-determining shape fields, so hashing the local copy
     // equals hashing the stored/grid-built spec.
     chain.add(std::make_unique<report::CheckpointSink>(
-        checkpoint, shard_spec_hash(spec_, scenario)));
+        checkpoint, spec_.shard_hash(scenario)));
   }
   chain.shard_started(info);
 
@@ -753,154 +796,6 @@ struct alignas(64) WorkerLane {
   std::size_t shards_run = 0;
 };
 
-/// Rebuilds the ShardResult view a completed shard would have produced
-/// with keep_samples=false from its checkpoint record (digests deserialize
-/// bit-identically; raw sample vectors are not checkpointed).
-ShardResult restored_shard(report::ShardCheckpoint&& record) {
-  ShardResult restored;
-  restored.completed = true;
-  restored.scenario_index = record.summary.info.scenario_index;
-  restored.shard_seed = record.summary.info.shard_seed;
-  restored.phone_count = record.summary.info.phone_count;
-  restored.probes_sent = record.summary.probes_sent;
-  restored.probes_lost = record.summary.probes_lost;
-  restored.frames_on_air = record.summary.frames_on_air;
-  restored.events_fired = record.summary.events_fired;
-  restored.sim_seconds = record.summary.sim_seconds;
-  restored.digests = std::move(record.digests);
-  return restored;
-}
-
-/// The merge frontier (CampaignSpec::retain_shards=false): an in-order fold
-/// over scenario indices, same shape as the JSONL sink's reorder window. A
-/// cursor sweeps 0..N-1; each index is folded into the campaign-level
-/// FoldedTotals the moment every lower index has folded, then its digests
-/// are freed. Shards that complete ahead of the cursor wait in `held_` —
-/// bounded in practice by the batched ascending claim order to
-/// O(workers × claim batch), the same skew bound as the JSONL window — so
-/// peak digest retention is O(workers), not O(shards).
-///
-/// Order proof: the cursor visits indices strictly ascending and folds
-/// exactly the shards the buffered model would retain (fresh submissions,
-/// checkpoint-restored records, nothing for skipped/abandoned ones), so
-/// the fold sequence is identical to CampaignReport::workload_digests()'s
-/// post-join loop over `shards` — bit-identical digests and double sums
-/// for any worker count and across kill/resume.
-///
-/// submit()/abandon() never block: the caller either advances the cursor
-/// itself (folding under the mutex) or parks its result and returns, so
-/// the frontier cannot deadlock against the JSONL reorder window (both are
-/// drained in the same ascending order by whoever holds the release point).
-class MergeFrontier {
- public:
-  /// How the cursor treats each scenario index.
-  enum class Slot : unsigned char {
-    skipped,   ///< will not complete this run (max_shards cap / abandoned)
-    restored,  ///< fed from the compacted checkpoint, in file order
-    fresh,     ///< a pending shard; a worker will submit() or abandon() it
-  };
-
-  /// `feed` returns the next restored shard from the (ascending, unique)
-  /// compacted checkpoint; called exactly once per `restored` slot, in
-  /// ascending index order, under the frontier lock.
-  MergeFrontier(std::vector<Slot> slots,
-                std::function<ShardResult(std::size_t)> feed,
-                CampaignReport::FoldedTotals& totals)
-      : slots_(std::move(slots)), feed_(std::move(feed)), totals_(totals) {
-    // Fold any leading restored/skipped run right away: the cursor must
-    // always rest on a fresh slot (or the end), or a resumed tick's fresh
-    // results would all park behind a restored prefix no submit can match.
-    const std::lock_guard<std::mutex> lock(mu_);
-    advance_locked();
-  }
-
-  /// Folds a freshly-completed shard, or parks it until the cursor arrives.
-  void submit(std::size_t index, ShardResult&& result) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    expects(index < slots_.size() && slots_[index] == Slot::fresh,
-            "MergeFrontier::submit on a non-pending slot");
-    held_.emplace(index, std::move(result));
-    high_water_ = std::max(high_water_, held_.size());
-    advance_locked();
-  }
-
-  /// Releases a failed shard's slot so the fold cannot stall on it (the
-  /// failure itself is rethrown by run() after the pool joins).
-  void abandon(std::size_t index) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    expects(index < slots_.size() && slots_[index] == Slot::fresh,
-            "MergeFrontier::abandon on a non-pending slot");
-    slots_[index] = Slot::skipped;
-    advance_locked();
-  }
-
-  /// Drains any skipped/restored tail after the pool joins; every fresh
-  /// slot must have been submitted or abandoned by then.
-  void finalize() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    advance_locked();
-    expects(cursor_ == slots_.size() && held_.empty(),
-            "MergeFrontier::finalize with unfolded shards");
-  }
-
-  /// Peak number of out-of-order shards parked at once (memory telemetry).
-  [[nodiscard]] std::size_t high_water() const { return high_water_; }
-
-  /// Wall seconds the fold steps consumed (StageSeconds::merge). Read after
-  /// finalize() — the fold runs under the frontier lock on whichever worker
-  /// advances the cursor, so the sum is cross-worker like build/sink.
-  [[nodiscard]] double fold_seconds() const { return fold_seconds_; }
-
- private:
-  void advance_locked() {
-    while (cursor_ < slots_.size()) {
-      switch (slots_[cursor_]) {
-        case Slot::skipped:
-          ++cursor_;
-          break;
-        case Slot::restored:
-          fold(feed_(cursor_));
-          ++cursor_;
-          break;
-        case Slot::fresh: {
-          const auto it = held_.find(cursor_);
-          if (it == held_.end()) return;  // a worker still owns this index
-          fold(std::move(it->second));
-          held_.erase(it);
-          ++cursor_;
-          break;
-        }
-      }
-    }
-  }
-
-  /// The one fold step: counters in ascending scenario order (so double
-  /// sums match the buffered accessors bit for bit), then the consuming
-  /// digest merge that frees the shard's buffers.
-  void fold(ShardResult&& result) {
-    const auto start = std::chrono::steady_clock::now();
-    ++totals_.completed;
-    totals_.probes += result.probes_sent;
-    totals_.lost += result.probes_lost;
-    totals_.frames += result.frames_on_air;
-    totals_.events += result.events_fired;
-    totals_.sim_seconds += result.sim_seconds;
-    totals_.workloads.fold_shard(std::move(result.digests));
-    fold_seconds_ += std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-  }
-
-  std::mutex mu_;
-  std::vector<Slot> slots_;
-  std::function<ShardResult(std::size_t)> feed_;
-  CampaignReport::FoldedTotals& totals_;
-  std::map<std::size_t, ShardResult> held_;
-  std::size_t cursor_ = 0;
-  std::size_t high_water_ = 0;
-  double fold_seconds_ = 0;
-};
-
 }  // namespace
 
 CampaignReport Campaign::run(std::size_t workers) {
@@ -941,7 +836,7 @@ CampaignReport Campaign::run(std::size_t workers) {
                 record.summary.info.shard_seed == shard_seed(spec_.seed, index),
                 "checkpoint does not match this campaign (seed mismatch)");
             expects(
-                record.spec_hash == shard_spec_hash(spec_, scenario_at(index)),
+                record.spec_hash == spec_.shard_hash(scenario_at(index)),
                 "checkpoint does not match this campaign (spec edited since "
                 "the checkpoint was written)");
             if (!restored_set[index]) {
@@ -963,7 +858,7 @@ CampaignReport Campaign::run(std::size_t workers) {
                 "checkpoint does not match this campaign (shard out of range)");
         expects(record.summary.info.shard_seed == shard_seed(spec_.seed, index),
                 "checkpoint does not match this campaign (seed mismatch)");
-        expects(record.spec_hash == shard_spec_hash(spec_, scenario_at(index)),
+        expects(record.spec_hash == spec_.shard_hash(scenario_at(index)),
                 "checkpoint does not match this campaign (spec edited since "
                 "the checkpoint was written)");
       }
@@ -974,10 +869,16 @@ CampaignReport Campaign::run(std::size_t workers) {
       if (!records.empty()) {
         report::compact_checkpoint(spec_.checkpoint_path, records);
       }
+      // Duplicate records (a shard re-run after a kill) resolve through the
+      // shared last-wins rule — the same LatestWinsMerge compaction just
+      // applied to the file, so memory and disk agree on the winner.
+      report::LatestWinsMerge<report::ShardCheckpoint*> latest;
       for (report::ShardCheckpoint& record : records) {
-        const std::size_t index = record.summary.info.scenario_index;
-        report.shards[index] = restored_shard(std::move(record));
+        latest.claim(record.summary.info.scenario_index, &record);
       }
+      latest.for_each([&](std::size_t index, report::ShardCheckpoint* record) {
+        report.shards[index] = shard_result_from_checkpoint(std::move(*record));
+      });
     }
     checkpoint = std::make_shared<report::CheckpointWriter>(
         spec_.checkpoint_path);
@@ -1024,7 +925,7 @@ CampaignReport Campaign::run(std::size_t workers) {
               "restored shards were folded");
       expects(record.summary.info.scenario_index == expected_index,
               "campaign frontier: compacted checkpoint out of order");
-      return restored_shard(std::move(record));
+      return shard_result_from_checkpoint(std::move(record));
     };
     frontier = std::make_unique<MergeFrontier>(std::move(slots),
                                                std::move(feed),

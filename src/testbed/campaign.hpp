@@ -146,6 +146,22 @@ struct CampaignSpec {
   /// cannot be folded away). Default true preserves the legacy per-shard
   /// ShardResult surface for small sweeps.
   bool retain_shards = true;
+
+  /// FNV-1a fingerprint of everything that determines one shard's outcome
+  /// besides the seed: the campaign probe schedule plus `scenario`'s shape.
+  /// Stamped into every checkpoint record (see report::ShardCheckpoint) so
+  /// a resume against an edited spec rejects the stale shards loudly — the
+  /// one hash both checkpoint validation and the fabric wire protocol use.
+  [[nodiscard]] std::uint64_t shard_hash(const ScenarioSpec& scenario) const;
+
+  /// Shape-only fingerprint of the whole campaign: the scenario count plus
+  /// every scenario's shard_hash() in index order (never the seed — the
+  /// fabric handshake carries the seed as its own field so a seed mismatch
+  /// gets its own loud message). A lazy grid and its materialized expand()
+  /// hash identically, because both feed the same scenarios through the
+  /// same per-shard hash. O(scenarios) to compute; computed once per
+  /// handshake, not per shard.
+  [[nodiscard]] std::uint64_t spec_hash() const;
 };
 
 /// The per-workload streaming accumulator now lives in the report::
@@ -328,6 +344,16 @@ class Campaign {
   /// way (what each pool worker executes; see docs/campaigns.md).
   [[nodiscard]] ShardResult run_shard(std::size_t scenario_index,
                                       ShardContext& context) const;
+
+  /// The fabric worker entry: runs one leased shard on `context` and
+  /// returns it as the checkpoint record a single-process campaign would
+  /// have appended — summary counters, this spec's shard_hash() and the
+  /// per-workload digests (DigestSink and CheckpointSink share one fold, so
+  /// the bits are identical). The caller owns merge and persistence:
+  /// render_checkpoint_record() turns the record into the ckpt2 wire line a
+  /// coordinator folds through MergeFrontier.
+  [[nodiscard]] report::ShardCheckpoint run_shard_record(
+      std::size_t scenario_index, ShardContext& context) const;
 
  private:
   /// `run_sequence` is the shard's dense position in this invocation's
